@@ -1,0 +1,179 @@
+// Reproduces Figure 9: a sequence of 30 update batches (each ~10% of the
+// base KG, 90% accuracy) applied to the base KG, evaluating after each.
+//   (1) average estimates across trials: both RS and SS stay unbiased;
+//   (2)+(3) fault tolerance: runs whose *initial* evaluation over/under-
+//       estimates — RS stochastically refreshes its reservoir and drifts
+//       back toward the truth, while SS freezes the biased base stratum
+//       forever (its bias only decays with the base stratum's weight).
+//
+// The graph (sizes and labels) is fixed across runs; only the evaluation
+// seed varies, so "a run with a bad start" is a run whose initial *sample*
+// was unlucky — the paper's premise.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/reservoir_incremental.h"
+#include "core/stratified_incremental.h"
+#include "kg/cluster_population.h"
+#include "kg/generator.h"
+#include "labels/annotator.h"
+#include "labels/synthetic_oracle.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+constexpr uint64_t kBaseTriples = 1300000;   // ~50% of MOVIE.
+constexpr uint64_t kUpdateTriples = 130000;  // ~10% of the base per batch.
+constexpr int kBatches = 30;
+
+std::vector<uint32_t> MovieLikeSizes(uint64_t total_triples, Rng& rng) {
+  const uint64_t clusters = std::max<uint64_t>(1, total_triples / 9);
+  std::vector<uint32_t> sizes =
+      GenerateLogNormalSizes(clusters, 0.94, 1.6, 5000, rng);
+  ScaleSizesToTotal(&sizes, total_triples);
+  return sizes;
+}
+
+struct Trajectory {
+  double rs_initial = 0.0;
+  double ss_initial = 0.0;
+  std::vector<double> rs;     // estimate after each batch.
+  std::vector<double> ss;
+  std::vector<double> truth;  // expected accuracy after each batch.
+};
+
+/// The fixed evolving scenario: base + 30 update batches, all at 90%
+/// accuracy, with deterministic cluster sizes and labels.
+class Fig9Scenario {
+ public:
+  explicit Fig9Scenario(uint64_t graph_seed) {
+    Rng rng(graph_seed);
+    base_sizes_ = MovieLikeSizes(kBaseTriples, rng);
+    for (int b = 0; b < kBatches; ++b) {
+      update_sizes_.push_back(MovieLikeSizes(kUpdateTriples, rng));
+    }
+    label_seed_ = HashCombine(graph_seed, 0x1abe15ULL);
+  }
+
+  /// Runs both methods with the given evaluation seed. When `init_only`,
+  /// stops after Initialize (used by the bad-start seed scan).
+  Trajectory Run(uint64_t eval_seed, bool init_only) const {
+    ClusterPopulation population(base_sizes_);
+    PerClusterBernoulliOracle oracle(
+        std::vector<double>(base_sizes_.size(), 0.9), label_seed_);
+    double weighted_p = 0.9 * static_cast<double>(population.TotalTriples());
+
+    EvaluationOptions options;
+    options.seed = eval_seed;
+    options.m = 5;
+    SimulatedAnnotator a_rs(&oracle, kCost), a_ss(&oracle, kCost);
+    ReservoirIncrementalEvaluator rs(&population, &a_rs, options);
+    StratifiedIncrementalEvaluator ss(&population, &a_ss, options);
+
+    Trajectory out;
+    out.rs_initial = rs.Initialize().estimate.mean;
+    out.ss_initial = ss.Initialize().estimate.mean;
+    if (init_only) return out;
+
+    for (int b = 0; b < kBatches; ++b) {
+      const uint64_t first = population.NumClusters();
+      for (uint32_t s : update_sizes_[b]) {
+        population.Append(s);
+        oracle.Append(0.9);
+        weighted_p += 0.9 * s;
+      }
+      out.rs.push_back(
+          rs.ApplyUpdate(first, update_sizes_[b].size()).estimate.mean);
+      out.ss.push_back(
+          ss.ApplyUpdate(first, update_sizes_[b].size()).estimate.mean);
+      out.truth.push_back(weighted_p /
+                          static_cast<double>(population.TotalTriples()));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<uint32_t> base_sizes_;
+  std::vector<std::vector<uint32_t>> update_sizes_;
+  uint64_t label_seed_;
+};
+
+void PrintTrajectory(const char* title, const Trajectory& trajectory) {
+  bench::Banner(title);
+  std::printf("initial estimates: RS %s, SS %s (truth 90%%)\n",
+              FormatPercent(trajectory.rs_initial, 2).c_str(),
+              FormatPercent(trajectory.ss_initial, 2).c_str());
+  std::printf("%7s %10s %10s %10s\n", "batch", "RS", "SS", "truth");
+  bench::Rule();
+  for (int b = 0; b < kBatches; ++b) {
+    std::printf("%7d %9.2f%% %9.2f%% %9.2f%%\n", b + 1,
+                trajectory.rs[b] * 100.0, trajectory.ss[b] * 100.0,
+                trajectory.truth[b] * 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace kgacc
+
+int main() {
+  using namespace kgacc;
+  const uint64_t seed = bench::Seed();
+  const int trials = bench::Trials(15);
+  const Fig9Scenario scenario(seed);
+
+  // ---- Part 1: unbiasedness averaged over trials. -------------------------
+  std::vector<RunningStats> rs_by_batch(kBatches), ss_by_batch(kBatches);
+  double truth_last = 0.9;
+  for (int t = 0; t < trials; ++t) {
+    const Trajectory trajectory = scenario.Run(seed + 7717 * t, false);
+    for (int b = 0; b < kBatches; ++b) {
+      rs_by_batch[b].Add(trajectory.rs[b]);
+      ss_by_batch[b].Add(trajectory.ss[b]);
+    }
+    truth_last = trajectory.truth.back();
+  }
+  bench::Banner(StrFormat("Figure 9-1: estimates averaged over %d runs "
+                          "(ground truth 90%%)", trials));
+  std::printf("%7s %14s %14s\n", "batch", "RS", "SS");
+  bench::Rule();
+  for (int b = 0; b < kBatches; b += (b < 9 ? 1 : 5)) {
+    std::printf("%7d %14s %14s\n", b + 1,
+                bench::MeanStdPercent(rs_by_batch[b]).c_str(),
+                bench::MeanStdPercent(ss_by_batch[b]).c_str());
+  }
+  std::printf("final truth: %s — both methods stay unbiased across the "
+              "sequence.\n", FormatPercent(truth_last, 2).c_str());
+
+  // ---- Parts 2+3: fault tolerance from a bad start. -----------------------
+  // Scan evaluation seeds for runs where BOTH methods' initial samples were
+  // unlucky in the same direction.
+  const double kOffset = 0.022;
+  uint64_t over_seed = 0, under_seed = 0;
+  for (uint64_t s = 1; s < 3000 && (over_seed == 0 || under_seed == 0); ++s) {
+    const Trajectory probe = scenario.Run(seed + s * 101, true);
+    if (over_seed == 0 && probe.rs_initial > 0.9 + kOffset &&
+        probe.ss_initial > 0.9 + kOffset) {
+      over_seed = seed + s * 101;
+    }
+    if (under_seed == 0 && probe.rs_initial < 0.9 - kOffset &&
+        probe.ss_initial < 0.9 - kOffset) {
+      under_seed = seed + s * 101;
+    }
+  }
+  if (over_seed != 0) {
+    PrintTrajectory("Figure 9-2: one run starting with over-estimation",
+                    scenario.Run(over_seed, false));
+  }
+  if (under_seed != 0) {
+    PrintTrajectory("Figure 9-3: one run starting with under-estimation",
+                    scenario.Run(under_seed, false));
+  }
+  std::printf(
+      "\nPaper shape: RS stochastically refreshes its reservoir and drifts "
+      "back toward the truth;\nSS keeps every annotated base sample, so its "
+      "bias persists, decaying only with the base stratum's weight.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Machine-time microbenchmarks (google-benchmark) for the sampling
+// primitives, backing Table 6's "machine time < 1 second" claim for TWCS
+// sample generation at MOVIE scale and beyond.
+
+#include <benchmark/benchmark.h>
+
+#include "kg/cluster_population.h"
+#include "kg/generator.h"
+#include "sampling/alias_table.h"
+#include "sampling/cluster_sampler.h"
+#include "sampling/reservoir.h"
+#include "sampling/srs.h"
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+ClusterPopulation MakePopulation(uint64_t clusters) {
+  Rng rng(99);
+  std::vector<uint32_t> sizes =
+      GenerateLogNormalSizes(clusters, 1.55, 1.1, 5000, rng);
+  return ClusterPopulation(std::move(sizes));
+}
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const ClusterPopulation pop = MakePopulation(state.range(0));
+  for (auto _ : state) {
+    AliasTable table = AliasTable::FromSizes(pop.sizes());
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(10000)->Arg(288770)->Arg(2000000);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const ClusterPopulation pop = MakePopulation(288770);
+  const AliasTable table = AliasTable::FromSizes(pop.sizes());
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_TwcsSampleGeneration(benchmark::State& state) {
+  // Full TWCS first+second stage for a Table 4-sized campaign (n draws).
+  const ClusterPopulation pop = MakePopulation(288770);
+  TwcsSampler sampler(pop, 5);
+  Rng rng(11);
+  for (auto _ : state) {
+    auto batch = sampler.NextBatch(state.range(0), rng);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwcsSampleGeneration)->Arg(30)->Arg(100)->Arg(1000);
+
+void BM_SrsBatch(benchmark::State& state) {
+  const ClusterPopulation pop = MakePopulation(288770);
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SrsTripleSampler sampler(pop);  // fresh draw history per iteration.
+    state.ResumeTiming();
+    auto batch = sampler.NextBatch(state.range(0), rng);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SrsBatch)->Arg(200);
+
+void BM_WeightedReservoirStream(benchmark::State& state) {
+  const ClusterPopulation pop = MakePopulation(state.range(0));
+  Rng rng(17);
+  for (auto _ : state) {
+    WeightedReservoirSampler reservoir(64);
+    for (uint64_t c = 0; c < pop.NumClusters(); ++c) {
+      reservoir.Offer(c, static_cast<double>(pop.ClusterSize(c)), rng);
+    }
+    benchmark::DoNotOptimize(reservoir);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WeightedReservoirStream)->Arg(100000)->Arg(1000000);
+
+void BM_SecondStageSrs(benchmark::State& state) {
+  Rng rng(19);
+  for (auto _ : state) {
+    auto offsets = SampleIndicesWithoutReplacement(5000, state.range(0), rng);
+    benchmark::DoNotOptimize(offsets);
+  }
+}
+BENCHMARK(BM_SecondStageSrs)->Arg(5)->Arg(50);
+
+}  // namespace
+}  // namespace kgacc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+#include "core/grouped_evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "estimators/estimators.h"
+#include "sampling/alias_table.h"
+#include "sampling/srs.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kgacc {
+
+GroupedEvaluator::GroupedEvaluator(const KnowledgeGraph& kg,
+                                   Annotator* annotator,
+                                   EvaluationOptions options)
+    : kg_(kg), annotator_(annotator), options_(options) {
+  KGACC_CHECK(annotator_ != nullptr);
+  KGACC_CHECK(kg_.TotalTriples() > 0);
+}
+
+GroupedEvaluator::GroupResult GroupedEvaluator::EvaluateGroup(
+    uint32_t group, const std::vector<VirtualCluster>& clusters) {
+  GroupResult result;
+  result.group = group;
+  result.evaluation.design = "TWCS/group";
+
+  std::vector<double> weights;
+  weights.reserve(clusters.size());
+  for (const VirtualCluster& vc : clusters) {
+    result.population_triples += vc.offsets.size();
+    weights.push_back(static_cast<double>(vc.offsets.size()));
+  }
+  const AliasTable alias(weights);
+  const uint64_t m = options_.m > 0 ? options_.m : 5;
+  Rng rng(HashCombine(options_.seed, group));
+
+  const AnnotationLedger start_ledger = annotator_->ledger();
+  const double start_seconds = annotator_->ElapsedSeconds();
+
+  TwcsEstimator estimator;
+  EvaluationResult& evaluation = result.evaluation;
+  // Tiny groups: annotate everything instead of sampling (census).
+  if (result.population_triples <= options_.min_units * m) {
+    uint64_t correct = 0;
+    for (const VirtualCluster& vc : clusters) {
+      for (uint64_t offset : vc.offsets) {
+        if (annotator_->Annotate(TripleRef{vc.parent_cluster, offset})) {
+          ++correct;
+        }
+      }
+    }
+    evaluation.estimate.mean = static_cast<double>(correct) /
+                               static_cast<double>(result.population_triples);
+    evaluation.estimate.variance_of_mean = 0.0;  // census: no sampling error.
+    evaluation.estimate.num_units = result.population_triples;
+    evaluation.moe = 0.0;
+    evaluation.converged = true;
+    evaluation.rounds = 1;
+  } else {
+    while (true) {
+      ++evaluation.rounds;
+      WallTimer machine;
+      for (uint64_t d = 0; d < options_.batch_units; ++d) {
+        const VirtualCluster& vc = clusters[alias.Sample(rng)];
+        const std::vector<uint64_t> picks =
+            SampleIndicesWithoutReplacement(vc.offsets.size(), m, rng);
+        uint64_t correct = 0;
+        for (uint64_t pick : picks) {
+          if (annotator_->Annotate(
+                  TripleRef{vc.parent_cluster, vc.offsets[pick]})) {
+            ++correct;
+          }
+        }
+        estimator.AddDraw(correct, picks.size());
+      }
+      evaluation.machine_seconds += machine.ElapsedSeconds();
+
+      evaluation.estimate = estimator.Current();
+      evaluation.moe = evaluation.estimate.MarginOfError(options_.Alpha());
+      if (evaluation.estimate.num_units >= options_.min_units &&
+          evaluation.moe <= options_.moe_target) {
+        evaluation.converged = true;
+        break;
+      }
+      if (options_.max_units > 0 &&
+          evaluation.estimate.num_units >= options_.max_units) {
+        break;
+      }
+      if (options_.max_cost_seconds > 0.0 &&
+          annotator_->ElapsedSeconds() - start_seconds >=
+              options_.max_cost_seconds) {
+        break;
+      }
+    }
+  }
+
+  evaluation.ledger.entities_identified =
+      annotator_->ledger().entities_identified - start_ledger.entities_identified;
+  evaluation.ledger.triples_annotated =
+      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
+  evaluation.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
+  return result;
+}
+
+std::vector<GroupedEvaluator::GroupResult> GroupedEvaluator::EvaluateAll(
+    const GroupFn& group_of, uint64_t min_group_triples) {
+  // Bucket every triple into (group, subject-cluster) virtual clusters.
+  std::unordered_map<uint32_t, std::unordered_map<uint64_t, VirtualCluster>>
+      buckets;
+  for (uint64_t c = 0; c < kg_.NumClusters(); ++c) {
+    const EntityCluster& cluster = kg_.Cluster(c);
+    for (uint64_t offset = 0; offset < cluster.triples.size(); ++offset) {
+      const uint32_t group = group_of(cluster.triples[offset]);
+      VirtualCluster& vc = buckets[group][c];
+      vc.parent_cluster = c;
+      vc.offsets.push_back(offset);
+    }
+  }
+
+  struct GroupBundle {
+    uint32_t group;
+    uint64_t triples;
+    std::vector<VirtualCluster> clusters;
+  };
+  std::vector<GroupBundle> bundles;
+  for (auto& [group, by_cluster] : buckets) {
+    GroupBundle bundle;
+    bundle.group = group;
+    bundle.triples = 0;
+    for (auto& [cluster_index, vc] : by_cluster) {
+      bundle.triples += vc.offsets.size();
+      bundle.clusters.push_back(std::move(vc));
+    }
+    if (bundle.triples < min_group_triples) continue;
+    // Deterministic cluster order within the group.
+    std::sort(bundle.clusters.begin(), bundle.clusters.end(),
+              [](const VirtualCluster& a, const VirtualCluster& b) {
+                return a.parent_cluster < b.parent_cluster;
+              });
+    bundles.push_back(std::move(bundle));
+  }
+  // Largest groups first: their identifications are most likely to be
+  // reusable by later (smaller) groups.
+  std::sort(bundles.begin(), bundles.end(),
+            [](const GroupBundle& a, const GroupBundle& b) {
+              return a.triples != b.triples ? a.triples > b.triples
+                                            : a.group < b.group;
+            });
+
+  std::vector<GroupResult> results;
+  results.reserve(bundles.size());
+  for (const GroupBundle& bundle : bundles) {
+    results.push_back(EvaluateGroup(bundle.group, bundle.clusters));
+  }
+  return results;
+}
+
+std::vector<GroupedEvaluator::GroupResult>
+GroupedEvaluator::EvaluatePerPredicate(uint64_t min_group_triples) {
+  return EvaluateAll([](const Triple& t) { return t.predicate; },
+                     min_group_triples);
+}
+
+}  // namespace kgacc

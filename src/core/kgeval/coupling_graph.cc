@@ -1,0 +1,84 @@
+#include "core/kgeval/coupling_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+uint64_t ObjectKey(const ObjectRef& object) {
+  return (static_cast<uint64_t>(object.kind) << 32) | object.id;
+}
+
+}  // namespace
+
+CouplingGraph::CouplingGraph(const KnowledgeGraph& kg, const Options& options) {
+  // Enumerate nodes.
+  for (uint64_t c = 0; c < kg.NumClusters(); ++c) {
+    for (uint64_t o = 0; o < kg.ClusterSize(c); ++o) {
+      refs_.push_back(TripleRef{c, o});
+    }
+  }
+  adj_.resize(refs_.size());
+
+  // Star topology: the group's first member acts as a hub, so any annotated
+  // member reaches the whole group within two hops. This matches KGEval's
+  // high label-amplification (one annotation inferring many triples) while
+  // keeping the graph sparse.
+  const auto wire_group = [&](const std::vector<uint32_t>& members) {
+    const size_t limit =
+        std::min<size_t>(members.size(), options.max_group_size);
+    for (size_t i = 1; i < limit; ++i) AddEdge(members[0], members[i]);
+  };
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_subject_predicate;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_predicate_object;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_subject;
+  for (uint32_t node = 0; node < refs_.size(); ++node) {
+    const Triple& t = kg.At(refs_[node]);
+    if (options.same_subject_predicate) {
+      by_subject_predicate[PairKey(t.subject, t.predicate)].push_back(node);
+    }
+    if (options.same_predicate_object) {
+      by_predicate_object[PairKey(t.predicate, 0) ^ ObjectKey(t.object)]
+          .push_back(node);
+    }
+    if (options.same_subject) by_subject[t.subject].push_back(node);
+  }
+  for (const auto& [key, members] : by_subject_predicate) wire_group(members);
+  for (const auto& [key, members] : by_predicate_object) wire_group(members);
+  for (const auto& [key, members] : by_subject) wire_group(members);
+
+  // Dedupe adjacency lists.
+  for (auto& neighbors : adj_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+}
+
+void CouplingGraph::AddEdge(uint32_t a, uint32_t b) {
+  if (a == b) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+}
+
+const std::vector<uint32_t>& CouplingGraph::Neighbors(uint32_t node) const {
+  KGACC_DCHECK(node < adj_.size());
+  return adj_[node];
+}
+
+const TripleRef& CouplingGraph::RefOf(uint32_t node) const {
+  KGACC_DCHECK(node < refs_.size());
+  return refs_[node];
+}
+
+}  // namespace kgacc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/triple.h"
+
+namespace kgacc {
+
+/// Triple-coupling graph for the KGEval baseline (Ojha & Talukdar, EMNLP'17;
+/// the paper's Section 8 comparator). Nodes are triples; edges connect
+/// triples whose correctness is coupled by simple consistency constraints:
+///
+///   - same subject and predicate (functional coherence),
+///   - same predicate and object (shared-object type consistency),
+///   - same subject (entity coherence).
+///
+/// Groups induced by a constraint are wired as a star rather than a clique
+/// (capped at `max_group_size` members) to keep the graph sparse while
+/// letting one annotation reach the whole group within two hops — the high
+/// label amplification KGEval's inference achieves; the greedy control loop
+/// stays the dominant cost, as in the original system.
+class CouplingGraph {
+ public:
+  struct Options {
+    bool same_subject_predicate = true;
+    bool same_predicate_object = true;
+    bool same_subject = true;
+    uint32_t max_group_size = 64;
+  };
+
+  CouplingGraph(const KnowledgeGraph& kg, const Options& options);
+
+  uint32_t NumTriples() const { return static_cast<uint32_t>(refs_.size()); }
+  const std::vector<uint32_t>& Neighbors(uint32_t node) const;
+  const TripleRef& RefOf(uint32_t node) const;
+
+  uint64_t NumEdges() const { return num_edges_; }
+
+ private:
+  void AddEdge(uint32_t a, uint32_t b);
+
+  std::vector<TripleRef> refs_;             // node -> triple position.
+  std::vector<std::vector<uint32_t>> adj_;  // adjacency lists (deduped).
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace kgacc

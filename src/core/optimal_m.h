@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "kg/kg_view.h"
+#include "labels/annotator.h"
+#include "labels/truth_oracle.h"
+#include "stats/variance.h"
+#include "util/result.h"
+
+namespace kgacc {
+
+/// Optimal-m machinery for TWCS (paper Section 5.2.3, Eq 12): choose the
+/// second-stage sample size m minimizing the predicted annotation cost
+///
+///   cost(m) = n(m) * (c1 + m * c2),   n(m) = V(m) * z^2 / eps^2
+///
+/// where V(m) is the per-draw variance of Eq 10. The cost expression is the
+/// paper's upper bound (every sampled cluster assumed to have >= m triples).
+
+struct OptimalMResult {
+  uint64_t best_m = 1;
+  /// predicted_cost_seconds[i] is the Eq 12 objective at m = i + 1.
+  std::vector<double> predicted_cost_seconds;
+  /// required_draws[i] is n(m) at m = i + 1.
+  std::vector<uint64_t> required_draws;
+};
+
+/// Exact Eq 12 search over m in [1, m_max] given full population knowledge
+/// (used by benches, where synthetic ground truth is available).
+OptimalMResult ChooseOptimalM(const ClusterPopulationStats& pop,
+                              const CostModel& cost_model, double alpha,
+                              double epsilon, uint64_t m_max = 20);
+
+/// Builds exact population stats (sizes + realized per-cluster accuracies)
+/// by consulting the oracle for every triple. O(total triples); intended for
+/// benches/tests and oracle stratification, not the evaluation path.
+ClusterPopulationStats BuildPopulationStats(const KgView& view,
+                                            const TruthOracle& oracle);
+
+/// Practical variant when no ground truth is available: annotates a pilot
+/// of `pilot_clusters` size-weighted clusters (up to `m_max` triples each)
+/// through `annotator` — paying real annotation cost — then plugs the pilot's
+/// empirical sizes/accuracies into the Eq 12 search. The pilot's annotations
+/// stay cached in the annotator, so a subsequent TWCS evaluation reuses them
+/// for free when it hits the same triples.
+Result<OptimalMResult> PilotOptimalM(const KgView& view,
+                                     Annotator* annotator,
+                                     double alpha, double epsilon,
+                                     uint64_t pilot_clusters, uint64_t m_max,
+                                     uint64_t seed);
+
+}  // namespace kgacc

@@ -1,0 +1,211 @@
+#include "core/reservoir_incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "sampling/srs.h"
+#include "stats/running_stats.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace kgacc {
+
+ReservoirIncrementalEvaluator::ReservoirIncrementalEvaluator(
+    const KgView* population, Annotator* annotator,
+    EvaluationOptions options)
+    : population_(population),
+      annotator_(annotator),
+      options_(options),
+      rng_(options.seed),
+      m_(options.m > 0 ? options.m : 5) {
+  KGACC_CHECK(population_ != nullptr);
+  KGACC_CHECK(annotator_ != nullptr);
+}
+
+double ReservoirIncrementalEvaluator::MakeKey(uint64_t cluster) {
+  const double weight = static_cast<double>(population_->ClusterSize(cluster));
+  KGACC_CHECK(weight > 0.0);
+  return std::pow(rng_.UniformDoublePositive(), 1.0 / weight);
+}
+
+double ReservoirIncrementalEvaluator::AnnotatedClusterAccuracy(uint64_t cluster) {
+  auto it = sampled_accuracy_.find(cluster);
+  if (it == sampled_accuracy_.end()) {
+    const uint64_t size = population_->ClusterSize(cluster);
+    // Deterministic per-cluster second-stage offsets, so re-entering clusters
+    // always reuse their cached annotations.
+    Rng second_stage(HashCombine(options_.seed, cluster, 0x2e2dULL));
+    const std::vector<uint64_t> offsets =
+        SampleIndicesWithoutReplacement(size, m_, second_stage);
+    uint64_t correct = 0;
+    for (uint64_t offset : offsets) {
+      if (annotator_->Annotate(TripleRef{cluster, offset})) ++correct;
+    }
+    it = sampled_accuracy_.emplace(cluster, std::make_pair(correct, offsets.size()))
+             .first;
+  }
+  return static_cast<double>(it->second.first) /
+         static_cast<double>(it->second.second);
+}
+
+IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate() {
+  IncrementalUpdateReport report;
+  const AnnotationLedger start_ledger = annotator_->ledger();
+  const double start_seconds = annotator_->ElapsedSeconds();
+
+  while (true) {
+    WallTimer machine;
+    capacity_ = std::min<uint64_t>(capacity_, entries_.size());
+    // The top-capacity_ keys are the current A-Res reservoir.
+    std::nth_element(entries_.begin(),
+                     entries_.begin() + static_cast<int64_t>(capacity_ - 1),
+                     entries_.end(), [](const KeyedCluster& a, const KeyedCluster& b) {
+                       return a.key > b.key;
+                     });
+    report.machine_seconds += machine.ElapsedSeconds();
+
+    RunningStats stats;
+    for (uint64_t i = 0; i < capacity_; ++i) {
+      stats.Add(AnnotatedClusterAccuracy(entries_[i].cluster));
+    }
+    report.estimate.mean = stats.Mean();
+    report.estimate.variance_of_mean = stats.VarianceOfMean();
+    report.estimate.num_units = stats.Count();
+    report.moe = report.estimate.MarginOfError(options_.Alpha());
+    report.sample_units = capacity_;
+
+    if (report.estimate.num_units >= options_.min_units &&
+        report.moe <= options_.moe_target) {
+      report.converged = true;
+      break;
+    }
+    if (capacity_ >= entries_.size()) break;  // whole population sampled.
+    if (options_.max_units > 0 && capacity_ >= options_.max_units) break;
+    if (options_.max_cost_seconds > 0.0 &&
+        annotator_->ElapsedSeconds() - start_seconds >= options_.max_cost_seconds) {
+      break;
+    }
+    // MoE unmet: draw more cluster samples (grow the reservoir).
+    capacity_ = std::min<uint64_t>(entries_.size(),
+                                   capacity_ + options_.batch_units);
+  }
+
+  report.newly_annotated_entities =
+      annotator_->ledger().entities_identified - start_ledger.entities_identified;
+  report.newly_annotated_triples =
+      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
+  report.step_cost_seconds = annotator_->ElapsedSeconds() - start_seconds;
+  return report;
+}
+
+Estimate ReservoirIncrementalEvaluator::CurrentEstimate() const {
+  KGACC_CHECK(!entries_.empty()) << "no state: call Initialize() or Restore()";
+  // The reservoir is the top-capacity_ entries by key; since this is a
+  // const read path, select them without disturbing entries_ order.
+  std::vector<double> keys;
+  keys.reserve(entries_.size());
+  for (const KeyedCluster& entry : entries_) keys.push_back(entry.key);
+  std::nth_element(keys.begin(),
+                   keys.begin() + static_cast<int64_t>(capacity_ - 1),
+                   keys.end(), std::greater<double>());
+  const double threshold = keys[capacity_ - 1];
+
+  RunningStats stats;
+  uint64_t taken = 0;
+  for (const KeyedCluster& entry : entries_) {
+    if (entry.key < threshold || taken >= capacity_) continue;
+    const auto it = sampled_accuracy_.find(entry.cluster);
+    if (it == sampled_accuracy_.end()) continue;  // not annotated yet.
+    stats.Add(static_cast<double>(it->second.first) /
+              static_cast<double>(it->second.second));
+    ++taken;
+  }
+  Estimate estimate;
+  estimate.mean = stats.Mean();
+  estimate.variance_of_mean = stats.VarianceOfMean();
+  estimate.num_units = stats.Count();
+  return estimate;
+}
+
+ReservoirIncrementalEvaluator::ReservoirSnapshot
+ReservoirIncrementalEvaluator::Snapshot() const {
+  ReservoirSnapshot snapshot;
+  snapshot.capacity = capacity_;
+  snapshot.entries.reserve(entries_.size());
+  for (const KeyedCluster& entry : entries_) {
+    snapshot.entries.emplace_back(entry.cluster, entry.key);
+  }
+  snapshot.annotated.reserve(sampled_accuracy_.size());
+  for (const auto& [cluster, record] : sampled_accuracy_) {
+    snapshot.annotated.emplace_back(cluster, record.first, record.second);
+  }
+  return snapshot;
+}
+
+Status ReservoirIncrementalEvaluator::Restore(const ReservoirSnapshot& snapshot) {
+  if (!entries_.empty()) {
+    return Status::FailedPrecondition(
+        "Restore() requires a never-initialized evaluator");
+  }
+  if (snapshot.capacity == 0 || snapshot.entries.empty() ||
+      snapshot.capacity > snapshot.entries.size()) {
+    return Status::InvalidArgument("inconsistent reservoir snapshot");
+  }
+  for (const auto& [cluster, key] : snapshot.entries) {
+    if (cluster >= population_->NumClusters()) {
+      return Status::FailedPrecondition(StrFormat(
+          "snapshot references cluster %llu, population has %llu",
+          static_cast<unsigned long long>(cluster),
+          static_cast<unsigned long long>(population_->NumClusters())));
+    }
+    if (!(key > 0.0 && key <= 1.0)) {
+      return Status::InvalidArgument("reservoir key outside (0, 1]");
+    }
+  }
+  for (const auto& [cluster, correct, sampled] : snapshot.annotated) {
+    if (cluster >= population_->NumClusters() || sampled == 0 ||
+        correct > sampled || sampled > population_->ClusterSize(cluster)) {
+      return Status::FailedPrecondition(StrFormat(
+          "invalid annotation record for cluster %llu",
+          static_cast<unsigned long long>(cluster)));
+    }
+  }
+  capacity_ = snapshot.capacity;
+  entries_.reserve(snapshot.entries.size());
+  for (const auto& [cluster, key] : snapshot.entries) {
+    entries_.push_back(KeyedCluster{key, cluster});
+  }
+  for (const auto& [cluster, correct, sampled] : snapshot.annotated) {
+    sampled_accuracy_.emplace(cluster, std::make_pair(correct, sampled));
+  }
+  return Status::OK();
+}
+
+IncrementalUpdateReport ReservoirIncrementalEvaluator::Initialize() {
+  KGACC_CHECK(entries_.empty()) << "Initialize() called twice";
+  const uint64_t n = population_->NumClusters();
+  KGACC_CHECK(n > 0) << "empty base graph";
+  entries_.reserve(n);
+  for (uint64_t cluster = 0; cluster < n; ++cluster) {
+    entries_.push_back(KeyedCluster{MakeKey(cluster), cluster});
+  }
+  capacity_ = std::min<uint64_t>(n, std::max<uint64_t>(options_.min_units,
+                                                       options_.batch_units));
+  return Reevaluate();
+}
+
+IncrementalUpdateReport ReservoirIncrementalEvaluator::ApplyUpdate(
+    uint64_t first_new_cluster, uint64_t count) {
+  KGACC_CHECK(!entries_.empty()) << "call Initialize() first";
+  KGACC_CHECK(first_new_cluster + count <= population_->NumClusters())
+      << "update range exceeds population (apply deltas to the population "
+         "before calling ApplyUpdate)";
+  for (uint64_t c = first_new_cluster; c < first_new_cluster + count; ++c) {
+    entries_.push_back(KeyedCluster{MakeKey(c), c});
+  }
+  return Reevaluate();
+}
+
+}  // namespace kgacc

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/incremental.h"
+#include "kg/kg_view.h"
+#include "labels/annotator.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgacc {
+
+/// Reservoir Incremental Evaluation — the paper's RS method (Section 6.1,
+/// Algorithm 1). Maintains an Efraimidis–Spirakis weighted sample of entity
+/// clusters (key u^(1/M_i), keep the largest keys) over the growing cluster
+/// stream; each new update batch's per-entity deltas are offered as
+/// independent clusters so that sampling weights never change retroactively.
+///
+/// The "top-capacity by key" view kept here is exactly the A-Res reservoir
+/// state; when the estimate's MoE exceeds the target after an update, the
+/// reservoir grows by batch_units (the paper's fallback of drawing more
+/// cluster samples via static evaluation), admitting the next-largest keys.
+///
+/// Annotations ride on the shared SimulatedAnnotator: a cluster that leaves
+/// and later re-enters the reservoir reuses its cached labels at zero cost;
+/// evicted clusters simply stop contributing to the estimator (the paper's
+/// "discarded annotations").
+class ReservoirIncrementalEvaluator {
+ public:
+  /// `population` is the evolving cluster substrate; it must outlive the
+  /// evaluator and only grow (append-only), with updates applied *before*
+  /// the corresponding ApplyUpdate call.
+  ReservoirIncrementalEvaluator(const KgView* population,
+                                Annotator* annotator,
+                                EvaluationOptions options);
+
+  /// Feeds all clusters currently in the population into the reservoir and
+  /// evaluates until the MoE target is met (the initial static evaluation).
+  IncrementalUpdateReport Initialize();
+
+  /// Offers the clusters [first_new_cluster, first_new_cluster + count) —
+  /// the deltas of one update batch, already appended to the population —
+  /// and re-establishes the MoE target.
+  IncrementalUpdateReport ApplyUpdate(uint64_t first_new_cluster,
+                                      uint64_t count);
+
+  /// Current reservoir size (first-stage sample units).
+  uint64_t SampleSize() const { return capacity_; }
+
+  /// Total clusters ever offered (for Proposition 3 style accounting).
+  uint64_t ClustersSeen() const { return entries_.size(); }
+
+  /// The current estimate over the reservoir's recorded annotations without
+  /// sampling anything new — the read path for dashboards and freshly
+  /// restored evaluators. Requires Initialize() or Restore() first.
+  Estimate CurrentEstimate() const;
+
+  /// Serializable evaluation state (see core/state_io.h).
+  struct ReservoirSnapshot {
+    uint64_t capacity = 0;
+    /// Every offered cluster with its A-Res key.
+    std::vector<std::pair<uint64_t, double>> entries;
+    /// Per-cluster recorded annotations: (cluster, correct, sampled).
+    std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> annotated;
+  };
+
+  /// Captures the full evaluation state; requires Initialize() was called.
+  ReservoirSnapshot Snapshot() const;
+
+  /// Restores a snapshot into this never-initialized evaluator. Validates
+  /// cluster ids against the current population; recorded annotations are
+  /// reused, so nothing is re-annotated. New clusters offered after a
+  /// restore draw keys from a fresh (seeded) stream — statistically
+  /// equivalent to the uninterrupted run, though not bit-identical to it.
+  Status Restore(const ReservoirSnapshot& snapshot);
+
+ private:
+  struct KeyedCluster {
+    double key;
+    uint64_t cluster;
+  };
+
+  /// Generates the A-Res key for a cluster (deterministic per cluster).
+  double MakeKey(uint64_t cluster);
+
+  /// Annotates min(size, m) triples of `cluster` if not already annotated;
+  /// returns its sampled accuracy.
+  double AnnotatedClusterAccuracy(uint64_t cluster);
+
+  /// Rebuilds the top-`capacity_` sample, annotates entrants, recomputes the
+  /// estimate; grows capacity until the MoE target (or a budget) is hit.
+  IncrementalUpdateReport Reevaluate();
+
+  const KgView* population_;
+  Annotator* annotator_;
+  EvaluationOptions options_;
+  Rng rng_;
+  uint64_t m_;
+
+  std::vector<KeyedCluster> entries_;  ///< every cluster ever offered.
+  uint64_t capacity_ = 0;              ///< reservoir size |R|.
+
+  /// Per-cluster sampled accuracy (correct, sampled), filled lazily.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> sampled_accuracy_;
+};
+
+}  // namespace kgacc

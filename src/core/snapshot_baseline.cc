@@ -1,0 +1,35 @@
+#include "core/snapshot_baseline.h"
+
+#include "core/static_evaluator.h"
+#include "labels/annotator.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+SnapshotBaselineEvaluator::SnapshotBaselineEvaluator(const TruthOracle* oracle,
+                                                     CostModel cost_model,
+                                                     EvaluationOptions options)
+    : oracle_(oracle), cost_model_(cost_model), options_(options) {}
+
+IncrementalUpdateReport SnapshotBaselineEvaluator::Evaluate(const KgView& view) {
+  // Fresh annotator per snapshot: previous annotations are discarded.
+  EvaluationOptions options = options_;
+  options.seed = HashCombine(options_.seed, ++snapshot_counter_);
+  SimulatedAnnotator annotator(oracle_, cost_model_,
+                               {.noise_rate = 0.0, .seed = options.seed});
+  StaticEvaluator evaluator(view, &annotator, options);
+  const EvaluationResult result = evaluator.EvaluateTwcs();
+
+  IncrementalUpdateReport report;
+  report.estimate = result.estimate;
+  report.moe = result.moe;
+  report.converged = result.converged;
+  report.newly_annotated_entities = result.ledger.entities_identified;
+  report.newly_annotated_triples = result.ledger.triples_annotated;
+  report.step_cost_seconds = result.annotation_seconds;
+  report.sample_units = result.estimate.num_units;
+  report.machine_seconds = result.machine_seconds;
+  return report;
+}
+
+}  // namespace kgacc

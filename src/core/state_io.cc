@@ -1,0 +1,142 @@
+#include "core/state_io.h"
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace kgacc {
+
+namespace {
+
+constexpr const char* kSsHeader = "kgacc-ss-state v1";
+constexpr const char* kRsHeader = "kgacc-rs-state v1";
+
+Status ExpectHeader(std::istream& in, const char* expected) {
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != expected) {
+    return Status::InvalidArgument(
+        StrFormat("bad or missing state header (want '%s')", expected));
+  }
+  return Status::OK();
+}
+
+Status ReadCount(std::istream& in, const char* keyword, uint64_t* out) {
+  std::string word;
+  if (!(in >> word) || word != keyword || !(in >> *out)) {
+    return Status::InvalidArgument(
+        StrFormat("expected '%s <count>' record", keyword));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveStratifiedState(const StratifiedIncrementalEvaluator& evaluator,
+                           std::ostream& out) {
+  const auto snapshot = evaluator.Snapshot();
+  if (snapshot.empty()) {
+    return Status::FailedPrecondition("evaluator has no state to save");
+  }
+  out << kSsHeader << '\n';
+  out << "strata " << snapshot.size() << '\n';
+  for (const auto& stratum : snapshot) {
+    out << "stratum " << stratum.first_cluster << ' ' << stratum.count << ' '
+        << stratum.triples << ' ' << stratum.stat_count << ' '
+        << StrFormat("%.17g %.17g", stratum.stat_mean, stratum.stat_m2)
+        << '\n';
+  }
+  out << "end\n";
+  if (!out.good()) return Status::IOError("stream error while saving state");
+  return Status::OK();
+}
+
+Status RestoreStratifiedState(std::istream& in,
+                              StratifiedIncrementalEvaluator* evaluator) {
+  KGACC_RETURN_IF_ERROR(ExpectHeader(in, kSsHeader));
+  uint64_t count = 0;
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "strata", &count));
+  std::vector<StratifiedIncrementalEvaluator::StratumSnapshot> snapshot;
+  snapshot.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string word;
+    StratifiedIncrementalEvaluator::StratumSnapshot stratum;
+    if (!(in >> word) || word != "stratum" || !(in >> stratum.first_cluster) ||
+        !(in >> stratum.count) || !(in >> stratum.triples) ||
+        !(in >> stratum.stat_count) || !(in >> stratum.stat_mean) ||
+        !(in >> stratum.stat_m2)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed stratum record %llu",
+                    static_cast<unsigned long long>(i)));
+    }
+    snapshot.push_back(stratum);
+  }
+  std::string word;
+  if (!(in >> word) || word != "end") {
+    return Status::InvalidArgument("missing 'end' marker");
+  }
+  return evaluator->Restore(snapshot);
+}
+
+Status SaveReservoirState(const ReservoirIncrementalEvaluator& evaluator,
+                          std::ostream& out) {
+  const auto snapshot = evaluator.Snapshot();
+  if (snapshot.entries.empty()) {
+    return Status::FailedPrecondition("evaluator has no state to save");
+  }
+  out << kRsHeader << '\n';
+  out << "capacity " << snapshot.capacity << '\n';
+  out << "entries " << snapshot.entries.size() << '\n';
+  for (const auto& [cluster, key] : snapshot.entries) {
+    out << "e " << cluster << ' ' << StrFormat("%.17g", key) << '\n';
+  }
+  out << "annotated " << snapshot.annotated.size() << '\n';
+  for (const auto& [cluster, correct, sampled] : snapshot.annotated) {
+    out << "a " << cluster << ' ' << correct << ' ' << sampled << '\n';
+  }
+  out << "end\n";
+  if (!out.good()) return Status::IOError("stream error while saving state");
+  return Status::OK();
+}
+
+Status RestoreReservoirState(std::istream& in,
+                             ReservoirIncrementalEvaluator* evaluator) {
+  KGACC_RETURN_IF_ERROR(ExpectHeader(in, kRsHeader));
+  ReservoirIncrementalEvaluator::ReservoirSnapshot snapshot;
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "capacity", &snapshot.capacity));
+
+  uint64_t entry_count = 0;
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "entries", &entry_count));
+  snapshot.entries.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    std::string word;
+    uint64_t cluster = 0;
+    double key = 0.0;
+    if (!(in >> word) || word != "e" || !(in >> cluster) || !(in >> key)) {
+      return Status::InvalidArgument(StrFormat(
+          "malformed entry record %llu", static_cast<unsigned long long>(i)));
+    }
+    snapshot.entries.emplace_back(cluster, key);
+  }
+
+  uint64_t annotated_count = 0;
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "annotated", &annotated_count));
+  snapshot.annotated.reserve(annotated_count);
+  for (uint64_t i = 0; i < annotated_count; ++i) {
+    std::string word;
+    uint64_t cluster = 0, correct = 0, sampled = 0;
+    if (!(in >> word) || word != "a" || !(in >> cluster) || !(in >> correct) ||
+        !(in >> sampled)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed annotation record %llu",
+                    static_cast<unsigned long long>(i)));
+    }
+    snapshot.annotated.emplace_back(cluster, correct, sampled);
+  }
+  std::string word;
+  if (!(in >> word) || word != "end") {
+    return Status::InvalidArgument("missing 'end' marker");
+  }
+  return evaluator->Restore(snapshot);
+}
+
+}  // namespace kgacc

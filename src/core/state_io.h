@@ -1,0 +1,43 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "core/reservoir_incremental.h"
+#include "core/stratified_incremental.h"
+#include "util/status.h"
+
+namespace kgacc {
+
+/// Persistence of incremental-evaluation state, so a long-running accuracy
+/// monitor survives process restarts without re-annotating anything.
+///
+/// What is saved is the *evaluation* state — stratum moments for SS,
+/// reservoir keys plus per-cluster sampled accuracies for RS — not the
+/// label cache: recorded labels already live inside those aggregates, and
+/// the underlying graph is the caller's to re-open. On restore, the
+/// evaluator validates the population against the stored state (cluster
+/// counts and triple masses must match) and rejects drifted graphs.
+///
+/// Format: a line-based text header (`kgacc-ss-state v1` / `kgacc-rs-state
+/// v1`) followed by one record per line; doubles are round-tripped with
+/// %.17g so restored estimates are bit-identical.
+
+/// Writes the SS evaluator's state. The evaluator must be initialized.
+Status SaveStratifiedState(const StratifiedIncrementalEvaluator& evaluator,
+                           std::ostream& out);
+
+/// Restores state into a freshly constructed (never initialized) evaluator
+/// whose population already contains all clusters the state refers to.
+Status RestoreStratifiedState(std::istream& in,
+                              StratifiedIncrementalEvaluator* evaluator);
+
+/// Writes the RS evaluator's state. The evaluator must be initialized.
+Status SaveReservoirState(const ReservoirIncrementalEvaluator& evaluator,
+                          std::ostream& out);
+
+/// Restores state into a freshly constructed (never initialized) evaluator.
+Status RestoreReservoirState(std::istream& in,
+                             ReservoirIncrementalEvaluator* evaluator);
+
+}  // namespace kgacc

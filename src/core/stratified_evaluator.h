@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/evaluation.h"
+#include "kg/kg_view.h"
+#include "labels/annotator.h"
+#include "labels/truth_oracle.h"
+#include "stats/stratification.h"
+
+namespace kgacc {
+
+/// Stratified TWCS (paper Section 5.3, Eq 13): entity clusters are
+/// partitioned into strata, TWCS runs inside each stratum, and the combined
+/// estimator sum_h W_h mu_hat_h enjoys reduced variance when strata are
+/// homogeneous in accuracy. Batch allocation across strata uses Neyman
+/// allocation on the running per-stratum standard deviations.
+class StratifiedTwcsEvaluator {
+ public:
+  StratifiedTwcsEvaluator(const KgView& view, Annotator* annotator,
+                          EvaluationOptions options);
+
+  /// Runs the iterative campaign over the given strata.
+  EvaluationResult Evaluate(const Strata& strata);
+
+  /// "Size Stratification": cum-sqrt(F) boundaries over cluster sizes.
+  static Strata SizeStrata(const KgView& view, int num_strata);
+
+  /// "Oracle Stratification": strata on realized per-cluster accuracy —
+  /// the unattainable-in-practice lower bound of Table 7.
+  static Strata OracleStrata(const KgView& view, const TruthOracle& oracle,
+                             int num_strata);
+
+ private:
+  const KgView& view_;
+  Annotator* annotator_;
+  EvaluationOptions options_;
+};
+
+}  // namespace kgacc

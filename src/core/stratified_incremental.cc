@@ -1,0 +1,194 @@
+#include "core/stratified_incremental.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace kgacc {
+
+StratifiedIncrementalEvaluator::StratifiedIncrementalEvaluator(
+    const KgView* population, Annotator* annotator,
+    EvaluationOptions options, bool allow_top_up)
+    : population_(population),
+      annotator_(annotator),
+      options_(options),
+      allow_top_up_(allow_top_up),
+      rng_(options.seed),
+      m_(options.m > 0 ? options.m : 5) {
+  KGACC_CHECK(population_ != nullptr);
+  KGACC_CHECK(annotator_ != nullptr);
+}
+
+void StratifiedIncrementalEvaluator::AddStratum(uint64_t first_cluster,
+                                                uint64_t count) {
+  KGACC_CHECK(count > 0) << "empty stratum";
+  KGACC_CHECK(first_cluster + count <= population_->NumClusters());
+  StratumState state;
+  state.view = std::make_unique<SubsetView>(
+      SubsetView::Range(*population_, first_cluster, count));
+  state.sampler = std::make_unique<TwcsSampler>(*state.view, m_);
+  state.triples = state.view->TotalTriples();
+  state.first_cluster = first_cluster;
+  state.count = count;
+  total_triples_ += state.triples;
+  strata_.push_back(std::move(state));
+}
+
+std::vector<StratifiedIncrementalEvaluator::StratumSnapshot>
+StratifiedIncrementalEvaluator::Snapshot() const {
+  std::vector<StratumSnapshot> snapshot;
+  snapshot.reserve(strata_.size());
+  for (const StratumState& state : strata_) {
+    snapshot.push_back(StratumSnapshot{
+        .first_cluster = state.first_cluster,
+        .count = state.count,
+        .triples = state.triples,
+        .stat_count = state.stats.Count(),
+        .stat_mean = state.stats.Mean(),
+        .stat_m2 = state.stats.M2()});
+  }
+  return snapshot;
+}
+
+Status StratifiedIncrementalEvaluator::Restore(
+    const std::vector<StratumSnapshot>& snapshot) {
+  if (!strata_.empty()) {
+    return Status::FailedPrecondition(
+        "Restore() requires a never-initialized evaluator");
+  }
+  if (snapshot.empty()) {
+    return Status::InvalidArgument("empty snapshot");
+  }
+  // Validate everything before mutating state.
+  for (const StratumSnapshot& stratum : snapshot) {
+    if (stratum.count == 0 ||
+        stratum.first_cluster + stratum.count > population_->NumClusters()) {
+      return Status::FailedPrecondition(StrFormat(
+          "stratum [%llu, +%llu) exceeds the population (%llu clusters)",
+          static_cast<unsigned long long>(stratum.first_cluster),
+          static_cast<unsigned long long>(stratum.count),
+          static_cast<unsigned long long>(population_->NumClusters())));
+    }
+    const SubsetView view = SubsetView::Range(
+        *population_, stratum.first_cluster, stratum.count);
+    if (view.TotalTriples() != stratum.triples) {
+      return Status::FailedPrecondition(StrFormat(
+          "stratum [%llu, +%llu): stored %llu triples, population has %llu "
+          "(graph drifted since the state was saved)",
+          static_cast<unsigned long long>(stratum.first_cluster),
+          static_cast<unsigned long long>(stratum.count),
+          static_cast<unsigned long long>(stratum.triples),
+          static_cast<unsigned long long>(view.TotalTriples())));
+    }
+  }
+  for (const StratumSnapshot& stratum : snapshot) {
+    AddStratum(stratum.first_cluster, stratum.count);
+    strata_.back().stats = RunningStats::Restore(
+        stratum.stat_count, stratum.stat_mean, stratum.stat_m2);
+  }
+  return Status::OK();
+}
+
+void StratifiedIncrementalEvaluator::SampleStratum(size_t h, uint64_t units) {
+  StratumState& state = strata_[h];
+  const std::vector<ClusterDraw> batch = state.sampler->NextBatch(units, rng_);
+  for (const ClusterDraw& draw : batch) {
+    uint64_t correct = 0;
+    for (uint64_t offset : draw.offsets) {
+      const TripleRef global{state.view->ToParent(draw.cluster), offset};
+      if (annotator_->Annotate(global)) ++correct;
+    }
+    state.stats.Add(static_cast<double>(correct) /
+                    static_cast<double>(draw.offsets.size()));
+  }
+}
+
+Estimate StratifiedIncrementalEvaluator::Combined() const {
+  Estimate combined;
+  for (const StratumState& state : strata_) {
+    const double weight =
+        static_cast<double>(state.triples) / static_cast<double>(total_triples_);
+    combined.mean += weight * state.stats.Mean();
+    combined.variance_of_mean +=
+        weight * weight * state.stats.VarianceOfMean();
+    combined.num_units += state.stats.Count();
+  }
+  return combined;
+}
+
+IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
+    size_t active) {
+  IncrementalUpdateReport report;
+  const AnnotationLedger start_ledger = annotator_->ledger();
+  const double start_seconds = annotator_->ElapsedSeconds();
+  WallTimer machine;
+
+  // The newest stratum needs a minimal number of draws for a trustworthy
+  // variance before the combined MoE can be believed.
+  const uint64_t min_active_units =
+      strata_.size() == 1 ? options_.min_units : options_.min_stratum_units;
+  if (strata_[active].stats.Count() < min_active_units) {
+    SampleStratum(active, min_active_units - strata_[active].stats.Count());
+  }
+
+  while (true) {
+    const Estimate estimate = Combined();
+    report.estimate = estimate;
+    report.moe = estimate.MarginOfError(options_.Alpha());
+    report.sample_units = estimate.num_units;
+
+    if (report.moe <= options_.moe_target &&
+        estimate.num_units >= options_.min_units) {
+      report.converged = true;
+      break;
+    }
+    if (options_.max_units > 0 && estimate.num_units >= options_.max_units) break;
+    if (options_.max_cost_seconds > 0.0 &&
+        annotator_->ElapsedSeconds() - start_seconds >= options_.max_cost_seconds) {
+      break;
+    }
+
+    size_t target = active;
+    if (allow_top_up_) {
+      // Route draws to the stratum contributing the most combined variance.
+      double worst = -1.0;
+      for (size_t h = 0; h < strata_.size(); ++h) {
+        const double weight = static_cast<double>(strata_[h].triples) /
+                              static_cast<double>(total_triples_);
+        const double contribution =
+            weight * weight * strata_[h].stats.VarianceOfMean();
+        if (contribution > worst) {
+          worst = contribution;
+          target = h;
+        }
+      }
+    }
+    SampleStratum(target, options_.batch_units);
+  }
+
+  report.machine_seconds = machine.ElapsedSeconds();
+  report.newly_annotated_entities =
+      annotator_->ledger().entities_identified - start_ledger.entities_identified;
+  report.newly_annotated_triples =
+      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
+  report.step_cost_seconds = annotator_->ElapsedSeconds() - start_seconds;
+  return report;
+}
+
+IncrementalUpdateReport StratifiedIncrementalEvaluator::Initialize() {
+  KGACC_CHECK(strata_.empty()) << "Initialize() called twice";
+  KGACC_CHECK(population_->NumClusters() > 0) << "empty base graph";
+  AddStratum(0, population_->NumClusters());
+  return DriveToTarget(0);
+}
+
+IncrementalUpdateReport StratifiedIncrementalEvaluator::ApplyUpdate(
+    uint64_t first_new_cluster, uint64_t count) {
+  KGACC_CHECK(!strata_.empty()) << "call Initialize() first";
+  AddStratum(first_new_cluster, count);
+  return DriveToTarget(strata_.size() - 1);
+}
+
+}  // namespace kgacc

@@ -1,0 +1,71 @@
+#include "cost/cost_fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgacc {
+
+Result<CostModel> FitCostModel(const std::vector<CostObservation>& observations) {
+  if (observations.size() < 2) {
+    return Status::InvalidArgument("cost fit needs at least 2 observations");
+  }
+  // Normal equations for [c1 c2]: A [c1 c2]^T = b with
+  //   A = [[sum e^2, sum e t], [sum e t, sum t^2]], b = [sum e s, sum t s].
+  double see = 0.0, set = 0.0, stt = 0.0, bes = 0.0, bts = 0.0;
+  for (const CostObservation& ob : observations) {
+    const double e = static_cast<double>(ob.entities);
+    const double t = static_cast<double>(ob.triples);
+    see += e * e;
+    set += e * t;
+    stt += t * t;
+    bes += e * ob.seconds;
+    bts += t * ob.seconds;
+  }
+  const double det = see * stt - set * set;
+  const double scale = std::max(see, stt);
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("cost fit: all observations empty");
+  }
+
+  CostModel model;
+  if (std::abs(det) > 1e-9 * scale * scale) {
+    model.c1_seconds = (bes * stt - bts * set) / det;
+    model.c2_seconds = (see * bts - set * bes) / det;
+  } else {
+    return Status::InvalidArgument(
+        "cost fit: degenerate design (observations are proportional)");
+  }
+
+  // Clamp to the physically meaningful region; refit the free coefficient.
+  if (model.c1_seconds < 0.0) {
+    model.c1_seconds = 0.0;
+    model.c2_seconds = stt > 0.0 ? bts / stt : 0.0;
+  }
+  if (model.c2_seconds < 0.0) {
+    model.c2_seconds = 0.0;
+    model.c1_seconds = see > 0.0 ? bes / see : 0.0;
+  }
+  model.c1_seconds = std::max(0.0, model.c1_seconds);
+  model.c2_seconds = std::max(0.0, model.c2_seconds);
+  return model;
+}
+
+CostFitDiagnostics EvaluateCostFit(
+    const CostModel& model, const std::vector<CostObservation>& observations) {
+  CostFitDiagnostics diag;
+  if (observations.empty()) return diag;
+  double sum_sq = 0.0;
+  for (const CostObservation& ob : observations) {
+    const double predicted = model.SampleCostSeconds(ob.entities, ob.triples);
+    const double err = predicted - ob.seconds;
+    sum_sq += err * err;
+    if (ob.seconds > 0.0) {
+      diag.max_relative_error =
+          std::max(diag.max_relative_error, std::abs(err) / ob.seconds);
+    }
+  }
+  diag.rmse_seconds = std::sqrt(sum_sq / static_cast<double>(observations.size()));
+  return diag;
+}
+
+}  // namespace kgacc

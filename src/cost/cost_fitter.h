@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "util/result.h"
+
+namespace kgacc {
+
+/// One measured annotation task: how many distinct entities and triples it
+/// covered and how long the human took (the data points of the paper's
+/// Figure 4 / Table 4).
+struct CostObservation {
+  uint64_t entities = 0;
+  uint64_t triples = 0;
+  double seconds = 0.0;
+};
+
+/// Least-squares fit of (c1, c2) in Eq 4 to the observations:
+/// minimize sum_i (e_i c1 + t_i c2 - s_i)^2 subject to c1, c2 >= 0.
+/// Solves the 2x2 normal equations; when the unconstrained optimum has a
+/// negative coefficient, falls back to the best single-coefficient fit.
+/// Errors when fewer than 2 observations or the design is degenerate
+/// (all observations proportional).
+Result<CostModel> FitCostModel(const std::vector<CostObservation>& observations);
+
+/// Residual diagnostics of a fit: root-mean-square error in seconds and the
+/// worst relative error, for reporting goodness of fit.
+struct CostFitDiagnostics {
+  double rmse_seconds = 0.0;
+  double max_relative_error = 0.0;
+};
+CostFitDiagnostics EvaluateCostFit(
+    const CostModel& model, const std::vector<CostObservation>& observations);
+
+}  // namespace kgacc

@@ -1,0 +1,21 @@
+#include "cost/cost_model.h"
+
+#include <unordered_set>
+
+namespace kgacc {
+
+std::vector<double> CumulativeAnnotationSeconds(
+    const std::vector<TripleRef>& sequence, const CostModel& model) {
+  std::vector<double> cumulative;
+  cumulative.reserve(sequence.size());
+  std::unordered_set<uint64_t> identified;
+  double elapsed = 0.0;
+  for (const TripleRef& ref : sequence) {
+    if (identified.insert(ref.cluster).second) elapsed += model.c1_seconds;
+    elapsed += model.c2_seconds;
+    cumulative.push_back(elapsed);
+  }
+  return cumulative;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,22 @@
+#include "cost/task.h"
+
+#include <unordered_map>
+
+namespace kgacc {
+
+std::vector<EvaluationTask> GroupBySubject(const std::vector<TripleRef>& sample) {
+  std::vector<EvaluationTask> tasks;
+  std::unordered_map<uint64_t, size_t> task_of_cluster;
+  for (const TripleRef& ref : sample) {
+    auto it = task_of_cluster.find(ref.cluster);
+    if (it == task_of_cluster.end()) {
+      task_of_cluster.emplace(ref.cluster, tasks.size());
+      tasks.push_back(EvaluationTask{ref.cluster, {ref.offset}});
+    } else {
+      tasks[it->second].offsets.push_back(ref.offset);
+    }
+  }
+  return tasks;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kgacc {
+
+/// An Evaluation Task (paper Section 3.1): all sampled triples that share a
+/// subject, handed to an annotator as one unit so entity identification is
+/// paid once.
+struct EvaluationTask {
+  uint64_t cluster = 0;
+  std::vector<uint64_t> offsets;
+
+  uint64_t size() const { return offsets.size(); }
+};
+
+/// Groups sampled triples by subject cluster, preserving the first-seen
+/// cluster order and the within-cluster order of `sample` (deterministic).
+/// This is how a triple-level sample (e.g. SRS) is prepared for annotators —
+/// even SRS samples are grouped to avoid paying c1 repeatedly (Section 5.1).
+std::vector<EvaluationTask> GroupBySubject(const std::vector<TripleRef>& sample);
+
+}  // namespace kgacc

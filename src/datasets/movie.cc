@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/datasets.h"
+#include "kg/generator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+namespace {
+
+constexpr uint64_t kMovieEntities = 288770;
+constexpr uint64_t kMovieTriples = 2653870;
+
+constexpr uint64_t kMovieFullEntities = 14495142;
+constexpr uint64_t kMovieFullTriples = 130591799;
+
+/// Heavy-tailed MOVIE-like cluster sizes (average ~9.2 with blockbusters and
+/// prolific actors owning thousands of facts), rescaled to the exact totals.
+/// The wide sigma puts a substantial share of the triple mass into clusters
+/// of hundreds of triples — consistent with the paper's MOVIE-SYN overall
+/// accuracy of ~62% under the BMM (Eq 15 needs large clusters to push the
+/// sigmoid above 0.5) and with IMDb's full-credit blockbuster entities.
+std::vector<uint32_t> MovieSizes(uint64_t entities, uint64_t triples, Rng& rng) {
+  std::vector<uint32_t> sizes =
+      GenerateLogNormalSizes(entities, /*mu_log=*/0.94, /*sigma_log=*/1.6,
+                             /*max_size=*/5000, rng);
+  ScaleSizesToTotal(&sizes, triples);
+  return sizes;
+}
+
+/// MOVIE accuracy model: ~89% overall (the paper reports gold 90% in
+/// Table 3 and an 88% estimate in Section 7.1.1) with only mild variation
+/// across entities. The paper's own TWCS sample sizes on MOVIE (24 draws at
+/// m=10, Table 4) imply V(10) ~ 0.016, i.e. the between-cluster accuracy
+/// variance beyond Bernoulli realization noise is tiny — most extraction
+/// error is per-fact, not per-entity. A large per-entity spread would kill
+/// the 60% TWCS saving the paper reports.
+std::vector<double> MovieAccuracies(size_t num_clusters, Rng& rng) {
+  std::vector<double> accuracies(num_clusters);
+  for (auto& accuracy : accuracies) {
+    accuracy = std::clamp(rng.Gaussian(0.893, 0.03), 0.0, 1.0);
+  }
+  return accuracies;
+}
+
+Dataset MakePopulationDataset(std::string name, std::vector<uint32_t> sizes,
+                              std::vector<double> accuracies, uint64_t seed) {
+  KGACC_CHECK(sizes.size() == accuracies.size());
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.population = std::make_unique<ClusterPopulation>(std::move(sizes));
+  auto oracle = std::make_unique<PerClusterBernoulliOracle>(
+      std::move(accuracies), HashCombine(seed, 0x6d6f7669ULL));
+  dataset.bernoulli = oracle.get();
+  dataset.oracle = std::move(oracle);
+  return dataset;
+}
+
+}  // namespace
+
+Dataset MakeMovie(uint64_t seed) {
+  Rng rng(HashCombine(seed, 0x4d4f5649ULL));  // "MOVI"
+  std::vector<uint32_t> sizes = MovieSizes(kMovieEntities, kMovieTriples, rng);
+  std::vector<double> accuracies = MovieAccuracies(sizes.size(), rng);
+  return MakePopulationDataset("MOVIE", std::move(sizes), std::move(accuracies),
+                               seed);
+}
+
+Dataset MakeMovieSyn(const BmmParams& params, uint64_t seed) {
+  Rng rng(HashCombine(seed, 0x53594eULL));  // "SYN"
+  std::vector<uint32_t> sizes = MovieSizes(kMovieEntities, kMovieTriples, rng);
+  PerClusterBernoulliOracle oracle =
+      MakeBinomialMixtureOracle(sizes, params, HashCombine(seed, 0x626d6dULL));
+  return MakePopulationDataset("MOVIE-SYN", std::move(sizes),
+                               oracle.probabilities(), seed);
+}
+
+Dataset MakeMovieRem(double accuracy, uint64_t seed) {
+  Rng rng(HashCombine(seed, 0x52454dULL));  // "REM"
+  std::vector<uint32_t> sizes = MovieSizes(kMovieEntities, kMovieTriples, rng);
+  std::vector<double> accuracies(sizes.size(), accuracy);
+  return MakePopulationDataset("MOVIE-REM", std::move(sizes),
+                               std::move(accuracies), seed);
+}
+
+Dataset MakeMovieFull(uint64_t num_triples, double accuracy, uint64_t seed) {
+  KGACC_CHECK(num_triples > 0 && num_triples <= kMovieFullTriples);
+  // Keep the paper's average cluster size (~9.0) at every scale point.
+  const uint64_t num_entities = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(
+             static_cast<double>(kMovieFullEntities) *
+             (static_cast<double>(num_triples) /
+              static_cast<double>(kMovieFullTriples)))));
+  Rng rng(HashCombine(seed, 0x46554c4cULL));  // "FULL"
+  std::vector<uint32_t> sizes =
+      GenerateLogNormalSizes(num_entities, /*mu_log=*/0.94, /*sigma_log=*/1.6,
+                             /*max_size=*/5000, rng);
+  ScaleSizesToTotal(&sizes, num_triples);
+  std::vector<double> accuracies(sizes.size(), accuracy);
+  return MakePopulationDataset("MOVIE-FULL", std::move(sizes),
+                               std::move(accuracies), seed);
+}
+
+}  // namespace kgacc

@@ -1,0 +1,36 @@
+#include "datasets/registry.h"
+
+#include "labels/truth_oracle.h"
+#include "util/string_util.h"
+
+namespace kgacc {
+
+DatasetCharacteristics Characterize(const Dataset& dataset) {
+  DatasetCharacteristics out;
+  out.name = dataset.name;
+  const KgView& view = dataset.View();
+  out.num_entities = view.NumClusters();
+  out.num_triples = view.TotalTriples();
+  out.average_cluster_size = view.AverageClusterSize();
+  out.gold_accuracy = RealizedOverallAccuracy(*dataset.oracle, view);
+  return out;
+}
+
+Result<Dataset> MakeDatasetByName(const std::string& name, uint64_t seed) {
+  if (name == "nell") return MakeNell(seed);
+  if (name == "yago") return MakeYago(seed);
+  if (name == "movie") return MakeMovie(seed);
+  if (name == "movie-syn") return MakeMovieSyn(BmmParams{}, seed);
+  if (name == "movie-rem") return MakeMovieRem(0.9, seed);
+  if (name == "movie-full") {
+    return MakeMovieFull(/*num_triples=*/130591799, /*accuracy=*/0.9, seed);
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown dataset '%s'", name.c_str()));
+}
+
+std::vector<std::string> KnownDatasetNames() {
+  return {"nell", "yago", "movie", "movie-syn", "movie-rem", "movie-full"};
+}
+
+}  // namespace kgacc

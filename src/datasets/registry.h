@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "util/result.h"
+
+namespace kgacc {
+
+/// Table 3-style characteristics of a dataset.
+struct DatasetCharacteristics {
+  std::string name;
+  uint64_t num_entities = 0;
+  uint64_t num_triples = 0;
+  double average_cluster_size = 0.0;
+  double gold_accuracy = 0.0;  ///< realized overall accuracy of the oracle.
+};
+
+/// Computes the Table 3 row for a dataset. O(total triples) — it consults
+/// the oracle for every triple.
+DatasetCharacteristics Characterize(const Dataset& dataset);
+
+/// Builds a dataset by name: "nell", "yago", "movie", "movie-syn",
+/// "movie-rem" (accuracy 0.9) or "movie-full" (paper-scale, REM 0.9).
+/// Unknown names produce InvalidArgument.
+Result<Dataset> MakeDatasetByName(const std::string& name, uint64_t seed);
+
+/// Names accepted by MakeDatasetByName.
+std::vector<std::string> KnownDatasetNames();
+
+}  // namespace kgacc

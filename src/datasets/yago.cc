@@ -1,0 +1,56 @@
+#include <algorithm>
+
+#include "datasets/datasets.h"
+#include "kg/generator.h"
+#include "labels/gold_labels.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+namespace {
+
+constexpr uint64_t kYagoEntities = 822;
+constexpr uint64_t kYagoTriples = 1386;
+constexpr uint32_t kYagoMaxClusterSize = 35;
+
+/// YAGO2 is a curated, highly accurate KG (~99%): nearly every entity is
+/// fully correct; a thin sliver of entities carries a few wrong facts
+/// (Fig 3-2 shows accuracies in [0.5, 1.0] with mass at 1.0).
+double YagoClusterAccuracy(Rng& rng) {
+  if (rng.Bernoulli(0.035)) {
+    return std::clamp(rng.Gaussian(0.8, 0.12), 0.5, 1.0);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Dataset MakeYago(uint64_t seed) {
+  Rng rng(HashCombine(seed, 0x5941474fULL));  // "YAGO"
+
+  // Mostly singleton clusters, a handful of larger ones (average 1.7).
+  std::vector<uint32_t> sizes =
+      GenerateZipfSizes(kYagoEntities, 2.6, kYagoMaxClusterSize, rng);
+  ScaleSizesToTotal(&sizes, kYagoTriples);
+
+  GraphMaterializeOptions materialize;
+  materialize.num_predicates = 30;  // open-domain predicates.
+  materialize.object_pool = 900;
+  materialize.object_zipf_s = 1.05;
+  materialize.literal_fraction = 0.35;
+
+  Dataset dataset;
+  dataset.name = "YAGO";
+  dataset.graph =
+      std::make_unique<KnowledgeGraph>(MaterializeGraph(sizes, materialize, rng));
+
+  PerClusterBernoulliOracle accuracy_model(HashCombine(seed, 0x79676f6cULL));
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    accuracy_model.Append(YagoClusterAccuracy(rng));
+  }
+  dataset.oracle = std::make_unique<GoldLabelStore>(
+      MaterializeLabels(accuracy_model, *dataset.graph));
+  return dataset;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,105 @@
+#include "estimators/estimators.h"
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+void SrsEstimator::Add(bool correct) {
+  ++n_;
+  if (correct) ++successes_;
+}
+
+Estimate SrsEstimator::Current() const {
+  Estimate est;
+  est.num_units = n_;
+  if (n_ == 0) return est;
+  const double n = static_cast<double>(n_);
+  est.mean = static_cast<double>(successes_) / n;
+  est.variance_of_mean = est.mean * (1.0 - est.mean) / n;
+  return est;
+}
+
+RcsEstimator::RcsEstimator(uint64_t num_clusters, uint64_t total_triples) {
+  KGACC_CHECK(total_triples > 0);
+  scale_ = static_cast<double>(num_clusters) / static_cast<double>(total_triples);
+}
+
+void RcsEstimator::AddCluster(uint64_t correct_triples) {
+  stats_.Add(scale_ * static_cast<double>(correct_triples));
+}
+
+Estimate RcsEstimator::Current() const {
+  Estimate est;
+  est.num_units = stats_.Count();
+  est.mean = stats_.Mean();
+  est.variance_of_mean = stats_.VarianceOfMean();
+  return est;
+}
+
+void WcsEstimator::AddCluster(double cluster_accuracy) {
+  KGACC_DCHECK(cluster_accuracy >= 0.0 && cluster_accuracy <= 1.0);
+  stats_.Add(cluster_accuracy);
+}
+
+Estimate WcsEstimator::Current() const {
+  Estimate est;
+  est.num_units = stats_.Count();
+  est.mean = stats_.Mean();
+  est.variance_of_mean = stats_.VarianceOfMean();
+  return est;
+}
+
+void TwcsEstimator::AddDraw(uint64_t correct, uint64_t sampled) {
+  KGACC_CHECK(sampled >= 1);
+  KGACC_CHECK(correct <= sampled);
+  stats_.Add(static_cast<double>(correct) / static_cast<double>(sampled));
+}
+
+Estimate TwcsEstimator::Current() const {
+  Estimate est;
+  est.num_units = stats_.Count();
+  est.mean = stats_.Mean();
+  est.variance_of_mean = stats_.VarianceOfMean();
+  return est;
+}
+
+size_t StratifiedEstimator::AddStratum(double weight) {
+  KGACC_CHECK(weight >= 0.0);
+  weights_.push_back(weight);
+  estimates_.push_back(Estimate{});
+  return weights_.size() - 1;
+}
+
+void StratifiedEstimator::UpdateStratum(size_t h, const Estimate& estimate) {
+  KGACC_CHECK(h < estimates_.size());
+  estimates_[h] = estimate;
+}
+
+void StratifiedEstimator::SetWeights(const std::vector<double>& weights) {
+  KGACC_CHECK(weights.size() == weights_.size())
+      << "weight count mismatch: " << weights.size() << " vs " << weights_.size();
+  weights_ = weights;
+}
+
+Estimate StratifiedEstimator::Current() const {
+  Estimate combined;
+  for (size_t h = 0; h < weights_.size(); ++h) {
+    combined.mean += weights_[h] * estimates_[h].mean;
+    combined.variance_of_mean +=
+        weights_[h] * weights_[h] * estimates_[h].variance_of_mean;
+    combined.num_units += estimates_[h].num_units;
+  }
+  return combined;
+}
+
+const Estimate& StratifiedEstimator::StratumEstimate(size_t h) const {
+  KGACC_CHECK(h < estimates_.size());
+  return estimates_[h];
+}
+
+double StratifiedEstimator::StratumWeight(size_t h) const {
+  KGACC_CHECK(h < weights_.size());
+  return weights_[h];
+}
+
+}  // namespace kgacc

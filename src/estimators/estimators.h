@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/estimate.h"
+#include "stats/running_stats.h"
+
+namespace kgacc {
+
+/// Incremental estimators for each sampling design of Section 5. Each
+/// consumes annotated sampling units as they arrive (the iterative framework
+/// keeps feeding batches until the MoE target is met) and exposes the
+/// current unbiased point estimate with its CLT variance.
+
+/// Simple random sampling estimator (Eq 5): sample mean of per-triple labels,
+/// MoE from the binomial plug-in variance p(1-p)/n the paper uses.
+class SrsEstimator {
+ public:
+  void Add(bool correct);
+
+  Estimate Current() const;
+
+  uint64_t SampleSize() const { return n_; }
+  uint64_t Successes() const { return successes_; }
+
+ private:
+  uint64_t n_ = 0;
+  uint64_t successes_ = 0;
+};
+
+/// Random cluster sampling estimator (Eq 7): mean over draws of the scaled
+/// per-cluster correct count (N/M) * tau_Ik; variance from the across-draw
+/// sample variance.
+class RcsEstimator {
+ public:
+  RcsEstimator(uint64_t num_clusters, uint64_t total_triples);
+
+  /// Adds one drawn cluster with `correct_triples` correct among its triples.
+  void AddCluster(uint64_t correct_triples);
+
+  Estimate Current() const;
+
+ private:
+  double scale_;  // N / M.
+  RunningStats stats_;
+};
+
+/// Weighted cluster sampling estimator, Hansen–Hurwitz (Eq 8): mean of the
+/// full per-cluster accuracies of size-weighted draws.
+class WcsEstimator {
+ public:
+  /// Adds one drawn cluster's exact accuracy mu_Ik.
+  void AddCluster(double cluster_accuracy);
+
+  Estimate Current() const;
+
+ private:
+  RunningStats stats_;
+};
+
+/// Two-stage weighted cluster sampling estimator (Eq 9): mean of the
+/// second-stage sample accuracies mu_hat_Ik across first-stage draws.
+class TwcsEstimator {
+ public:
+  /// Adds one first-stage draw: `correct` of `sampled` second-stage triples
+  /// were labeled correct. `sampled` >= 1.
+  void AddDraw(uint64_t correct, uint64_t sampled);
+
+  Estimate Current() const;
+
+  uint64_t NumDraws() const { return stats_.Count(); }
+
+ private:
+  RunningStats stats_;
+};
+
+/// Stratified combination (Eq 13): mu_hat = sum_h W_h mu_hat_h with
+/// Var = sum_h W_h^2 Var(mu_hat_h). Strata must be registered with their
+/// triple-mass weights; per-stratum estimates can be refreshed as more
+/// samples arrive (incremental evaluation updates only the newest stratum).
+class StratifiedEstimator {
+ public:
+  /// Registers a stratum and returns its handle.
+  size_t AddStratum(double weight);
+
+  /// Replaces the current estimate of stratum `h`.
+  void UpdateStratum(size_t h, const Estimate& estimate);
+
+  /// Rescales all stratum weights (evolving KG: weights shift as new update
+  /// batches arrive). `weights` must match the number of strata and sum ~1.
+  void SetWeights(const std::vector<double>& weights);
+
+  /// Combined estimate; num_units is the total across strata.
+  Estimate Current() const;
+
+  size_t NumStrata() const { return weights_.size(); }
+  const Estimate& StratumEstimate(size_t h) const;
+  double StratumWeight(size_t h) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<Estimate> estimates_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,28 @@
+#include "kg/delta.h"
+
+#include <unordered_map>
+
+namespace kgacc {
+
+UpdateBatch UpdateBatch::FromTriples(const std::vector<Triple>& triples) {
+  UpdateBatch batch;
+  std::unordered_map<EntityId, size_t> delta_of_subject;
+  for (const Triple& t : triples) {
+    auto it = delta_of_subject.find(t.subject);
+    if (it == delta_of_subject.end()) {
+      delta_of_subject.emplace(t.subject, batch.deltas_.size());
+      batch.deltas_.push_back(ClusterDelta{t.subject, {t}});
+    } else {
+      batch.deltas_[it->second].triples.push_back(t);
+    }
+    ++batch.total_triples_;
+  }
+  return batch;
+}
+
+void UpdateBatch::AddDelta(ClusterDelta delta) {
+  total_triples_ += delta.triples.size();
+  deltas_.push_back(std::move(delta));
+}
+
+}  // namespace kgacc

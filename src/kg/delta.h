@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kgacc {
+
+/// All insertions of one update batch that share a subject: the paper's
+/// Delta_e (Section 2.1). Treated as an independent entity cluster by the
+/// incremental evaluators so that first-stage sampling weights never change
+/// retroactively.
+struct ClusterDelta {
+  EntityId subject = kInvalidId;
+  std::vector<Triple> triples;
+
+  uint64_t size() const { return triples.size(); }
+};
+
+/// A batch of triple-level insertions Delta, clustered by subject id.
+class UpdateBatch {
+ public:
+  UpdateBatch() = default;
+
+  /// Groups a flat list of insertions by subject, preserving first-seen
+  /// subject order (deterministic for a deterministic input order).
+  static UpdateBatch FromTriples(const std::vector<Triple>& triples);
+
+  void AddDelta(ClusterDelta delta);
+
+  const std::vector<ClusterDelta>& deltas() const { return deltas_; }
+  uint64_t NumEntities() const { return deltas_.size(); }
+  uint64_t TotalTriples() const { return total_triples_; }
+  bool empty() const { return deltas_.empty(); }
+
+ private:
+  std::vector<ClusterDelta> deltas_;
+  uint64_t total_triples_ = 0;
+};
+
+}  // namespace kgacc

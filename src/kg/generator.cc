@@ -1,0 +1,132 @@
+#include "kg/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+namespace {
+
+/// Builds the CDF of a truncated Zipf over {1..max} with exponent s.
+std::vector<double> ZipfCdf(uint32_t max, double s) {
+  std::vector<double> cdf(max);
+  double total = 0.0;
+  for (uint32_t k = 1; k <= max; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf[k - 1] = total;
+  }
+  for (double& v : cdf) v /= total;
+  return cdf;
+}
+
+uint32_t SampleFromCdf(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<uint32_t>(it - cdf.begin()) + 1;
+}
+
+}  // namespace
+
+std::vector<uint32_t> GenerateZipfSizes(uint64_t num_clusters, double s,
+                                        uint32_t max_size, Rng& rng) {
+  KGACC_CHECK(max_size >= 1);
+  const std::vector<double> cdf = ZipfCdf(max_size, s);
+  std::vector<uint32_t> sizes(num_clusters);
+  for (auto& size : sizes) size = SampleFromCdf(cdf, rng);
+  return sizes;
+}
+
+std::vector<uint32_t> GenerateLogNormalSizes(uint64_t num_clusters,
+                                             double mu_log, double sigma_log,
+                                             uint32_t max_size, Rng& rng) {
+  KGACC_CHECK(max_size >= 1);
+  std::vector<uint32_t> sizes(num_clusters);
+  for (auto& size : sizes) {
+    const double raw = std::exp(rng.Gaussian(mu_log, sigma_log));
+    const double capped = std::clamp(std::ceil(raw), 1.0,
+                                     static_cast<double>(max_size));
+    size = static_cast<uint32_t>(capped);
+  }
+  return sizes;
+}
+
+void ScaleSizesToTotal(std::vector<uint32_t>* sizes, uint64_t target_total) {
+  KGACC_CHECK(!sizes->empty());
+  KGACC_CHECK(target_total >= sizes->size())
+      << "target total smaller than cluster count; clusters must be non-empty";
+  uint64_t current = std::accumulate(sizes->begin(), sizes->end(), uint64_t{0});
+  const double factor =
+      static_cast<double>(target_total) / static_cast<double>(current);
+  uint64_t scaled_total = 0;
+  for (auto& s : *sizes) {
+    s = std::max<uint32_t>(1, static_cast<uint32_t>(std::llround(s * factor)));
+    scaled_total += s;
+  }
+  // Fix up the rounding drift on the largest clusters (deterministic order).
+  std::vector<size_t> order(sizes->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*sizes)[a] > (*sizes)[b];
+  });
+  size_t i = 0;
+  while (scaled_total < target_total) {
+    ++(*sizes)[order[i % order.size()]];
+    ++scaled_total;
+    ++i;
+  }
+  while (scaled_total > target_total) {
+    uint32_t& s = (*sizes)[order[i % order.size()]];
+    if (s > 1) {
+      --s;
+      --scaled_total;
+    }
+    ++i;
+  }
+}
+
+KnowledgeGraph MaterializeGraph(const std::vector<uint32_t>& sizes,
+                                const GraphMaterializeOptions& options,
+                                Rng& rng) {
+  KGACC_CHECK(options.num_predicates >= 1);
+  KGACC_CHECK(options.object_pool >= 1);
+  KnowledgeGraph kg;
+  const std::vector<double> object_cdf =
+      [&] {
+        std::vector<double> cdf(options.object_pool);
+        double total = 0.0;
+        for (uint32_t k = 1; k <= options.object_pool; ++k) {
+          total += 1.0 / std::pow(static_cast<double>(k), options.object_zipf_s);
+          cdf[k - 1] = total;
+        }
+        for (double& v : cdf) v /= total;
+        return cdf;
+      }();
+
+  for (uint32_t subject = 0; subject < sizes.size(); ++subject) {
+    for (uint32_t j = 0; j < sizes[subject]; ++j) {
+      Triple t;
+      t.subject = subject;
+      t.predicate = static_cast<PredicateId>(rng.UniformIndex(options.num_predicates));
+      if (rng.Bernoulli(options.literal_fraction)) {
+        t.object = ObjectRef::Literal(
+            static_cast<LiteralId>(rng.UniformIndex(options.num_literals)));
+      } else {
+        const double u = rng.UniformDouble();
+        const auto it =
+            std::lower_bound(object_cdf.begin(), object_cdf.end(), u);
+        // Object entity ids live above the subject id range to keep the two
+        // spaces disjoint.
+        const auto popular = static_cast<uint32_t>(it - object_cdf.begin());
+        t.object = ObjectRef::Entity(
+            static_cast<EntityId>(sizes.size()) + popular);
+      }
+      kg.Add(t);
+    }
+  }
+  return kg;
+}
+
+}  // namespace kgacc

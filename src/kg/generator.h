@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// Synthetic cluster-size generators used to reconstruct the paper's
+/// datasets (Table 3) when the original triples are unavailable. All are
+/// deterministic given the Rng state.
+
+/// Sizes from a truncated Zipf distribution over {1..max_size} with exponent
+/// `s` (mass of size k proportional to 1/k^s). Models long-tail KGs like
+/// NELL where >98% of clusters have fewer than 5 triples.
+std::vector<uint32_t> GenerateZipfSizes(uint64_t num_clusters, double s,
+                                        uint32_t max_size, Rng& rng);
+
+/// Sizes from a discretized log-normal: ceil(exp(N(mu_log, sigma_log)))
+/// capped at max_size. Models MOVIE-like heavy-tail graphs with very large
+/// clusters (popular actors/movies).
+std::vector<uint32_t> GenerateLogNormalSizes(uint64_t num_clusters,
+                                             double mu_log, double sigma_log,
+                                             uint32_t max_size, Rng& rng);
+
+/// Rescales `sizes` so they sum exactly to `target_total` while keeping every
+/// cluster non-empty: proportionally scales, then distributes the remainder
+/// over the largest clusters (deterministic).
+void ScaleSizesToTotal(std::vector<uint32_t>* sizes, uint64_t target_total);
+
+/// Parameters for materializing triples over generated cluster sizes.
+struct GraphMaterializeOptions {
+  uint32_t num_predicates = 16;
+  /// Objects are drawn from a pool of this many entities with Zipfian
+  /// popularity (popular objects shared across subjects create the coupling
+  /// structure the KGEval baseline exploits).
+  uint32_t object_pool = 1024;
+  double object_zipf_s = 1.1;
+  /// Fraction of triples whose object is a literal (data property).
+  double literal_fraction = 0.3;
+  uint32_t num_literals = 4096;
+};
+
+/// Materializes a KnowledgeGraph with the given cluster sizes. Subject ids
+/// are 0..N-1; objects/predicates are synthetic ids per `options`.
+KnowledgeGraph MaterializeGraph(const std::vector<uint32_t>& sizes,
+                                const GraphMaterializeOptions& options, Rng& rng);
+
+}  // namespace kgacc

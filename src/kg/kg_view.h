@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kgacc {
+
+/// Minimal structural view of a clustered knowledge graph that all sampling
+/// designs consume: how many entity clusters there are and how many triples
+/// each one holds. Two implementations exist:
+///   - KnowledgeGraph: fully materialized triples (NELL/YAGO/loaded data);
+///   - ClusterPopulation: sizes only, for very large synthetic graphs
+///     (MOVIE-FULL at 130M triples) where triples are labeled lazily.
+class KgView {
+ public:
+  virtual ~KgView() = default;
+
+  /// Number of entity clusters N.
+  virtual uint64_t NumClusters() const = 0;
+
+  /// Number of triples M_i in cluster `cluster` (< NumClusters()).
+  virtual uint64_t ClusterSize(uint64_t cluster) const = 0;
+
+  /// Total number of triples M.
+  virtual uint64_t TotalTriples() const = 0;
+
+  /// Convenience: all cluster sizes as a dense vector (O(N)).
+  std::vector<uint64_t> ClusterSizes() const {
+    std::vector<uint64_t> sizes(NumClusters());
+    for (uint64_t i = 0; i < sizes.size(); ++i) sizes[i] = ClusterSize(i);
+    return sizes;
+  }
+
+  /// Average cluster size M/N (Table 3's "Average cluster size").
+  double AverageClusterSize() const {
+    return NumClusters() > 0 ? static_cast<double>(TotalTriples()) /
+                                   static_cast<double>(NumClusters())
+                             : 0.0;
+  }
+};
+
+}  // namespace kgacc

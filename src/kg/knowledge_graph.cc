@@ -1,0 +1,63 @@
+#include "kg/knowledge_graph.h"
+
+#include "kg/delta.h"
+#include "util/logging.h"
+
+namespace kgacc {
+
+TripleRef KnowledgeGraph::Add(const Triple& triple) {
+  uint64_t cluster_index;
+  auto it = cluster_of_subject_.find(triple.subject);
+  if (it == cluster_of_subject_.end()) {
+    cluster_index = clusters_.size();
+    clusters_.push_back(EntityCluster{triple.subject, {}});
+    cluster_of_subject_.emplace(triple.subject, cluster_index);
+  } else {
+    cluster_index = it->second;
+  }
+  EntityCluster& cluster = clusters_[cluster_index];
+  cluster.triples.push_back(triple);
+  ++total_triples_;
+  return TripleRef{cluster_index, cluster.triples.size() - 1};
+}
+
+void KnowledgeGraph::Apply(const UpdateBatch& batch, bool as_new_clusters) {
+  for (const ClusterDelta& delta : batch.deltas()) {
+    if (as_new_clusters) {
+      const uint64_t cluster_index = clusters_.size();
+      clusters_.push_back(EntityCluster{delta.subject, delta.triples});
+      // Keep the original cluster as the subject's canonical index; register
+      // only unseen subjects.
+      cluster_of_subject_.emplace(delta.subject, cluster_index);
+      total_triples_ += delta.triples.size();
+    } else {
+      for (const Triple& t : delta.triples) Add(t);
+    }
+  }
+}
+
+uint64_t KnowledgeGraph::ClusterSize(uint64_t cluster) const {
+  KGACC_DCHECK(cluster < clusters_.size());
+  return clusters_[cluster].triples.size();
+}
+
+const EntityCluster& KnowledgeGraph::Cluster(uint64_t index) const {
+  KGACC_CHECK(index < clusters_.size())
+      << "cluster index " << index << " out of range (" << clusters_.size() << ")";
+  return clusters_[index];
+}
+
+const Triple& KnowledgeGraph::At(const TripleRef& ref) const {
+  const EntityCluster& cluster = Cluster(ref.cluster);
+  KGACC_CHECK(ref.offset < cluster.triples.size())
+      << "triple offset " << ref.offset << " out of range in cluster "
+      << ref.cluster;
+  return cluster.triples[ref.offset];
+}
+
+uint64_t KnowledgeGraph::FindCluster(EntityId subject) const {
+  auto it = cluster_of_subject_.find(subject);
+  return it == cluster_of_subject_.end() ? clusters_.size() : it->second;
+}
+
+}  // namespace kgacc

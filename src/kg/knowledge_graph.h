@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/kg_view.h"
+#include "kg/triple.h"
+
+namespace kgacc {
+
+class UpdateBatch;
+
+/// All triples sharing one subject id: the paper's G[e] (Section 2.1), the
+/// unit of the annotation cost model and of cluster sampling.
+struct EntityCluster {
+  EntityId subject = kInvalidId;
+  std::vector<Triple> triples;
+
+  uint64_t size() const { return triples.size(); }
+};
+
+/// Fully materialized in-memory knowledge graph, stored as entity clusters
+/// with a subject -> cluster index. Supports append-only growth (the paper
+/// considers only triple insertions).
+class KnowledgeGraph : public KgView {
+ public:
+  /// Appends a triple; creates the subject's cluster if needed.
+  /// Returns the position the triple was stored at.
+  TripleRef Add(const Triple& triple);
+
+  /// Applies an update batch. When `as_new_clusters` is true each per-entity
+  /// delta becomes an independent cluster even if the subject already exists
+  /// (the weight-freezing trick of Section 6.1); otherwise deltas merge into
+  /// existing clusters.
+  void Apply(const UpdateBatch& batch, bool as_new_clusters = false);
+
+  // KgView:
+  uint64_t NumClusters() const override { return clusters_.size(); }
+  uint64_t ClusterSize(uint64_t cluster) const override;
+  uint64_t TotalTriples() const override { return total_triples_; }
+
+  const EntityCluster& Cluster(uint64_t index) const;
+
+  /// The triple at a sampled position.
+  const Triple& At(const TripleRef& ref) const;
+
+  /// Index of the (first) cluster for `subject`, or kInvalidId-like sentinel
+  /// (NumClusters()) when the subject is absent. When deltas were applied
+  /// with `as_new_clusters`, a subject can own several clusters; this returns
+  /// the original one.
+  uint64_t FindCluster(EntityId subject) const;
+
+  const std::vector<EntityCluster>& clusters() const { return clusters_; }
+
+ private:
+  std::vector<EntityCluster> clusters_;
+  std::unordered_map<EntityId, uint64_t> cluster_of_subject_;
+  uint64_t total_triples_ = 0;
+};
+
+}  // namespace kgacc

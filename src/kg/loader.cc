@@ -1,0 +1,98 @@
+#include "kg/loader.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace kgacc {
+
+namespace {
+
+bool LooksLikeLiteral(std::string_view text) {
+  if (text.empty()) return false;
+  const char c = text.front();
+  return (c >= '0' && c <= '9') || c == '"' || c == '+' || c == '-';
+}
+
+}  // namespace
+
+Status LoadTsv(std::istream& in, SymbolTable* symbols, KnowledgeGraph* kg,
+               std::vector<LabeledTriple>* labels) {
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+
+    const std::vector<std::string_view> fields = SplitString(stripped, '\t');
+    if (fields.size() != 3 && fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("line %llu: expected 3 or 4 tab-separated fields, got %zu",
+                    static_cast<unsigned long long>(line_number), fields.size()));
+    }
+    const std::string_view subject = StripWhitespace(fields[0]);
+    const std::string_view predicate = StripWhitespace(fields[1]);
+    const std::string_view object = StripWhitespace(fields[2]);
+    if (subject.empty() || predicate.empty() || object.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %llu: empty subject/predicate/object",
+                    static_cast<unsigned long long>(line_number)));
+    }
+
+    Triple triple;
+    triple.subject = symbols->Intern(subject);
+    triple.predicate = symbols->Intern(predicate);
+    triple.object = LooksLikeLiteral(object)
+                        ? ObjectRef::Literal(symbols->Intern(object))
+                        : ObjectRef::Entity(symbols->Intern(object));
+    const TripleRef ref = kg->Add(triple);
+
+    if (fields.size() == 4) {
+      const std::string_view label = StripWhitespace(fields[3]);
+      if (label != "0" && label != "1") {
+        return Status::InvalidArgument(
+            StrFormat("line %llu: label must be 0 or 1, got '%.*s'",
+                      static_cast<unsigned long long>(line_number),
+                      static_cast<int>(label.size()), label.data()));
+      }
+      if (labels != nullptr) {
+        labels->push_back(LabeledTriple{ref, label == "1"});
+      }
+    }
+  }
+  if (in.bad()) return Status::IOError("stream error while reading TSV");
+  return Status::OK();
+}
+
+Status LoadTsvFile(const std::string& path, SymbolTable* symbols,
+                   KnowledgeGraph* kg, std::vector<LabeledTriple>* labels) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError(StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  return LoadTsv(in, symbols, kg, labels);
+}
+
+Status WriteTsv(std::ostream& out, const SymbolTable& symbols,
+                const KnowledgeGraph& kg) {
+  for (const EntityCluster& cluster : kg.clusters()) {
+    for (const Triple& t : cluster.triples) {
+      out << symbols.Name(t.subject) << '\t' << symbols.Name(t.predicate) << '\t'
+          << symbols.Name(t.object.id) << '\n';
+    }
+  }
+  if (!out.good()) return Status::IOError("stream error while writing TSV");
+  return Status::OK();
+}
+
+Status WriteTsvFile(const std::string& path, const SymbolTable& symbols,
+                    const KnowledgeGraph& kg) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  return WriteTsv(out, symbols, kg);
+}
+
+}  // namespace kgacc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/symbol_table.h"
+#include "kg/triple.h"
+#include "util/status.h"
+
+namespace kgacc {
+
+/// A gold correctness label attached to a loaded triple.
+struct LabeledTriple {
+  TripleRef ref;
+  bool correct = false;
+};
+
+/// Tab-separated triple format, one triple per line:
+///
+///   subject \t predicate \t object [ \t label ]
+///
+/// - Blank lines and lines starting with '#' are skipped.
+/// - `label`, when present, must be 0 or 1 (human gold annotation).
+/// - The object is treated as a literal (data property) when it starts with
+///   a digit, '"', '+' or '-'; otherwise it is interned as an entity.
+///
+/// Entities, predicates and literals are interned into three independent
+/// id spaces of `symbols` (a shared table keeps ids unique across roles).
+
+/// Loads triples from a stream into `kg`. Labels (if any) are appended to
+/// `labels` when non-null; mixing labeled and unlabeled lines is allowed.
+Status LoadTsv(std::istream& in, SymbolTable* symbols, KnowledgeGraph* kg,
+               std::vector<LabeledTriple>* labels = nullptr);
+
+/// Loads triples from a file. See LoadTsv(std::istream&, ...).
+Status LoadTsvFile(const std::string& path, SymbolTable* symbols,
+                   KnowledgeGraph* kg,
+                   std::vector<LabeledTriple>* labels = nullptr);
+
+/// Writes `kg` in the TSV format above (without labels).
+Status WriteTsv(std::ostream& out, const SymbolTable& symbols,
+                const KnowledgeGraph& kg);
+
+/// Writes `kg` to a file. See WriteTsv(std::ostream&, ...).
+Status WriteTsvFile(const std::string& path, const SymbolTable& symbols,
+                    const KnowledgeGraph& kg);
+
+}  // namespace kgacc

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/kg_view.h"
+#include "util/logging.h"
+
+namespace kgacc {
+
+/// A KgView over a subset of another view's clusters, re-indexed densely.
+/// Used by stratified evaluation (each stratum is a subset of clusters) and
+/// by incremental evaluation (the Delta stratum is the suffix of new
+/// clusters). Lookups translate local -> parent cluster ids via `ToParent`.
+class SubsetView : public KgView {
+ public:
+  SubsetView(const KgView& parent, std::vector<uint32_t> cluster_indices)
+      : parent_(parent), indices_(std::move(cluster_indices)) {
+    for (uint32_t parent_index : indices_) {
+      KGACC_CHECK(parent_index < parent_.NumClusters());
+      total_triples_ += parent_.ClusterSize(parent_index);
+    }
+  }
+
+  /// Convenience: the contiguous cluster range [first, first + count) of the
+  /// parent — the shape every update batch takes in the evolving substrate.
+  static SubsetView Range(const KgView& parent, uint64_t first, uint64_t count) {
+    std::vector<uint32_t> indices(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      indices[i] = static_cast<uint32_t>(first + i);
+    }
+    return SubsetView(parent, std::move(indices));
+  }
+
+  uint64_t NumClusters() const override { return indices_.size(); }
+  uint64_t ClusterSize(uint64_t cluster) const override {
+    return parent_.ClusterSize(ToParent(cluster));
+  }
+  uint64_t TotalTriples() const override { return total_triples_; }
+
+  /// Maps a local cluster index to the parent's cluster index.
+  uint64_t ToParent(uint64_t local) const {
+    KGACC_DCHECK(local < indices_.size());
+    return indices_[local];
+  }
+
+ private:
+  const KgView& parent_;
+  std::vector<uint32_t> indices_;
+  uint64_t total_triples_ = 0;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,35 @@
+#include "kg/symbol_table.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgacc {
+
+uint32_t SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<uint32_t> SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound(StrFormat("symbol '%.*s' not interned",
+                                      static_cast<int>(name.size()), name.data()));
+  }
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(uint32_t id) const {
+  KGACC_CHECK(id < names_.size()) << "symbol id " << id << " out of range";
+  return names_[id];
+}
+
+bool SymbolTable::Contains(std::string_view name) const {
+  return ids_.count(std::string(name)) > 0;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace kgacc {
+
+/// Bidirectional interning of strings to dense uint32 ids. Ids are assigned
+/// in first-seen order starting at 0. Used for entity names, predicates and
+/// literals when graphs are loaded from text.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it if unseen.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name` or an error when it was never interned.
+  Result<uint32_t> Lookup(std::string_view name) const;
+
+  /// Returns the string for `id`; id must be < size().
+  const std::string& Name(uint32_t id) const;
+
+  bool Contains(std::string_view name) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace kgacc

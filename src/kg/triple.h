@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace kgacc {
+
+/// Interned identifier of an entity (subjects and entity-valued objects).
+using EntityId = uint32_t;
+
+/// Interned identifier of a predicate.
+using PredicateId = uint32_t;
+
+/// Interned identifier of a literal value (dates, numbers, strings).
+using LiteralId = uint32_t;
+
+constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/// Whether a triple's object is an entity ("entity property" in the paper)
+/// or an atomic value ("data property").
+enum class ObjectKind : uint8_t { kEntity = 0, kLiteral = 1 };
+
+/// The object slot of a triple: an interned id tagged with its kind.
+struct ObjectRef {
+  uint32_t id = kInvalidId;
+  ObjectKind kind = ObjectKind::kEntity;
+
+  static ObjectRef Entity(EntityId id) { return {id, ObjectKind::kEntity}; }
+  static ObjectRef Literal(LiteralId id) { return {id, ObjectKind::kLiteral}; }
+
+  bool IsEntity() const { return kind == ObjectKind::kEntity; }
+
+  bool operator==(const ObjectRef& other) const {
+    return id == other.id && kind == other.kind;
+  }
+};
+
+/// One (subject, predicate, object) fact. 12 bytes; ids refer to a
+/// SymbolTable when the graph is loaded from text, or are synthetic for
+/// generated graphs.
+struct Triple {
+  EntityId subject = kInvalidId;
+  PredicateId predicate = kInvalidId;
+  ObjectRef object;
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+};
+
+/// Position of a triple inside a clustered graph: cluster index plus the
+/// offset of the triple within that cluster. This is the unit every sampling
+/// design and TruthOracle operates on — it works identically for materialized
+/// KnowledgeGraph and for size-only ClusterPopulation views.
+struct TripleRef {
+  uint64_t cluster = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const TripleRef& other) const {
+    return cluster == other.cluster && offset == other.offset;
+  }
+  bool operator<(const TripleRef& other) const {
+    return cluster != other.cluster ? cluster < other.cluster
+                                    : offset < other.offset;
+  }
+};
+
+struct TripleRefHash {
+  size_t operator()(const TripleRef& ref) const {
+    // 64-bit mix of the two coordinates.
+    uint64_t h = ref.cluster * 0x9e3779b97f4a7c15ULL;
+    h ^= ref.offset + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace kgacc

@@ -1,0 +1,54 @@
+#include "labels/annotator.h"
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+std::vector<uint8_t> Annotator::AnnotateTask(const EvaluationTask& task) {
+  std::vector<uint8_t> labels;
+  labels.reserve(task.offsets.size());
+  for (uint64_t offset : task.offsets) {
+    labels.push_back(Annotate(TripleRef{task.cluster, offset}) ? 1 : 0);
+  }
+  return labels;
+}
+
+SimulatedAnnotator::SimulatedAnnotator(const TruthOracle* oracle,
+                                       const CostModel& cost_model)
+    : SimulatedAnnotator(oracle, cost_model, Options()) {}
+
+SimulatedAnnotator::SimulatedAnnotator(const TruthOracle* oracle,
+                                       const CostModel& cost_model,
+                                       Options options)
+    : oracle_(oracle),
+      cost_model_(cost_model),
+      options_(options),
+      rng_(options.seed) {
+  KGACC_CHECK(oracle_ != nullptr);
+  KGACC_CHECK(options_.noise_rate >= 0.0 && options_.noise_rate <= 1.0);
+}
+
+bool SimulatedAnnotator::Annotate(const TripleRef& ref) {
+  auto cached = cached_labels_.find(ref);
+  if (cached != cached_labels_.end()) return cached->second != 0;
+
+  if (identified_clusters_.insert(ref.cluster).second) {
+    ++ledger_.entities_identified;
+  }
+  ++ledger_.triples_annotated;
+
+  bool label = oracle_->IsCorrect(ref);
+  if (options_.noise_rate > 0.0 && rng_.Bernoulli(options_.noise_rate)) {
+    label = !label;
+  }
+  cached_labels_.emplace(ref, label ? 1 : 0);
+  return label;
+}
+
+void SimulatedAnnotator::Reset() {
+  identified_clusters_.clear();
+  cached_labels_.clear();
+  ledger_ = AnnotationLedger{};
+}
+
+}  // namespace kgacc

@@ -1,0 +1,59 @@
+#include "labels/annotator_pool.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+AnnotatorPool::AnnotatorPool(const TruthOracle* oracle,
+                             const CostModel& cost_model, Options options)
+    : cost_model_(cost_model), options_(options) {
+  KGACC_CHECK(options_.num_annotators >= 1);
+  KGACC_CHECK(options_.num_annotators % 2 == 1)
+      << "use an odd number of annotators so majority votes cannot tie";
+  members_.reserve(options_.num_annotators);
+  for (uint64_t i = 0; i < options_.num_annotators; ++i) {
+    members_.push_back(std::make_unique<SimulatedAnnotator>(
+        oracle, cost_model,
+        SimulatedAnnotator::Options{
+            .noise_rate = options_.noise_rate,
+            .seed = HashCombine(options_.seed, i, 0xabcdULL)}));
+  }
+}
+
+bool AnnotatorPool::Annotate(const TripleRef& ref) {
+  auto cached = majority_cache_.find(ref);
+  if (cached != majority_cache_.end()) return cached->second != 0;
+
+  uint64_t votes_true = 0;
+  for (const auto& member : members_) {
+    if (member->Annotate(ref)) ++votes_true;
+  }
+  const bool majority = votes_true * 2 > members_.size();
+
+  // Aggregate the pool ledger from the members (they dedupe internally).
+  ledger_ = AnnotationLedger{};
+  for (const auto& member : members_) ledger_ += member->ledger();
+
+  majority_cache_.emplace(ref, majority ? 1 : 0);
+  return majority;
+}
+
+double AnnotatorPool::EffectiveNoiseRate() const {
+  const uint64_t k = members_.size();
+  const double p = options_.noise_rate;
+  double rate = 0.0;
+  for (uint64_t j = k / 2 + 1; j <= k; ++j) {
+    // C(k, j) p^j (1-p)^(k-j)
+    double coeff = 1.0;
+    for (uint64_t i = 0; i < j; ++i) {
+      coeff *= static_cast<double>(k - i) / static_cast<double>(j - i);
+    }
+    rate += coeff * std::pow(p, static_cast<double>(j)) *
+            std::pow(1.0 - p, static_cast<double>(k - j));
+  }
+  return rate;
+}
+
+}  // namespace kgacc

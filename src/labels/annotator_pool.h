@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "labels/annotator.h"
+
+namespace kgacc {
+
+/// Majority-vote annotation: each sampled triple is independently labeled by
+/// `num_annotators` noisy annotators and the majority label wins — the
+/// "multiple evaluations per Evaluation Task" mode the paper's framework
+/// explicitly supports (Section 4).
+///
+/// Cost: every member annotator pays its own identification + validation
+/// for every triple, so the ledger is `num_annotators` times a single
+/// annotator's (redundancy is how crowds buy label quality). The effective
+/// flip rate of the majority of k annotators with individual noise p is
+///   sum_{j > k/2} C(k,j) p^j (1-p)^(k-j),
+/// e.g. three annotators at 10% noise -> 2.8% effective noise.
+class AnnotatorPool : public Annotator {
+ public:
+  struct Options {
+    uint64_t num_annotators = 3;  ///< must be odd (no tie-breaking needed).
+    double noise_rate = 0.1;      ///< each member's individual flip rate.
+    uint64_t seed = 0xc0ffee;
+  };
+
+  AnnotatorPool(const TruthOracle* oracle, const CostModel& cost_model,
+                Options options);
+
+  bool Annotate(const TripleRef& ref) override;
+  const AnnotationLedger& ledger() const override { return ledger_; }
+  const CostModel& cost_model() const override { return cost_model_; }
+
+  /// The theoretical flip rate of the majority vote.
+  double EffectiveNoiseRate() const;
+
+  uint64_t num_annotators() const { return members_.size(); }
+
+ private:
+  CostModel cost_model_;
+  Options options_;
+  std::vector<std::unique_ptr<SimulatedAnnotator>> members_;
+  std::unordered_map<TripleRef, uint8_t, TripleRefHash> majority_cache_;
+  AnnotationLedger ledger_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,60 @@
+#include "labels/gold_labels.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgacc {
+
+GoldLabelStore::GoldLabelStore(const std::vector<uint64_t>& cluster_sizes) {
+  labels_.resize(cluster_sizes.size());
+  for (size_t i = 0; i < cluster_sizes.size(); ++i) {
+    labels_[i].assign(cluster_sizes[i], 0);
+  }
+}
+
+void GoldLabelStore::Set(const TripleRef& ref, bool correct) {
+  if (ref.cluster >= labels_.size()) labels_.resize(ref.cluster + 1);
+  auto& cluster = labels_[ref.cluster];
+  if (ref.offset >= cluster.size()) cluster.resize(ref.offset + 1, 0);
+  cluster[ref.offset] = correct ? 1 : 0;
+}
+
+Status GoldLabelStore::ValidateCoverage(const KgView& view) const {
+  if (labels_.size() < view.NumClusters()) {
+    return Status::FailedPrecondition(
+        StrFormat("label store covers %zu clusters, graph has %llu",
+                  labels_.size(),
+                  static_cast<unsigned long long>(view.NumClusters())));
+  }
+  for (uint64_t i = 0; i < view.NumClusters(); ++i) {
+    if (labels_[i].size() < view.ClusterSize(i)) {
+      return Status::FailedPrecondition(StrFormat(
+          "cluster %llu: %zu labels for %llu triples",
+          static_cast<unsigned long long>(i), labels_[i].size(),
+          static_cast<unsigned long long>(view.ClusterSize(i))));
+    }
+  }
+  return Status::OK();
+}
+
+bool GoldLabelStore::IsCorrect(const TripleRef& ref) const {
+  KGACC_CHECK(ref.cluster < labels_.size())
+      << "no labels for cluster " << ref.cluster;
+  const auto& cluster = labels_[ref.cluster];
+  KGACC_CHECK(ref.offset < cluster.size())
+      << "no label for offset " << ref.offset << " in cluster " << ref.cluster;
+  return cluster[ref.offset] != 0;
+}
+
+GoldLabelStore MaterializeLabels(const TruthOracle& oracle, const KgView& view) {
+  GoldLabelStore store(view.ClusterSizes());
+  for (uint64_t cluster = 0; cluster < view.NumClusters(); ++cluster) {
+    for (uint64_t offset = 0; offset < view.ClusterSize(cluster); ++offset) {
+      const TripleRef ref{cluster, offset};
+      store.Set(ref, oracle.IsCorrect(ref));
+    }
+  }
+  return store;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labels/truth_oracle.h"
+#include "util/status.h"
+
+namespace kgacc {
+
+/// Explicit gold correctness labels stored per (cluster, offset) — the
+/// in-memory equivalent of the MTurk annotations shipped with NELL/YAGO.
+class GoldLabelStore : public TruthOracle {
+ public:
+  GoldLabelStore() = default;
+
+  /// Pre-sizes storage for a graph's cluster layout; labels default to false.
+  explicit GoldLabelStore(const std::vector<uint64_t>& cluster_sizes);
+
+  /// Sets the label of one triple. Grows storage as needed.
+  void Set(const TripleRef& ref, bool correct);
+
+  /// Returns an error if any triple of `view` lacks explicit storage
+  /// (i.e. the store shape does not cover the graph).
+  Status ValidateCoverage(const KgView& view) const;
+
+  bool IsCorrect(const TripleRef& ref) const override;
+
+  uint64_t NumClusters() const { return labels_.size(); }
+
+ private:
+  std::vector<std::vector<uint8_t>> labels_;
+};
+
+/// Materializes every label of `view` from `oracle` (used to freeze a lazy
+/// synthetic oracle into explicit labels, e.g. for oracle stratification
+/// experiments on materialized graphs).
+GoldLabelStore MaterializeLabels(const TruthOracle& oracle, const KgView& view);
+
+}  // namespace kgacc

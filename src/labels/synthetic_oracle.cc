@@ -1,0 +1,66 @@
+#include "labels/synthetic_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+PerClusterBernoulliOracle::PerClusterBernoulliOracle(
+    std::vector<double> probabilities, uint64_t seed)
+    : probabilities_(std::move(probabilities)), seed_(seed) {
+  for (double p : probabilities_) {
+    KGACC_CHECK(p >= 0.0 && p <= 1.0) << "cluster probability out of [0,1]: " << p;
+  }
+}
+
+uint64_t PerClusterBernoulliOracle::Append(double probability) {
+  KGACC_CHECK(probability >= 0.0 && probability <= 1.0);
+  probabilities_.push_back(probability);
+  return probabilities_.size() - 1;
+}
+
+void PerClusterBernoulliOracle::AppendAll(
+    const std::vector<double>& probabilities) {
+  for (double p : probabilities) Append(p);
+}
+
+bool PerClusterBernoulliOracle::IsCorrect(const TripleRef& ref) const {
+  KGACC_DCHECK(ref.cluster < probabilities_.size());
+  const double u = ToUnitDouble(HashCombine(seed_, ref.cluster, ref.offset));
+  return u < probabilities_[ref.cluster];
+}
+
+double PerClusterBernoulliOracle::ClusterProbability(uint64_t cluster) const {
+  KGACC_CHECK(cluster < probabilities_.size());
+  return probabilities_[cluster];
+}
+
+PerClusterBernoulliOracle MakeRandomErrorOracle(uint64_t num_clusters,
+                                                double accuracy, uint64_t seed) {
+  KGACC_CHECK(accuracy >= 0.0 && accuracy <= 1.0);
+  return PerClusterBernoulliOracle(
+      std::vector<double>(num_clusters, accuracy), seed);
+}
+
+double BmmExpectedAccuracy(double size, const BmmParams& params) {
+  if (size < params.k) return 0.5;
+  return 1.0 / (1.0 + std::exp(-params.c * (size - params.k)));
+}
+
+PerClusterBernoulliOracle MakeBinomialMixtureOracle(
+    const std::vector<uint32_t>& sizes, const BmmParams& params, uint64_t seed) {
+  Rng rng(HashCombine(seed, 0xb33f, sizes.size()));
+  std::vector<double> probabilities(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const double eps = rng.Gaussian(0.0, params.sigma);
+    const double p =
+        BmmExpectedAccuracy(static_cast<double>(sizes[i]), params) + eps;
+    probabilities[i] = std::clamp(p, 0.0, 1.0);
+  }
+  return PerClusterBernoulliOracle(std::move(probabilities), seed);
+}
+
+}  // namespace kgacc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labels/truth_oracle.h"
+
+namespace kgacc {
+
+/// Lazy synthetic label oracle: triple (cluster, offset) is correct with the
+/// cluster's probability p[cluster], decided by a deterministic hash of
+/// (seed, cluster, offset). Equivalent to drawing the number of correct
+/// triples in cluster i from Binomial(M_i, p_i) — the form both the Random
+/// Error Model and the Binomial Mixture Model of Section 7.1.2 take.
+///
+/// Append-only so the evolving-KG experiments can attach accuracies to delta
+/// clusters as they arrive.
+class PerClusterBernoulliOracle : public TruthOracle {
+ public:
+  explicit PerClusterBernoulliOracle(uint64_t seed) : seed_(seed) {}
+
+  PerClusterBernoulliOracle(std::vector<double> probabilities, uint64_t seed);
+
+  /// Appends the accuracy for the next cluster; returns its index.
+  uint64_t Append(double probability);
+  void AppendAll(const std::vector<double>& probabilities);
+
+  bool IsCorrect(const TripleRef& ref) const override;
+
+  /// The Bernoulli parameter of a cluster (its expected accuracy; the
+  /// realized accuracy of a finite cluster will differ).
+  double ClusterProbability(uint64_t cluster) const;
+
+  uint64_t NumClusters() const { return probabilities_.size(); }
+  const std::vector<double>& probabilities() const { return probabilities_; }
+
+ private:
+  std::vector<double> probabilities_;
+  uint64_t seed_;
+};
+
+/// Random Error Model (REM): every triple is correct with fixed probability
+/// `accuracy` independent of its cluster.
+PerClusterBernoulliOracle MakeRandomErrorOracle(uint64_t num_clusters,
+                                                double accuracy, uint64_t seed);
+
+/// Binomial Mixture Model (BMM) parameters, paper Eq 15:
+///
+///   p_i = 0.5 + eps                      if M_i <  k
+///   p_i = 1 / (1 + exp(-c (M_i - k))) + eps   if M_i >= k
+///
+/// with eps ~ N(0, sigma), clamped to [0, 1]. Larger sigma / smaller c
+/// weaken the correlation between cluster size and accuracy.
+struct BmmParams {
+  double k = 3.0;
+  double c = 0.01;
+  double sigma = 0.1;
+};
+
+/// The noiseless sigmoid part of Eq 15 for a cluster of `size` triples.
+double BmmExpectedAccuracy(double size, const BmmParams& params);
+
+/// Builds per-cluster accuracies for `sizes` under the BMM.
+PerClusterBernoulliOracle MakeBinomialMixtureOracle(
+    const std::vector<uint32_t>& sizes, const BmmParams& params, uint64_t seed);
+
+}  // namespace kgacc

@@ -1,0 +1,29 @@
+#include "labels/truth_oracle.h"
+
+namespace kgacc {
+
+double RealizedClusterAccuracy(const TruthOracle& oracle, uint64_t cluster,
+                               uint64_t cluster_size) {
+  if (cluster_size == 0) return 0.0;
+  uint64_t correct = 0;
+  for (uint64_t offset = 0; offset < cluster_size; ++offset) {
+    if (oracle.IsCorrect(TripleRef{cluster, offset})) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(cluster_size);
+}
+
+double RealizedOverallAccuracy(const TruthOracle& oracle, const KgView& view) {
+  uint64_t correct = 0;
+  uint64_t total = 0;
+  for (uint64_t cluster = 0; cluster < view.NumClusters(); ++cluster) {
+    const uint64_t size = view.ClusterSize(cluster);
+    total += size;
+    for (uint64_t offset = 0; offset < size; ++offset) {
+      if (oracle.IsCorrect(TripleRef{cluster, offset})) ++correct;
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "kg/kg_view.h"
+#include "kg/triple.h"
+
+namespace kgacc {
+
+/// Source of ground-truth correctness labels f(t) in {0,1} (paper Section
+/// 2.2). Implementations:
+///   - GoldLabelStore: explicit human/gold labels (NELL, YAGO);
+///   - PerClusterBernoulliOracle: synthetic labels drawn lazily from a
+///     per-cluster accuracy (REM / BMM label models, Section 7.1.2).
+///
+/// Oracles are only consulted through a SimulatedAnnotator, which charges
+/// annotation cost — library code must not peek at labels for free (except
+/// the explicitly named "oracle" experiments such as oracle stratification).
+class TruthOracle {
+ public:
+  virtual ~TruthOracle() = default;
+
+  /// Ground-truth correctness of the triple at `ref`.
+  virtual bool IsCorrect(const TripleRef& ref) const = 0;
+};
+
+/// Realized accuracy of one cluster: fraction of its triples that are
+/// correct (the paper's mu_i = tau_i / M_i). O(cluster size).
+double RealizedClusterAccuracy(const TruthOracle& oracle, uint64_t cluster,
+                               uint64_t cluster_size);
+
+/// Realized accuracy of the whole graph, mu(G). O(total triples) — intended
+/// for tests, dataset validation and oracle stratification, not for the
+/// evaluation path.
+double RealizedOverallAccuracy(const TruthOracle& oracle, const KgView& view);
+
+}  // namespace kgacc

@@ -1,0 +1,68 @@
+#include "sampling/alias_table.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  KGACC_CHECK(!weights.empty()) << "alias table over empty weights";
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    KGACC_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  KGACC_CHECK(total > 0.0) << "alias table needs positive total weight";
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; classify into small/large work lists.
+  std::vector<double> scaled(n);
+  std::vector<uint64_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint64_t s = small.back();
+    small.pop_back();
+    const uint64_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint64_t i : large) prob_[i] = 1.0;
+  for (uint64_t i : small) prob_[i] = 1.0;  // numerical leftovers.
+}
+
+AliasTable AliasTable::FromSizes(const std::vector<uint32_t>& sizes) {
+  return AliasTable(std::vector<double>(sizes.begin(), sizes.end()));
+}
+
+AliasTable AliasTable::FromSizes(const std::vector<uint64_t>& sizes) {
+  return AliasTable(std::vector<double>(sizes.begin(), sizes.end()));
+}
+
+uint64_t AliasTable::Sample(Rng& rng) const {
+  const uint64_t bucket = rng.UniformIndex(prob_.size());
+  return rng.UniformDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::Probability(uint64_t i) const {
+  KGACC_CHECK(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace kgacc

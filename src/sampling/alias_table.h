@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// Walker–Vose alias method: O(n) preprocessing, O(1) weighted sampling with
+/// replacement. Backs the first stage of WCS/TWCS, where clusters are drawn
+/// with probability proportional to size pi_i = M_i / M (Section 5.2.2).
+class AliasTable {
+ public:
+  /// `weights` must be non-empty with non-negative entries and positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Convenience overload for integer cluster sizes.
+  static AliasTable FromSizes(const std::vector<uint32_t>& sizes);
+  static AliasTable FromSizes(const std::vector<uint64_t>& sizes);
+
+  /// Draws an index with probability proportional to its weight.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Normalized probability of index i (for tests/diagnostics).
+  double Probability(uint64_t i) const;
+
+  uint64_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;      // acceptance probability per bucket.
+  std::vector<uint64_t> alias_;   // alias index per bucket.
+  std::vector<double> normalized_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,86 @@
+#include "sampling/cluster_sampler.h"
+
+#include <numeric>
+
+#include "sampling/srs.h"
+#include "util/logging.h"
+
+namespace kgacc {
+
+namespace {
+
+std::vector<uint64_t> AllOffsets(uint64_t size) {
+  std::vector<uint64_t> offsets(size);
+  std::iota(offsets.begin(), offsets.end(), 0);
+  return offsets;
+}
+
+std::vector<double> SizesAsWeights(const KgView& view) {
+  std::vector<double> weights(view.NumClusters());
+  for (uint64_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(view.ClusterSize(i));
+  }
+  return weights;
+}
+
+}  // namespace
+
+RcsSampler::RcsSampler(const KgView& view) : view_(view) {}
+
+std::vector<ClusterDraw> RcsSampler::NextBatch(uint64_t n, Rng& rng) {
+  const uint64_t total = view_.NumClusters();
+  std::vector<ClusterDraw> batch;
+  const uint64_t remaining = total - drawn_.size();
+  n = std::min(n, remaining);
+  batch.reserve(n);
+  uint64_t produced = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 20 * (n + 8);
+  while (produced < n && attempts < max_attempts) {
+    ++attempts;
+    const uint64_t cluster = rng.UniformIndex(total);
+    if (drawn_.insert(cluster).second) {
+      batch.push_back(ClusterDraw{cluster, AllOffsets(view_.ClusterSize(cluster))});
+      ++produced;
+    }
+  }
+  for (uint64_t cluster = 0; cluster < total && produced < n; ++cluster) {
+    if (drawn_.insert(cluster).second) {
+      batch.push_back(ClusterDraw{cluster, AllOffsets(view_.ClusterSize(cluster))});
+      ++produced;
+    }
+  }
+  return batch;
+}
+
+WcsSampler::WcsSampler(const KgView& view)
+    : view_(view), alias_(SizesAsWeights(view)) {}
+
+std::vector<ClusterDraw> WcsSampler::NextBatch(uint64_t n, Rng& rng) {
+  std::vector<ClusterDraw> batch;
+  batch.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t cluster = alias_.Sample(rng);
+    batch.push_back(ClusterDraw{cluster, AllOffsets(view_.ClusterSize(cluster))});
+  }
+  return batch;
+}
+
+TwcsSampler::TwcsSampler(const KgView& view, uint64_t m)
+    : view_(view), alias_(SizesAsWeights(view)), m_(m) {
+  KGACC_CHECK(m_ >= 1) << "TWCS second-stage size m must be >= 1";
+}
+
+std::vector<ClusterDraw> TwcsSampler::NextBatch(uint64_t n, Rng& rng) {
+  std::vector<ClusterDraw> batch;
+  batch.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t cluster = alias_.Sample(rng);
+    const uint64_t size = view_.ClusterSize(cluster);
+    batch.push_back(
+        ClusterDraw{cluster, SampleIndicesWithoutReplacement(size, m_, rng)});
+  }
+  return batch;
+}
+
+}  // namespace kgacc

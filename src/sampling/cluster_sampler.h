@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/kg_view.h"
+#include "sampling/alias_table.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// One first-stage cluster draw together with the second-stage triple
+/// offsets chosen inside it. RCS/WCS list every offset of the cluster; TWCS
+/// lists at most m. A cluster drawn twice (with-replacement designs) yields
+/// two independent ClusterDraws.
+struct ClusterDraw {
+  uint64_t cluster = 0;
+  std::vector<uint64_t> offsets;
+};
+
+/// Random cluster sampling (Section 5.2.1): clusters drawn uniformly without
+/// replacement; all triples of a drawn cluster are evaluated. Successive
+/// batches are disjoint.
+class RcsSampler {
+ public:
+  explicit RcsSampler(const KgView& view);
+
+  std::vector<ClusterDraw> NextBatch(uint64_t n, Rng& rng);
+
+  uint64_t NumDrawn() const { return drawn_.size(); }
+
+ private:
+  const KgView& view_;
+  std::unordered_set<uint64_t> drawn_;
+};
+
+/// Weighted cluster sampling (Section 5.2.2): clusters drawn i.i.d. with
+/// replacement with probability pi_i = M_i / M; all triples evaluated.
+class WcsSampler {
+ public:
+  explicit WcsSampler(const KgView& view);
+
+  std::vector<ClusterDraw> NextBatch(uint64_t n, Rng& rng);
+
+ private:
+  const KgView& view_;
+  AliasTable alias_;
+};
+
+/// Two-stage weighted cluster sampling (Section 5.2.3): first stage as WCS,
+/// second stage an SRS of min(M_i, m) triples without replacement inside
+/// each drawn cluster. m = 1 degenerates to SRS (Proposition 2).
+class TwcsSampler {
+ public:
+  TwcsSampler(const KgView& view, uint64_t m);
+
+  std::vector<ClusterDraw> NextBatch(uint64_t n, Rng& rng);
+
+  uint64_t second_stage_size() const { return m_; }
+
+ private:
+  const KgView& view_;
+  AliasTable alias_;
+  uint64_t m_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,103 @@
+#include "sampling/reservoir.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+UniformReservoirSampler::UniformReservoirSampler(uint64_t capacity)
+    : capacity_(capacity) {
+  KGACC_CHECK(capacity_ > 0);
+  items_.reserve(capacity_);
+}
+
+std::optional<uint64_t> UniformReservoirSampler::Offer(uint64_t item, Rng& rng) {
+  ++seen_;
+  if (items_.size() < capacity_) {
+    items_.push_back(item);
+    return std::nullopt;
+  }
+  const uint64_t j = rng.UniformIndex(seen_);
+  if (j < capacity_) {
+    const uint64_t evicted = items_[j];
+    items_[j] = item;
+    return evicted;
+  }
+  return std::nullopt;
+}
+
+WeightedReservoirSampler::WeightedReservoirSampler(uint64_t capacity)
+    : capacity_(capacity) {
+  KGACC_CHECK(capacity_ > 0);
+  entries_.reserve(capacity_);
+}
+
+WeightedReservoirSampler::OfferOutcome WeightedReservoirSampler::Offer(
+    uint64_t item, double weight, Rng& rng) {
+  KGACC_CHECK(weight > 0.0) << "reservoir weights must be positive";
+  const double key = std::pow(rng.UniformDoublePositive(), 1.0 / weight);
+
+  OfferOutcome outcome;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{key, item});
+    SiftUp(entries_.size() - 1);
+    outcome.inserted = true;
+    return outcome;
+  }
+  if (key > entries_[0].key) {
+    outcome.inserted = true;
+    outcome.evicted = entries_[0].item;
+    entries_[0] = Entry{key, item};
+    SiftDown(0);
+  }
+  return outcome;
+}
+
+void WeightedReservoirSampler::GrowAndInsert(uint64_t item, double key) {
+  ++capacity_;
+  entries_.push_back(Entry{key, item});
+  SiftUp(entries_.size() - 1);
+}
+
+double WeightedReservoirSampler::MinKey() const {
+  if (entries_.size() < capacity_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return entries_[0].key;
+}
+
+std::vector<uint64_t> WeightedReservoirSampler::Items() const {
+  std::vector<uint64_t> items;
+  items.reserve(entries_.size());
+  for (const Entry& e : entries_) items.push_back(e.item);
+  return items;
+}
+
+void WeightedReservoirSampler::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (entries_[parent].key <= entries_[i].key) break;
+    std::swap(entries_[parent], entries_[i]);
+    i = parent;
+  }
+}
+
+void WeightedReservoirSampler::SiftDown(size_t i) {
+  const size_t n = entries_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = left + 1;
+    size_t smallest = i;
+    if (left < n && entries_[left].key < entries_[smallest].key) smallest = left;
+    if (right < n && entries_[right].key < entries_[smallest].key) {
+      smallest = right;
+    }
+    if (smallest == i) break;
+    std::swap(entries_[i], entries_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace kgacc

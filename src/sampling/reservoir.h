@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// Uniform reservoir sampling, Vitter's Algorithm R: maintains a uniform
+/// without-replacement sample of fixed capacity over a stream.
+class UniformReservoirSampler {
+ public:
+  explicit UniformReservoirSampler(uint64_t capacity);
+
+  /// Offers the next stream item; returns the evicted item when `item`
+  /// replaced one, nullopt when `item` was not admitted or filled a free slot.
+  std::optional<uint64_t> Offer(uint64_t item, Rng& rng);
+
+  const std::vector<uint64_t>& items() const { return items_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t stream_size() const { return seen_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<uint64_t> items_;
+};
+
+/// Weighted reservoir sampling, Efraimidis–Spirakis "Algorithm A-Res"
+/// (the [14] of the paper, used by Algorithm 1): each offered item gets key
+/// u^(1/w) with u ~ U(0,1]; the reservoir keeps the `capacity` items with
+/// the largest keys. Inclusion probability grows with weight; the sample is
+/// without replacement.
+class WeightedReservoirSampler {
+ public:
+  explicit WeightedReservoirSampler(uint64_t capacity);
+
+  /// What happened when an item was offered.
+  struct OfferOutcome {
+    bool inserted = false;
+    std::optional<uint64_t> evicted;  ///< set when an incumbent was replaced.
+  };
+
+  /// Offers an item with the given positive weight.
+  OfferOutcome Offer(uint64_t item, double weight, Rng& rng);
+
+  /// Force-inserts an item with an explicit key, growing capacity by one.
+  /// Used when the incremental evaluator tops up its sample (Section 6.1's
+  /// fallback to static evaluation draws more clusters).
+  void GrowAndInsert(uint64_t item, double key);
+
+  /// Smallest key currently in the reservoir (the replacement threshold k_j
+  /// in Algorithm 1); +inf when the reservoir has spare capacity.
+  double MinKey() const;
+
+  std::vector<uint64_t> Items() const;
+
+  uint64_t size() const { return entries_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    double key;
+    uint64_t item;
+  };
+
+  // Min-heap on key: entries_[0] is the eviction candidate.
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  uint64_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace kgacc

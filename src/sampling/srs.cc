@@ -1,0 +1,101 @@
+#include "sampling/srs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+std::vector<uint64_t> SampleIndicesWithoutReplacement(uint64_t population,
+                                                      uint64_t k, Rng& rng) {
+  if (k >= population) {
+    std::vector<uint64_t> all(population);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  if (k == 0) return {};
+
+  if (k * 3 >= population) {
+    // Dense draw: partial Fisher–Yates over an explicit index vector.
+    std::vector<uint64_t> indices(population);
+    std::iota(indices.begin(), indices.end(), 0);
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + rng.UniformIndex(population - i);
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(k);
+    return indices;
+  }
+
+  // Sparse draw: Floyd's algorithm, O(k) expected work and memory.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = population - k; j < population; ++j) {
+    const uint64_t t = rng.UniformIndex(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+TriplePrefixIndex::TriplePrefixIndex(const KgView& view) {
+  cumulative_.resize(view.NumClusters());
+  uint64_t running = 0;
+  for (uint64_t i = 0; i < view.NumClusters(); ++i) {
+    running += view.ClusterSize(i);
+    cumulative_[i] = running;
+  }
+}
+
+TripleRef TriplePrefixIndex::Lookup(uint64_t global_index) const {
+  KGACC_CHECK(global_index < TotalTriples())
+      << "global triple index out of range";
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(),
+                                   global_index);
+  const uint64_t cluster = static_cast<uint64_t>(it - cumulative_.begin());
+  const uint64_t before = cluster == 0 ? 0 : cumulative_[cluster - 1];
+  return TripleRef{cluster, global_index - before};
+}
+
+SrsTripleSampler::SrsTripleSampler(const KgView& view)
+    : index_(view), population_(view.TotalTriples()) {}
+
+std::vector<TripleRef> SrsTripleSampler::NextBatch(uint64_t k, Rng& rng) {
+  std::vector<TripleRef> batch;
+  const uint64_t remaining = population_ - drawn_.size();
+  k = std::min(k, remaining);
+  batch.reserve(k);
+  // Rejection over the shrinking remainder; cheap while the sample is a
+  // small fraction of the population (always the case in our experiments).
+  // Falls back to scanning when the remainder gets tight.
+  uint64_t produced = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 20 * (k + 8);
+  while (produced < k && attempts < max_attempts) {
+    ++attempts;
+    const uint64_t idx = rng.UniformIndex(population_);
+    if (drawn_.insert(idx).second) {
+      batch.push_back(index_.Lookup(idx));
+      ++produced;
+    }
+  }
+  if (produced < k) {
+    // Exhaustive completion (population nearly exhausted).
+    for (uint64_t idx = 0; idx < population_ && produced < k; ++idx) {
+      if (drawn_.insert(idx).second) {
+        batch.push_back(index_.Lookup(idx));
+        ++produced;
+      }
+    }
+  }
+  return batch;
+}
+
+}  // namespace kgacc

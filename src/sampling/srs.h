@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/kg_view.h"
+#include "kg/triple.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// Draws `k` distinct indices uniformly from {0..population-1} (simple random
+/// sampling without replacement). Uses Floyd's algorithm for sparse draws and
+/// a partial Fisher–Yates shuffle when k is a large fraction of the
+/// population. Returns all indices when k >= population. Order is random.
+std::vector<uint64_t> SampleIndicesWithoutReplacement(uint64_t population,
+                                                      uint64_t k, Rng& rng);
+
+/// Maps global triple indices in [0, M) to (cluster, offset) positions via a
+/// binary-searchable prefix-sum over cluster sizes. O(N) build, O(log N) per
+/// lookup.
+class TriplePrefixIndex {
+ public:
+  explicit TriplePrefixIndex(const KgView& view);
+
+  TripleRef Lookup(uint64_t global_index) const;
+
+  uint64_t TotalTriples() const {
+    return cumulative_.empty() ? 0 : cumulative_.back();
+  }
+
+ private:
+  std::vector<uint64_t> cumulative_;  // cumulative_[i] = sum of sizes 0..i.
+};
+
+/// Incremental SRS of triples: successive NextBatch() calls return disjoint
+/// simple random samples, so the union of all batches is itself an SRS
+/// without replacement — the property the iterative framework (Fig 2)
+/// relies on when it keeps enlarging the sample until MoE is met.
+class SrsTripleSampler {
+ public:
+  explicit SrsTripleSampler(const KgView& view);
+
+  /// Draws up to `k` new distinct triples (fewer when the population is
+  /// nearly exhausted).
+  std::vector<TripleRef> NextBatch(uint64_t k, Rng& rng);
+
+  uint64_t NumDrawn() const { return drawn_.size(); }
+
+ private:
+  TriplePrefixIndex index_;
+  uint64_t population_;
+  std::unordered_set<uint64_t> drawn_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,77 @@
+#include "stats/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+namespace {
+
+/// Largest-remainder apportionment of `total_units` according to `scores`,
+/// guaranteeing `min_per_stratum` per stratum when feasible.
+std::vector<uint64_t> Apportion(const std::vector<double>& scores,
+                                uint64_t total_units, uint64_t min_per_stratum) {
+  const size_t h = scores.size();
+  std::vector<uint64_t> out(h, 0);
+  if (h == 0 || total_units == 0) return out;
+
+  const uint64_t reserved = std::min<uint64_t>(total_units, min_per_stratum * h);
+  const uint64_t floor_each = reserved / h;
+  for (auto& v : out) v = floor_each;
+  uint64_t remaining = total_units - floor_each * h;
+
+  double score_sum = std::accumulate(scores.begin(), scores.end(), 0.0);
+  if (score_sum <= 0.0) {
+    // Degenerate: spread evenly.
+    for (size_t i = 0; remaining > 0; i = (i + 1) % h, --remaining) ++out[i];
+    return out;
+  }
+
+  std::vector<double> exact(h);
+  std::vector<uint64_t> base(h);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < h; ++i) {
+    exact[i] = static_cast<double>(remaining) * scores[i] / score_sum;
+    base[i] = static_cast<uint64_t>(std::floor(exact[i]));
+    assigned += base[i];
+  }
+  std::vector<size_t> order(h);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (exact[a] - std::floor(exact[a])) > (exact[b] - std::floor(exact[b]));
+  });
+  uint64_t leftover = remaining - assigned;
+  for (size_t i = 0; i < h && leftover > 0; ++i, --leftover) ++base[order[i]];
+  for (size_t i = 0; i < h; ++i) out[i] += base[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> ProportionalAllocation(const std::vector<double>& weights,
+                                             uint64_t total_units,
+                                             uint64_t min_per_stratum) {
+  return Apportion(weights, total_units, min_per_stratum);
+}
+
+std::vector<uint64_t> NeymanAllocation(const std::vector<double>& weights,
+                                       const std::vector<double>& stddevs,
+                                       uint64_t total_units,
+                                       uint64_t min_per_stratum) {
+  KGACC_CHECK(weights.size() == stddevs.size());
+  std::vector<double> scores(weights.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    scores[i] = weights[i] * std::max(0.0, stddevs[i]);
+    sum += scores[i];
+  }
+  if (sum <= 0.0) {
+    return ProportionalAllocation(weights, total_units, min_per_stratum);
+  }
+  return Apportion(scores, total_units, min_per_stratum);
+}
+
+}  // namespace kgacc

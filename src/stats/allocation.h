@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kgacc {
+
+/// Sample-allocation rules for stratified designs (paper Section 5.3).
+/// Both return per-stratum unit counts summing exactly to `total_units`
+/// (largest-remainder rounding), with every non-empty stratum receiving at
+/// least `min_per_stratum` units when total_units permits.
+
+/// Proportional allocation: n_h proportional to W_h.
+std::vector<uint64_t> ProportionalAllocation(const std::vector<double>& weights,
+                                             uint64_t total_units,
+                                             uint64_t min_per_stratum = 1);
+
+/// Neyman allocation: n_h proportional to W_h * S_h, where S_h is the
+/// per-stratum standard deviation (optimal for fixed total sample size).
+/// Falls back to proportional allocation when all S_h are zero.
+std::vector<uint64_t> NeymanAllocation(const std::vector<double>& weights,
+                                       const std::vector<double>& stddevs,
+                                       uint64_t total_units,
+                                       uint64_t min_per_stratum = 1);
+
+}  // namespace kgacc

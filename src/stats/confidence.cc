@@ -1,0 +1,44 @@
+#include "stats/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace kgacc {
+
+ConfidenceInterval NormalInterval(double mean, double variance_of_mean,
+                                  double alpha) {
+  const double moe = ZCritical(alpha) * std::sqrt(std::max(0.0, variance_of_mean));
+  return {std::max(0.0, mean - moe), std::min(1.0, mean + moe)};
+}
+
+ConfidenceInterval WilsonInterval(uint64_t successes, uint64_t n, double alpha) {
+  if (n == 0) return {0.0, 1.0};
+  KGACC_CHECK(successes <= n);
+  const double z = ZCritical(alpha);
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+ConfidenceInterval EmpiricalInterval(std::vector<double> values, double alpha) {
+  if (values.empty()) return {0.0, 1.0};
+  std::sort(values.begin(), values.end());
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = std::min(values.size() - 1, lo + 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  return {quantile(alpha / 2.0), quantile(1.0 - alpha / 2.0)};
+}
+
+}  // namespace kgacc

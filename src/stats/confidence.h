@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kgacc {
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+
+  double Width() const { return upper - lower; }
+  bool Contains(double x) const { return x >= lower && x <= upper; }
+};
+
+/// Normal (Wald) interval mean +- z * sqrt(variance_of_mean), clamped to [0,1].
+ConfidenceInterval NormalInterval(double mean, double variance_of_mean,
+                                  double alpha);
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `n` trials. Well-behaved near 0/1 where the Wald interval degenerates —
+/// used for highly accurate KGs such as YAGO (paper footnote on Table 6).
+ConfidenceInterval WilsonInterval(uint64_t successes, uint64_t n, double alpha);
+
+/// Empirical interval: the (alpha/2, 1-alpha/2) quantiles of repeated-trial
+/// estimates (paper reports this for YAGO where accuracy is capped at 100%).
+/// `values` need not be sorted. Returns [0,1] when values is empty.
+ConfidenceInterval EmpiricalInterval(std::vector<double> values, double alpha);
+
+}  // namespace kgacc

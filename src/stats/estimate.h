@@ -1,0 +1,38 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "stats/normal.h"
+
+namespace kgacc {
+
+/// A point estimate of a population mean together with the variance of the
+/// estimator, as produced by every sampling design in this library.
+///
+/// `num_units` counts the independent sampling units behind the estimate
+/// (triples for SRS, first-stage cluster draws for the cluster designs) —
+/// the quantity the CLT rule of thumb (n > 30) applies to.
+struct Estimate {
+  double mean = 0.0;
+  double variance_of_mean = 0.0;
+  uint64_t num_units = 0;
+
+  double StandardError() const { return std::sqrt(std::max(0.0, variance_of_mean)); }
+
+  /// Margin of error: half-width of the 1-alpha normal CI (paper Eq 1).
+  double MarginOfError(double alpha) const {
+    return ZCritical(alpha) * StandardError();
+  }
+
+  /// CI bounds clamped to the accuracy domain [0, 1].
+  double CiLower(double alpha) const {
+    return std::max(0.0, mean - MarginOfError(alpha));
+  }
+  double CiUpper(double alpha) const {
+    return std::min(1.0, mean + MarginOfError(alpha));
+  }
+};
+
+}  // namespace kgacc

@@ -1,0 +1,21 @@
+#pragma once
+
+namespace kgacc {
+
+/// Standard normal cumulative distribution function Phi(x).
+double NormalCdf(double x);
+
+/// Standard normal probability density function phi(x).
+double NormalPdf(double x);
+
+/// Inverse of Phi: returns x with Phi(x) = p, for p in (0, 1).
+/// Acklam's rational approximation refined with one Halley step;
+/// absolute error < 1e-12 over (1e-300, 1 - 1e-16).
+double NormalQuantile(double p);
+
+/// Two-sided normal critical value z_{alpha/2}: the value z such that a
+/// standard normal variable lies in [-z, z] with probability 1 - alpha.
+/// E.g. ZCritical(0.05) ~= 1.95996.
+double ZCritical(double alpha);
+
+}  // namespace kgacc

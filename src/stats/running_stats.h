@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+/// Numerically stable accumulator of mean and variance (Welford's online
+/// algorithm) with support for merging two accumulators (Chan et al.).
+class RunningStats {
+ public:
+  /// Reconstructs an accumulator from its serialized moments (persistence of
+  /// incremental-evaluation state).
+  static RunningStats Restore(uint64_t count, double mean, double m2) {
+    RunningStats stats;
+    stats.count_ = count;
+    stats.mean_ = mean;
+    stats.m2_ = m2;
+    return stats;
+  }
+
+  /// Second central moment sum (for serialization; variance * (n-1)).
+  double M2() const { return m2_; }
+
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+  }
+
+  uint64_t Count() const { return count_; }
+
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (divides by n - 1); 0 when n < 2.
+  double SampleVariance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  /// Population variance (divides by n); 0 when n == 0.
+  double PopulationVariance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  double SampleStdDev() const { return std::sqrt(SampleVariance()); }
+
+  /// Variance of the sample mean: s^2 / n (the CLT plug-in used throughout
+  /// the paper's CI constructions); 0 when n < 2.
+  double VarianceOfMean() const {
+    return count_ > 1 ? SampleVariance() / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,95 @@
+#include "stats/stratification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgacc {
+
+std::vector<double> CumulativeSqrtFBoundaries(const std::vector<double>& values,
+                                              int num_strata, int num_bins) {
+  KGACC_CHECK(num_strata >= 1);
+  KGACC_CHECK(num_bins >= num_strata);
+  if (values.empty() || num_strata == 1) return {};
+
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (lo == hi) return {};  // single point mass: one stratum.
+
+  const double bin_width = (hi - lo) / static_cast<double>(num_bins);
+  std::vector<uint64_t> freq(static_cast<size_t>(num_bins), 0);
+  for (double v : values) {
+    int bin = static_cast<int>((v - lo) / bin_width);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    ++freq[static_cast<size_t>(bin)];
+  }
+
+  std::vector<double> cum_sqrt_f(freq.size());
+  double running = 0.0;
+  for (size_t i = 0; i < freq.size(); ++i) {
+    running += std::sqrt(static_cast<double>(freq[i]));
+    cum_sqrt_f[i] = running;
+  }
+  const double total = running;
+
+  std::vector<double> boundaries;
+  boundaries.reserve(static_cast<size_t>(num_strata - 1));
+  size_t bin = 0;
+  for (int h = 1; h < num_strata; ++h) {
+    const double target = total * static_cast<double>(h) /
+                          static_cast<double>(num_strata);
+    while (bin + 1 < cum_sqrt_f.size() && cum_sqrt_f[bin] < target) ++bin;
+    const double edge = lo + bin_width * static_cast<double>(bin + 1);
+    if (boundaries.empty() || edge > boundaries.back()) {
+      boundaries.push_back(edge);
+    }
+  }
+  return boundaries;
+}
+
+std::vector<uint32_t> AssignStrata(const std::vector<double>& values,
+                                   const std::vector<double>& boundaries) {
+  std::vector<uint32_t> assignment(values.size(), 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it =
+        std::lower_bound(boundaries.begin(), boundaries.end(), values[i]);
+    assignment[i] = static_cast<uint32_t>(it - boundaries.begin());
+  }
+  return assignment;
+}
+
+Strata StratifyClusters(const std::vector<double>& signal,
+                        const std::vector<uint64_t>& sizes, int num_strata) {
+  KGACC_CHECK(signal.size() == sizes.size());
+  const std::vector<double> boundaries =
+      CumulativeSqrtFBoundaries(signal, num_strata);
+  const std::vector<uint32_t> assignment = AssignStrata(signal, boundaries);
+  const size_t h_count = boundaries.size() + 1;
+
+  Strata strata;
+  strata.members.resize(h_count);
+  std::vector<uint64_t> stratum_triples(h_count, 0);
+  uint64_t total_triples = 0;
+  for (size_t i = 0; i < signal.size(); ++i) {
+    const uint32_t h = assignment[i];
+    strata.members[h].push_back(static_cast<uint32_t>(i));
+    stratum_triples[h] += sizes[i];
+    total_triples += sizes[i];
+  }
+
+  // Drop empty strata (possible when boundaries collapse).
+  Strata compact;
+  for (size_t h = 0; h < h_count; ++h) {
+    if (strata.members[h].empty()) continue;
+    compact.members.push_back(std::move(strata.members[h]));
+    compact.weights.push_back(total_triples > 0
+                                  ? static_cast<double>(stratum_triples[h]) /
+                                        static_cast<double>(total_triples)
+                                  : 0.0);
+  }
+  return compact;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kgacc {
+
+/// A partition of cluster indices into non-overlapping strata, plus each
+/// stratum's weight W_h = (triples in stratum h) / (total triples)
+/// (paper Section 5.3, Eq 13).
+struct Strata {
+  std::vector<std::vector<uint32_t>> members;  ///< cluster indices per stratum.
+  std::vector<double> weights;                 ///< W_h, sums to 1.
+
+  size_t NumStrata() const { return members.size(); }
+};
+
+/// Dalenius–Hodges cumulative-sqrt(F) stratum boundaries over `values`
+/// (paper's "Size Stratification" uses cluster sizes). Builds an equi-width
+/// histogram with `num_bins` bins, accumulates sqrt(frequency), and cuts it
+/// into `num_strata` equal segments. Returns `num_strata - 1` ascending value
+/// boundaries; stratum h = { v : boundary[h-1] < v <= boundary[h] }.
+/// Degenerate inputs (all values equal, fewer distinct values than strata)
+/// return fewer boundaries.
+std::vector<double> CumulativeSqrtFBoundaries(const std::vector<double>& values,
+                                              int num_strata, int num_bins = 256);
+
+/// Assigns each value to a stratum given ascending boundaries; value v goes
+/// to the first stratum whose boundary is >= v (last stratum if none).
+std::vector<uint32_t> AssignStrata(const std::vector<double>& values,
+                                   const std::vector<double>& boundaries);
+
+/// Builds Strata over clusters from a per-cluster signal (e.g. size for size
+/// stratification, true accuracy for oracle stratification). Empty strata are
+/// dropped. `sizes` provides the triple mass used for W_h.
+Strata StratifyClusters(const std::vector<double>& signal,
+                        const std::vector<uint64_t>& sizes, int num_strata);
+
+}  // namespace kgacc

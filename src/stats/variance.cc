@@ -1,0 +1,74 @@
+#include "stats/variance.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace kgacc {
+
+uint64_t ClusterPopulationStats::TotalTriples() const {
+  uint64_t total = 0;
+  for (uint64_t s : sizes) total += s;
+  return total;
+}
+
+double ClusterPopulationStats::PopulationAccuracy() const {
+  KGACC_CHECK(sizes.size() == accuracies.size());
+  double weighted = 0.0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    weighted += static_cast<double>(sizes[i]) * accuracies[i];
+    total += sizes[i];
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0.0;
+}
+
+double TwcsPerDrawVariance(const ClusterPopulationStats& pop, uint64_t m) {
+  KGACC_CHECK(m >= 1) << "second-stage size m must be >= 1";
+  KGACC_CHECK(pop.sizes.size() == pop.accuracies.size());
+  const double total = static_cast<double>(pop.TotalTriples());
+  if (total == 0.0) return 0.0;
+  const double mu = pop.PopulationAccuracy();
+
+  double between = 0.0;   // sum_i M_i (mu_i - mu)^2
+  double within = 0.0;    // sum_{M_i > m} (M_i-m)/(M_i-1) M_i mu_i(1-mu_i)
+  for (size_t i = 0; i < pop.sizes.size(); ++i) {
+    const double mi = static_cast<double>(pop.sizes[i]);
+    const double mui = pop.accuracies[i];
+    const double dev = mui - mu;
+    between += mi * dev * dev;
+    if (pop.sizes[i] > m) {
+      within += (mi - static_cast<double>(m)) / (mi - 1.0) * mi * mui * (1.0 - mui);
+    }
+  }
+  return (between + within / static_cast<double>(m)) / total;
+}
+
+double TwcsEstimatorVariance(const ClusterPopulationStats& pop, uint64_t m,
+                             uint64_t n) {
+  KGACC_CHECK(n >= 1);
+  return TwcsPerDrawVariance(pop, m) / static_cast<double>(n);
+}
+
+double SrsPerDrawVariance(double mu) { return mu * (1.0 - mu); }
+
+uint64_t RequiredUnits(double per_unit_variance, double alpha, double epsilon) {
+  KGACC_CHECK(epsilon > 0.0);
+  const double z = ZCritical(alpha);
+  const double n = per_unit_variance * z * z / (epsilon * epsilon);
+  return static_cast<uint64_t>(std::ceil(std::max(1.0, n)));
+}
+
+TwcsCostBand TwcsPredictedCost(const ClusterPopulationStats& pop, uint64_t m,
+                               double alpha, double epsilon, double c1_seconds,
+                               double c2_seconds) {
+  TwcsCostBand band;
+  band.required_draws = RequiredUnits(TwcsPerDrawVariance(pop, m), alpha, epsilon);
+  const double n = static_cast<double>(band.required_draws);
+  band.upper_seconds = n * (c1_seconds + static_cast<double>(m) * c2_seconds);
+  band.lower_seconds = n * (c1_seconds + c2_seconds);
+  return band;
+}
+
+}  // namespace kgacc

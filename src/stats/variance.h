@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kgacc {
+
+/// Theoretical variance machinery for the paper's estimators (Section 5).
+///
+/// The central quantity is the per-draw variance V(m) of two-stage weighted
+/// cluster sampling (TWCS, paper Eq 10):
+///
+///   V(m) = (1/M) * ( sum_i M_i (mu_i - mu)^2
+///                    + (1/m) * sum_{i: M_i > m} (M_i - m)/(M_i - 1)
+///                                                * M_i * mu_i (1 - mu_i) )
+///
+/// so that Var(mu_hat_{w,m}) = V(m) / n for n first-stage draws.
+
+/// Exact population description: per-cluster sizes and accuracies.
+struct ClusterPopulationStats {
+  std::vector<uint64_t> sizes;       ///< M_i, size of each entity cluster.
+  std::vector<double> accuracies;    ///< mu_i in [0,1] per cluster.
+
+  uint64_t TotalTriples() const;
+  /// Triple-weighted population accuracy mu = sum M_i mu_i / M.
+  double PopulationAccuracy() const;
+};
+
+/// V(m) from paper Eq 10. `m` >= 1.
+double TwcsPerDrawVariance(const ClusterPopulationStats& pop, uint64_t m);
+
+/// Variance of the TWCS estimator with n first-stage draws: V(m)/n.
+double TwcsEstimatorVariance(const ClusterPopulationStats& pop, uint64_t m,
+                             uint64_t n);
+
+/// Per-draw variance of SRS on the triple population: mu(1-mu).
+double SrsPerDrawVariance(double mu);
+
+/// Number of i.i.d. units needed for MoE <= epsilon at confidence 1-alpha,
+/// given per-unit variance `per_unit_variance`: ceil(V z^2 / eps^2).
+uint64_t RequiredUnits(double per_unit_variance, double alpha, double epsilon);
+
+/// Predicted annotation cost bounds for TWCS as a function of m (the Fig 6
+/// theoretical ribbon): with n(m) = RequiredUnits(V(m), ...),
+///   upper bound: all sampled clusters have >= m triples -> n (c1 + m c2)
+///   lower bound: all sampled clusters are singletons    -> n (c1 + c2)
+struct TwcsCostBand {
+  uint64_t required_draws = 0;
+  double upper_seconds = 0.0;
+  double lower_seconds = 0.0;
+};
+TwcsCostBand TwcsPredictedCost(const ClusterPopulationStats& pop, uint64_t m,
+                               double alpha, double epsilon, double c1_seconds,
+                               double c2_seconds);
+
+}  // namespace kgacc

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace kgacc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is actually emitted; defaults to kInfo and can be
+/// raised/lowered at runtime (e.g. by tests that want silence).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates the message and emits it (with level
+/// prefix) on destruction. Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a check passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Converts a streamed LogMessage chain to void so it can sit in a ternary
+/// branch (the glog "voidify" idiom; & binds looser than <<).
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+
+#define KGACC_LOG(level)                                                   \
+  ::kgacc::internal::LogMessage(::kgacc::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Always-on invariant check; supports streaming extra context:
+///   KGACC_CHECK(n > 0) << "n was " << n;
+/// Aborts the process on failure.
+#define KGACC_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                          \
+         : ::kgacc::internal::Voidify() &                                   \
+               ::kgacc::internal::LogMessage(::kgacc::LogLevel::kFatal,     \
+                                             __FILE__, __LINE__)            \
+                   << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define KGACC_DCHECK(cond) \
+  while (false) ::kgacc::internal::NullStream() << !(cond)
+#else
+#define KGACC_DCHECK(cond) KGACC_CHECK(cond)
+#endif
+
+}  // namespace kgacc

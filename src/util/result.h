@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace kgacc {
+
+/// Either a value of type T or an error Status; never both. Accessing the
+/// value of an errored Result is a programming error and aborts in debug
+/// builds (mirrors arrow::Result semantics).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    KGACC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    KGACC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    KGACC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    KGACC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates an expression returning Result<T>; on success binds the value,
+/// on failure returns the error to the caller.
+#define KGACC_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto KGACC_CONCAT_(_kgacc_result_, __LINE__) = (rexpr);       \
+  if (!KGACC_CONCAT_(_kgacc_result_, __LINE__).ok())            \
+    return KGACC_CONCAT_(_kgacc_result_, __LINE__).status();    \
+  lhs = std::move(KGACC_CONCAT_(_kgacc_result_, __LINE__)).value()
+
+#define KGACC_CONCAT_IMPL_(a, b) a##b
+#define KGACC_CONCAT_(a, b) KGACC_CONCAT_IMPL_(a, b)
+
+}  // namespace kgacc

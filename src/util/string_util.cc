@@ -1,0 +1,97 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <limits>
+
+namespace kgacc {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string_view> SplitString(std::string_view text, char sep) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      break;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size() || !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds >= 3600.0) return StrFormat("%.2f h", seconds / 3600.0);
+  if (seconds >= 60.0) return StrFormat("%.1f min", seconds / 60.0);
+  if (seconds >= 1.0) return StrFormat("%.1f s", seconds);
+  return StrFormat("%.1f ms", seconds * 1e3);
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return StrFormat("%.*f%%", decimals, fraction * 100.0);
+}
+
+}  // namespace kgacc

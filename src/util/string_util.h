@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgacc {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `sep`, keeping empty fields ("a\t\tb" -> {"a","","b"}).
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a non-negative integer; returns false on malformed/overflowing input.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// Parses a finite double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// "1.23 h" / "12.3 min" / "45.6 s" — compact human duration for reports.
+std::string FormatDuration(double seconds);
+
+/// "91.5%" with the given number of decimals.
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace kgacc

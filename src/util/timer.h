@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace kgacc {
+
+/// Monotonic wall-clock stopwatch used to report "machine time" (as opposed
+/// to the simulated human annotation time from cost::CostModel).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,75 @@
+#include "sampling/alias_table.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  const AliasTable table({1.0, 2.0, 7.0});
+  EXPECT_NEAR(table.Probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.2, 1e-12);
+  EXPECT_NEAR(table.Probability(2), 0.7, 1e-12);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(AliasTableTest, SampleFrequenciesMatchWeights) {
+  const AliasTable table({1.0, 2.0, 3.0, 4.0});
+  Rng rng(42);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, table.Probability(i), 0.005)
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  const AliasTable table({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const AliasTable table({0.0, 1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  const AliasTable table({1e-6, 1.0});
+  Rng rng(3);
+  int rare = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (table.Sample(rng) == 0) ++rare;
+  }
+  EXPECT_LT(rare, 10);  // expected ~0.1 hits.
+}
+
+TEST(AliasTableTest, FromIntegerSizes) {
+  const AliasTable t32 = AliasTable::FromSizes(std::vector<uint32_t>{2, 8});
+  EXPECT_NEAR(t32.Probability(1), 0.8, 1e-12);
+  const AliasTable t64 = AliasTable::FromSizes(std::vector<uint64_t>{3, 1});
+  EXPECT_NEAR(t64.Probability(0), 0.75, 1e-12);
+}
+
+TEST(AliasTableTest, LargeUniformTable) {
+  std::vector<double> weights(100000, 1.0);
+  const AliasTable table(weights);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(table.Sample(rng), 100000u);
+}
+
+TEST(AliasTableDeathTest, InvalidWeightsAbort) {
+  EXPECT_DEATH({ AliasTable table(std::vector<double>{}); }, "empty");
+  EXPECT_DEATH({ AliasTable table({-1.0, 2.0}); }, "negative");
+  EXPECT_DEATH({ AliasTable table({0.0, 0.0}); }, "positive total");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,76 @@
+#include "stats/allocation.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+uint64_t Sum(const std::vector<uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), uint64_t{0});
+}
+
+TEST(ProportionalAllocationTest, SumsExactly) {
+  const auto alloc = ProportionalAllocation({0.5, 0.3, 0.2}, 100);
+  EXPECT_EQ(Sum(alloc), 100u);
+  EXPECT_EQ(alloc[0], 50u);
+  EXPECT_EQ(alloc[1], 30u);
+  EXPECT_EQ(alloc[2], 20u);
+}
+
+TEST(ProportionalAllocationTest, LargestRemainderRounding) {
+  // 10 units over weights {1/3, 1/3, 1/3}: 3/3/3 plus one remainder unit.
+  const auto alloc = ProportionalAllocation({1.0, 1.0, 1.0}, 10);
+  EXPECT_EQ(Sum(alloc), 10u);
+  for (uint64_t a : alloc) {
+    EXPECT_GE(a, 3u);
+    EXPECT_LE(a, 4u);
+  }
+}
+
+TEST(ProportionalAllocationTest, MinPerStratumHonored) {
+  const auto alloc = ProportionalAllocation({0.98, 0.01, 0.01}, 100, 5);
+  EXPECT_EQ(Sum(alloc), 100u);
+  for (uint64_t a : alloc) EXPECT_GE(a, 5u);
+}
+
+TEST(ProportionalAllocationTest, ZeroTotalUnits) {
+  const auto alloc = ProportionalAllocation({0.5, 0.5}, 0);
+  EXPECT_EQ(Sum(alloc), 0u);
+}
+
+TEST(ProportionalAllocationTest, DegenerateZeroWeights) {
+  const auto alloc = ProportionalAllocation({0.0, 0.0, 0.0}, 9, 0);
+  EXPECT_EQ(Sum(alloc), 9u);  // spread evenly rather than lost.
+}
+
+TEST(NeymanAllocationTest, PrefersHighVarianceStrata) {
+  // Equal weights; stratum 0 has all the variance.
+  const auto alloc = NeymanAllocation({0.5, 0.5}, {0.4, 0.0}, 100, 0);
+  EXPECT_EQ(Sum(alloc), 100u);
+  EXPECT_EQ(alloc[0], 100u);
+  EXPECT_EQ(alloc[1], 0u);
+}
+
+TEST(NeymanAllocationTest, WeightTimesStdDevProportionality) {
+  const auto alloc = NeymanAllocation({0.8, 0.2}, {0.1, 0.4}, 100, 0);
+  EXPECT_EQ(Sum(alloc), 100u);
+  // Scores: 0.8*0.1 = 0.08 and 0.2*0.4 = 0.08 -> equal split.
+  EXPECT_EQ(alloc[0], 50u);
+  EXPECT_EQ(alloc[1], 50u);
+}
+
+TEST(NeymanAllocationTest, FallsBackToProportionalOnZeroStdDevs) {
+  const auto alloc = NeymanAllocation({0.7, 0.3}, {0.0, 0.0}, 10, 0);
+  EXPECT_EQ(Sum(alloc), 10u);
+  EXPECT_EQ(alloc[0], 7u);
+  EXPECT_EQ(alloc[1], 3u);
+}
+
+TEST(NeymanAllocationDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH({ (void)NeymanAllocation({0.5}, {0.1, 0.2}, 10); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,105 @@
+#include "labels/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "labels/synthetic_oracle.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+TEST(AnnotatorTest, ChargesEntityOncePerCluster) {
+  const PerClusterBernoulliOracle oracle({1.0, 1.0}, 1);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  annotator.Annotate(TripleRef{0, 0});
+  annotator.Annotate(TripleRef{0, 1});
+  annotator.Annotate(TripleRef{0, 2});
+  EXPECT_EQ(annotator.ledger().entities_identified, 1u);
+  EXPECT_EQ(annotator.ledger().triples_annotated, 3u);
+  EXPECT_DOUBLE_EQ(annotator.ElapsedSeconds(), 45.0 + 3 * 25.0);
+}
+
+TEST(AnnotatorTest, DistinctClustersChargeIdentification) {
+  const PerClusterBernoulliOracle oracle({1.0, 1.0, 1.0}, 1);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  annotator.Annotate(TripleRef{0, 0});
+  annotator.Annotate(TripleRef{1, 0});
+  annotator.Annotate(TripleRef{2, 0});
+  EXPECT_EQ(annotator.ledger().entities_identified, 3u);
+  EXPECT_DOUBLE_EQ(annotator.ElapsedSeconds(), 3 * (45.0 + 25.0));
+}
+
+TEST(AnnotatorTest, ReannotationIsFreeAndStable) {
+  const PerClusterBernoulliOracle oracle({0.5}, 2);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  const bool first = annotator.Annotate(TripleRef{0, 7});
+  const double cost_after_first = annotator.ElapsedSeconds();
+  const bool second = annotator.Annotate(TripleRef{0, 7});
+  EXPECT_EQ(first, second);
+  EXPECT_DOUBLE_EQ(annotator.ElapsedSeconds(), cost_after_first);
+  EXPECT_EQ(annotator.ledger().triples_annotated, 1u);
+}
+
+TEST(AnnotatorTest, ReturnsOracleLabelsWithoutNoise) {
+  const PerClusterBernoulliOracle oracle({0.3}, 3);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  for (uint64_t offset = 0; offset < 200; ++offset) {
+    const TripleRef ref{0, offset};
+    EXPECT_EQ(annotator.Annotate(ref), oracle.IsCorrect(ref));
+  }
+}
+
+TEST(AnnotatorTest, NoiseFlipsApproximatelyAtRate) {
+  const PerClusterBernoulliOracle oracle({1.0}, 4);  // all truly correct.
+  SimulatedAnnotator annotator(&oracle, kCost,
+                               {.noise_rate = 0.2, .seed = 99});
+  uint64_t flipped = 0;
+  const uint64_t n = 20000;
+  for (uint64_t offset = 0; offset < n; ++offset) {
+    if (!annotator.Annotate(TripleRef{0, offset})) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / n, 0.2, 0.02);
+}
+
+TEST(AnnotatorTest, AnnotateTaskReturnsPerTripleLabels) {
+  const PerClusterBernoulliOracle oracle({1.0}, 5);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  EvaluationTask task{0, {0, 1, 2, 3}};
+  const std::vector<uint8_t> labels = annotator.AnnotateTask(task);
+  ASSERT_EQ(labels.size(), 4u);
+  for (uint8_t l : labels) EXPECT_EQ(l, 1);
+  EXPECT_EQ(annotator.ledger().entities_identified, 1u);
+  EXPECT_EQ(annotator.ledger().triples_annotated, 4u);
+}
+
+TEST(AnnotatorTest, ResetClearsEverything) {
+  const PerClusterBernoulliOracle oracle({1.0}, 6);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  annotator.Annotate(TripleRef{0, 0});
+  annotator.Reset();
+  EXPECT_EQ(annotator.ledger().entities_identified, 0u);
+  EXPECT_EQ(annotator.ledger().triples_annotated, 0u);
+  EXPECT_DOUBLE_EQ(annotator.ElapsedSeconds(), 0.0);
+  // After reset the entity must be re-identified (charged again).
+  annotator.Annotate(TripleRef{0, 0});
+  EXPECT_EQ(annotator.ledger().entities_identified, 1u);
+}
+
+TEST(AnnotatorTest, LedgerAddition) {
+  AnnotationLedger a{.entities_identified = 2, .triples_annotated = 5};
+  const AnnotationLedger b{.entities_identified = 1, .triples_annotated = 4};
+  a += b;
+  EXPECT_EQ(a.entities_identified, 3u);
+  EXPECT_EQ(a.triples_annotated, 9u);
+  EXPECT_DOUBLE_EQ(a.Seconds(kCost), 3 * 45.0 + 9 * 25.0);
+  EXPECT_DOUBLE_EQ(a.Hours(kCost), (3 * 45.0 + 9 * 25.0) / 3600.0);
+}
+
+TEST(AnnotatorDeathTest, NullOracleAborts) {
+  EXPECT_DEATH({ SimulatedAnnotator annotator(nullptr, kCost); },
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,124 @@
+// Statistical calibration of the framework's reported confidence intervals:
+// a converged evaluation's (estimate ± MoE) must cover the true accuracy at
+// roughly the nominal rate across designs and populations. Sequential
+// stopping trims a little coverage (the framework stops on a favourable
+// batch), so the acceptance band is set below the nominal 95% but far above
+// what a mis-derived variance would produce.
+
+#include <gtest/gtest.h>
+
+#include "core/static_evaluator.h"
+#include "core/stratified_evaluator.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+using kgacc::testing::MakeTestPopulation;
+using kgacc::testing::TestPopulation;
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+constexpr int kTrials = 120;
+
+struct CoverageResult {
+  int covered = 0;
+  int converged = 0;
+};
+
+template <typename EvaluateFn>
+CoverageResult MeasureCoverage(double truth, EvaluateFn evaluate) {
+  CoverageResult result;
+  for (int t = 0; t < kTrials; ++t) {
+    const EvaluationResult r = evaluate(9000 + 17 * t);
+    if (!r.converged) continue;
+    ++result.converged;
+    if (std::abs(r.estimate.mean - truth) <= r.moe + 1e-12) ++result.covered;
+  }
+  return result;
+}
+
+TEST(CiCoverageTest, TwcsCoversAtRoughlyNominalRate) {
+  const TestPopulation pop = MakeTestPopulation(1200, 12, 0.75, 0.25, 41);
+  const double truth = RealizedOverallAccuracy(pop.oracle, pop.population);
+  const CoverageResult coverage =
+      MeasureCoverage(truth, [&](uint64_t seed) {
+        EvaluationOptions options;
+        options.seed = seed;
+        SimulatedAnnotator annotator(&pop.oracle, kCost);
+        StaticEvaluator evaluator(pop.population, &annotator, options);
+        return evaluator.EvaluateTwcs();
+      });
+  EXPECT_EQ(coverage.converged, kTrials);
+  EXPECT_GE(coverage.covered, kTrials * 85 / 100);
+}
+
+TEST(CiCoverageTest, SrsCoversAtRoughlyNominalRate) {
+  const TestPopulation pop = MakeTestPopulation(1200, 12, 0.7, 0.2, 43);
+  const double truth = RealizedOverallAccuracy(pop.oracle, pop.population);
+  const CoverageResult coverage =
+      MeasureCoverage(truth, [&](uint64_t seed) {
+        EvaluationOptions options;
+        options.seed = seed;
+        SimulatedAnnotator annotator(&pop.oracle, kCost);
+        StaticEvaluator evaluator(pop.population, &annotator, options);
+        return evaluator.EvaluateSrs();
+      });
+  EXPECT_EQ(coverage.converged, kTrials);
+  EXPECT_GE(coverage.covered, kTrials * 85 / 100);
+}
+
+TEST(CiCoverageTest, StratifiedTwcsCoversAtRoughlyNominalRate) {
+  const TestPopulation pop = MakeTestPopulation(1500, 20, 0.8, 0.3, 47);
+  const double truth = RealizedOverallAccuracy(pop.oracle, pop.population);
+  const Strata strata =
+      StratifiedTwcsEvaluator::SizeStrata(pop.population, 3);
+  const CoverageResult coverage =
+      MeasureCoverage(truth, [&](uint64_t seed) {
+        EvaluationOptions options;
+        options.seed = seed;
+        SimulatedAnnotator annotator(&pop.oracle, kCost);
+        StratifiedTwcsEvaluator evaluator(pop.population, &annotator, options);
+        return evaluator.Evaluate(strata);
+      });
+  EXPECT_EQ(coverage.converged, kTrials);
+  EXPECT_GE(coverage.covered, kTrials * 82 / 100);
+}
+
+TEST(CiCoverageTest, TighterTargetStillCovers) {
+  const TestPopulation pop = MakeTestPopulation(1500, 12, 0.75, 0.2, 53);
+  const double truth = RealizedOverallAccuracy(pop.oracle, pop.population);
+  const CoverageResult coverage =
+      MeasureCoverage(truth, [&](uint64_t seed) {
+        EvaluationOptions options;
+        options.seed = seed;
+        options.moe_target = 0.025;
+        SimulatedAnnotator annotator(&pop.oracle, kCost);
+        StaticEvaluator evaluator(pop.population, &annotator, options);
+        return evaluator.EvaluateTwcs();
+      });
+  EXPECT_EQ(coverage.converged, kTrials);
+  EXPECT_GE(coverage.covered, kTrials * 85 / 100);
+}
+
+TEST(CiCoverageTest, HigherConfidenceCoversMore) {
+  const TestPopulation pop = MakeTestPopulation(1200, 12, 0.6, 0.2, 59);
+  const double truth = RealizedOverallAccuracy(pop.oracle, pop.population);
+  const auto run = [&](double confidence) {
+    return MeasureCoverage(truth, [&](uint64_t seed) {
+      EvaluationOptions options;
+      options.seed = seed;
+      options.confidence = confidence;
+      SimulatedAnnotator annotator(&pop.oracle, kCost);
+      StaticEvaluator evaluator(pop.population, &annotator, options);
+      return evaluator.EvaluateTwcs();
+    });
+  };
+  const CoverageResult at90 = run(0.90);
+  const CoverageResult at99 = run(0.99);
+  // 99% must not cover less than 90% (allow small statistical slack).
+  EXPECT_GE(at99.covered + kTrials / 20, at90.covered);
+  EXPECT_GE(at99.covered, kTrials * 90 / 100);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,68 @@
+#include "kg/cluster_population.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/subset_view.h"
+
+namespace kgacc {
+namespace {
+
+TEST(ClusterPopulationTest, ConstructFromSizes) {
+  const ClusterPopulation pop({3, 1, 4});
+  EXPECT_EQ(pop.NumClusters(), 3u);
+  EXPECT_EQ(pop.TotalTriples(), 8u);
+  EXPECT_EQ(pop.ClusterSize(0), 3u);
+  EXPECT_EQ(pop.ClusterSize(2), 4u);
+  EXPECT_DOUBLE_EQ(pop.AverageClusterSize(), 8.0 / 3.0);
+}
+
+TEST(ClusterPopulationTest, AppendGrows) {
+  ClusterPopulation pop;
+  EXPECT_EQ(pop.Append(2), 0u);
+  EXPECT_EQ(pop.Append(5), 1u);
+  EXPECT_EQ(pop.NumClusters(), 2u);
+  EXPECT_EQ(pop.TotalTriples(), 7u);
+}
+
+TEST(ClusterPopulationTest, AppendAll) {
+  ClusterPopulation pop({1});
+  pop.AppendAll({2, 3});
+  EXPECT_EQ(pop.NumClusters(), 3u);
+  EXPECT_EQ(pop.TotalTriples(), 6u);
+}
+
+TEST(SubsetViewTest, MapsLocalToParent) {
+  const ClusterPopulation pop({10, 20, 30, 40});
+  const SubsetView subset(pop, {1, 3});
+  EXPECT_EQ(subset.NumClusters(), 2u);
+  EXPECT_EQ(subset.TotalTriples(), 60u);
+  EXPECT_EQ(subset.ClusterSize(0), 20u);
+  EXPECT_EQ(subset.ClusterSize(1), 40u);
+  EXPECT_EQ(subset.ToParent(0), 1u);
+  EXPECT_EQ(subset.ToParent(1), 3u);
+}
+
+TEST(SubsetViewTest, RangeCoversContiguousSuffix) {
+  ClusterPopulation pop({1, 2, 3});
+  pop.AppendAll({7, 8});  // an "update batch".
+  const SubsetView delta = SubsetView::Range(pop, 3, 2);
+  EXPECT_EQ(delta.NumClusters(), 2u);
+  EXPECT_EQ(delta.TotalTriples(), 15u);
+  EXPECT_EQ(delta.ToParent(0), 3u);
+  EXPECT_EQ(delta.ToParent(1), 4u);
+}
+
+TEST(SubsetViewTest, EmptySubset) {
+  const ClusterPopulation pop({5});
+  const SubsetView subset(pop, {});
+  EXPECT_EQ(subset.NumClusters(), 0u);
+  EXPECT_EQ(subset.TotalTriples(), 0u);
+}
+
+TEST(SubsetViewDeathTest, OutOfRangeIndexAborts) {
+  const ClusterPopulation pop({5});
+  EXPECT_DEATH({ SubsetView subset(pop, {3}); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,103 @@
+#include "sampling/cluster_sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/cluster_population.h"
+
+namespace kgacc {
+namespace {
+
+TEST(RcsSamplerTest, DrawsAllOffsetsOfEachCluster) {
+  const ClusterPopulation pop({3, 1, 4});
+  RcsSampler sampler(pop);
+  Rng rng(1);
+  const auto batch = sampler.NextBatch(3, rng);
+  ASSERT_EQ(batch.size(), 3u);
+  for (const ClusterDraw& draw : batch) {
+    EXPECT_EQ(draw.offsets.size(), pop.ClusterSize(draw.cluster));
+  }
+}
+
+TEST(RcsSamplerTest, BatchesDisjointAndExhaust) {
+  const ClusterPopulation pop({1, 1, 1, 1, 1});
+  RcsSampler sampler(pop);
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (const ClusterDraw& draw : sampler.NextBatch(3, rng)) {
+    EXPECT_TRUE(seen.insert(draw.cluster).second);
+  }
+  for (const ClusterDraw& draw : sampler.NextBatch(3, rng)) {
+    EXPECT_TRUE(seen.insert(draw.cluster).second);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(sampler.NextBatch(3, rng).empty());
+}
+
+TEST(WcsSamplerTest, FrequenciesProportionalToSize) {
+  const ClusterPopulation pop({1, 9});  // 10% vs 90%.
+  WcsSampler sampler(pop);
+  Rng rng(3);
+  int heavy = 0;
+  const int n = 50000;
+  for (const ClusterDraw& draw : sampler.NextBatch(n, rng)) {
+    if (draw.cluster == 1) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / n, 0.9, 0.01);
+}
+
+TEST(WcsSamplerTest, WithReplacementCanRepeat) {
+  const ClusterPopulation pop({1, 1});
+  WcsSampler sampler(pop);
+  Rng rng(4);
+  const auto batch = sampler.NextBatch(50, rng);
+  EXPECT_EQ(batch.size(), 50u);  // more draws than clusters -> repeats.
+}
+
+TEST(TwcsSamplerTest, SecondStageCapsAtM) {
+  const ClusterPopulation pop({2, 10, 30});
+  TwcsSampler sampler(pop, 5);
+  Rng rng(5);
+  for (const ClusterDraw& draw : sampler.NextBatch(200, rng)) {
+    const uint64_t expected =
+        std::min<uint64_t>(5, pop.ClusterSize(draw.cluster));
+    EXPECT_EQ(draw.offsets.size(), expected);
+    std::set<uint64_t> unique(draw.offsets.begin(), draw.offsets.end());
+    EXPECT_EQ(unique.size(), draw.offsets.size()) << "offsets must be distinct";
+    for (uint64_t offset : draw.offsets) {
+      EXPECT_LT(offset, pop.ClusterSize(draw.cluster));
+    }
+  }
+}
+
+TEST(TwcsSamplerTest, RepeatDrawsGetIndependentSecondStages) {
+  const ClusterPopulation pop({100});
+  TwcsSampler sampler(pop, 3);
+  Rng rng(6);
+  const auto batch = sampler.NextBatch(2, rng);
+  ASSERT_EQ(batch.size(), 2u);
+  // Same cluster drawn twice; offsets should differ with high probability.
+  EXPECT_EQ(batch[0].cluster, batch[1].cluster);
+  EXPECT_NE(batch[0].offsets, batch[1].offsets);
+}
+
+TEST(TwcsSamplerTest, FirstStageIsSizeWeighted) {
+  const ClusterPopulation pop({5, 15});  // 25% vs 75%.
+  TwcsSampler sampler(pop, 2);
+  Rng rng(7);
+  int heavy = 0;
+  const int n = 40000;
+  for (const ClusterDraw& draw : sampler.NextBatch(n, rng)) {
+    if (draw.cluster == 1) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / n, 0.75, 0.01);
+}
+
+TEST(TwcsSamplerDeathTest, MZeroAborts) {
+  const ClusterPopulation pop({1});
+  EXPECT_DEATH({ TwcsSampler sampler(pop, 0); }, "m must be >= 1");
+}
+
+}  // namespace
+}  // namespace kgacc

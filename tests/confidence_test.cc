@@ -1,0 +1,109 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/normal.h"
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+TEST(NormalIntervalTest, WidthMatchesZTimesStdErr) {
+  const double variance_of_mean = 0.0004;  // stderr = 0.02.
+  const ConfidenceInterval ci = NormalInterval(0.5, variance_of_mean, 0.05);
+  EXPECT_NEAR(ci.Width(), 2.0 * 1.959963984540054 * 0.02, 1e-9);
+  EXPECT_NEAR((ci.lower + ci.upper) / 2.0, 0.5, 1e-12);
+}
+
+TEST(NormalIntervalTest, ClampsToUnitInterval) {
+  const ConfidenceInterval ci = NormalInterval(0.99, 0.01, 0.05);
+  EXPECT_LE(ci.upper, 1.0);
+  const ConfidenceInterval lo = NormalInterval(0.01, 0.01, 0.05);
+  EXPECT_GE(lo.lower, 0.0);
+}
+
+TEST(NormalIntervalTest, ZeroVarianceIsPoint) {
+  const ConfidenceInterval ci = NormalInterval(0.7, 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.7);
+  EXPECT_DOUBLE_EQ(ci.upper, 0.7);
+  EXPECT_TRUE(ci.Contains(0.7));
+  EXPECT_FALSE(ci.Contains(0.71));
+}
+
+TEST(WilsonIntervalTest, KnownValue) {
+  // 95% Wilson for 9/10: center (p + z^2/2n)/(1 + z^2/n).
+  const ConfidenceInterval ci = WilsonInterval(9, 10, 0.05);
+  EXPECT_NEAR(ci.lower, 0.59585, 5e-4);
+  EXPECT_NEAR(ci.upper, 0.98212, 5e-4);
+}
+
+TEST(WilsonIntervalTest, BehavesAtBoundaries) {
+  // All successes: upper is exactly 1, lower strictly below 1 — unlike the
+  // degenerate Wald interval, which collapses to a point.
+  const ConfidenceInterval ci = WilsonInterval(30, 30, 0.05);
+  EXPECT_LT(ci.lower, 1.0);
+  EXPECT_GT(ci.lower, 0.8);
+  EXPECT_NEAR(ci.upper, 1.0, 1e-12);
+
+  const ConfidenceInterval zero = WilsonInterval(0, 30, 0.05);
+  EXPECT_NEAR(zero.lower, 0.0, 1e-12);
+  EXPECT_GT(zero.upper, 0.0);
+}
+
+TEST(WilsonIntervalTest, EmptySampleIsVacuous) {
+  const ConfidenceInterval ci = WilsonInterval(0, 0, 0.05);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(WilsonIntervalTest, NarrowsWithSampleSize) {
+  const double w100 = WilsonInterval(90, 100, 0.05).Width();
+  const double w1000 = WilsonInterval(900, 1000, 0.05).Width();
+  EXPECT_LT(w1000, w100);
+}
+
+TEST(EmpiricalIntervalTest, QuantilesOfUniformGrid) {
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(i / 100.0);
+  const ConfidenceInterval ci = EmpiricalInterval(values, 0.10);
+  EXPECT_NEAR(ci.lower, 0.05, 1e-9);
+  EXPECT_NEAR(ci.upper, 0.95, 1e-9);
+}
+
+TEST(EmpiricalIntervalTest, UnsortedInput) {
+  const ConfidenceInterval ci = EmpiricalInterval({0.9, 0.1, 0.5}, 0.5);
+  EXPECT_LE(ci.lower, 0.5);
+  EXPECT_GE(ci.upper, 0.5);
+}
+
+TEST(EmpiricalIntervalTest, EmptyIsVacuous) {
+  const ConfidenceInterval ci = EmpiricalInterval({}, 0.05);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(CoverageTest, NormalIntervalCoversTrueMeanAtNominalRate) {
+  // Estimate a mean from n Bernoulli draws; the 95% CI should cover the true
+  // p in roughly 95% of trials.
+  Rng rng(4242);
+  const double p = 0.85;
+  const int n = 200;
+  const int trials = 2000;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    const double p_hat = static_cast<double>(hits) / n;
+    const ConfidenceInterval ci =
+        NormalInterval(p_hat, p_hat * (1.0 - p_hat) / n, 0.05);
+    if (ci.Contains(p)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.92);
+  EXPECT_LT(coverage, 0.98);
+}
+
+}  // namespace
+}  // namespace kgacc

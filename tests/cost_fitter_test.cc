@@ -1,0 +1,88 @@
+#include "cost/cost_fitter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+TEST(CostFitterTest, RecoversExactCoefficients) {
+  // Observations generated exactly by c1=45, c2=25 (paper Section 7.1.3).
+  const std::vector<CostObservation> obs = {
+      {174, 174, 174 * 45.0 + 174 * 25.0},
+      {24, 178, 24 * 45.0 + 178 * 25.0},
+      {11, 50, 11 * 45.0 + 50 * 25.0},
+      {50, 50, 50 * 45.0 + 50 * 25.0},
+  };
+  const Result<CostModel> fit = FitCostModel(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->c1_seconds, 45.0, 1e-6);
+  EXPECT_NEAR(fit->c2_seconds, 25.0, 1e-6);
+  const CostFitDiagnostics diag = EvaluateCostFit(*fit, obs);
+  EXPECT_NEAR(diag.rmse_seconds, 0.0, 1e-6);
+}
+
+TEST(CostFitterTest, RobustToNoise) {
+  Rng rng(55);
+  std::vector<CostObservation> obs;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t entities = 5 + rng.UniformIndex(200);
+    const uint64_t triples = entities + rng.UniformIndex(300);
+    const double seconds = 45.0 * entities + 25.0 * triples +
+                           rng.Gaussian(0.0, 30.0);
+    obs.push_back({entities, triples, seconds});
+  }
+  const Result<CostModel> fit = FitCostModel(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->c1_seconds, 45.0, 3.0);
+  EXPECT_NEAR(fit->c2_seconds, 25.0, 3.0);
+  const CostFitDiagnostics diag = EvaluateCostFit(*fit, obs);
+  EXPECT_LT(diag.rmse_seconds, 60.0);
+}
+
+TEST(CostFitterTest, TooFewObservations) {
+  EXPECT_TRUE(FitCostModel({}).status().IsInvalidArgument());
+  EXPECT_TRUE(FitCostModel({{10, 10, 700.0}}).status().IsInvalidArgument());
+}
+
+TEST(CostFitterTest, DegenerateProportionalDesign) {
+  // All observations have entities == triples: c1 and c2 are not separable.
+  const std::vector<CostObservation> obs = {
+      {10, 10, 700.0}, {20, 20, 1400.0}, {30, 30, 2100.0}};
+  EXPECT_TRUE(FitCostModel(obs).status().IsInvalidArgument());
+}
+
+TEST(CostFitterTest, ClampsNegativeCoefficients) {
+  // Data where unconstrained LS would drive c1 negative: identification is
+  // free, validation expensive.
+  const std::vector<CostObservation> obs = {
+      {100, 10, 10 * 30.0 - 100 * 5.0},
+      {10, 100, 100 * 30.0 - 10 * 5.0},
+      {50, 50, 50 * 30.0 - 50 * 5.0},
+  };
+  const Result<CostModel> fit = FitCostModel(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->c1_seconds, 0.0);
+  EXPECT_GE(fit->c2_seconds, 0.0);
+}
+
+TEST(CostFitterTest, DiagnosticsOnEmptyObservations) {
+  const CostFitDiagnostics diag = EvaluateCostFit(CostModel{}, {});
+  EXPECT_DOUBLE_EQ(diag.rmse_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(diag.max_relative_error, 0.0);
+}
+
+TEST(CostFitterTest, MaxRelativeErrorReported) {
+  const CostModel model{.c1_seconds = 45.0, .c2_seconds = 25.0};
+  // One observation 50% off.
+  const std::vector<CostObservation> obs = {
+      {10, 10, 700.0},           // exact.
+      {10, 10, 1400.0},          // model predicts 700 -> 50% relative error.
+  };
+  const CostFitDiagnostics diag = EvaluateCostFit(model, obs);
+  EXPECT_NEAR(diag.max_relative_error, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,86 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/task.h"
+
+namespace kgacc {
+namespace {
+
+TEST(CostModelTest, Equation4) {
+  const CostModel model{.c1_seconds = 45.0, .c2_seconds = 25.0};
+  // The paper's SRS task on MOVIE: 174 entities / 174 triples -> ~3.38h
+  // (the paper rounds to 3.86h using 45+25 per triple; Eq 4 with distinct
+  // entity count gives 174*(45+25)/3600).
+  EXPECT_DOUBLE_EQ(model.SampleCostSeconds(174, 174), 174 * 70.0);
+  EXPECT_NEAR(model.SampleCostHours(174, 174), 3.3833, 1e-3);
+  // The paper's TWCS task: 24 entities / 178 triples ~ 1.54h.
+  EXPECT_NEAR(model.SampleCostHours(24, 178), (24 * 45.0 + 178 * 25.0) / 3600.0,
+              1e-12);
+  EXPECT_NEAR(model.SampleCostHours(24, 178), 1.536, 1e-3);
+}
+
+TEST(CostModelTest, ZeroSample) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.SampleCostSeconds(0, 0), 0.0);
+}
+
+TEST(CumulativeAnnotationTest, ScatteredSequenceIsLinear) {
+  const CostModel model{.c1_seconds = 45.0, .c2_seconds = 25.0};
+  // Triple-level task: every triple from a distinct entity (paper Fig 1).
+  std::vector<TripleRef> scattered;
+  for (uint64_t i = 0; i < 50; ++i) scattered.push_back(TripleRef{i, 0});
+  const std::vector<double> times = CumulativeAnnotationSeconds(scattered, model);
+  ASSERT_EQ(times.size(), 50u);
+  EXPECT_DOUBLE_EQ(times[0], 70.0);
+  EXPECT_DOUBLE_EQ(times[49], 50 * 70.0);
+  // Constant increments.
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i] - times[i - 1], 70.0);
+  }
+}
+
+TEST(CumulativeAnnotationTest, EntityGroupedSequenceIsCheaper) {
+  const CostModel model{.c1_seconds = 45.0, .c2_seconds = 25.0};
+  // Entity-level task: 50 triples from 10 clusters of 5 (paper Fig 1).
+  std::vector<TripleRef> grouped;
+  for (uint64_t c = 0; c < 10; ++c) {
+    for (uint64_t o = 0; o < 5; ++o) grouped.push_back(TripleRef{c, o});
+  }
+  const std::vector<double> grouped_times =
+      CumulativeAnnotationSeconds(grouped, model);
+  // Total: 10 identifications + 50 validations.
+  EXPECT_DOUBLE_EQ(grouped_times.back(), 10 * 45.0 + 50 * 25.0);
+  // vs 50 * 70 = 3500 for the scattered task: ~49% cheaper.
+  EXPECT_LT(grouped_times.back(), 50 * 70.0);
+  // First triple of each cluster is the expensive one.
+  EXPECT_DOUBLE_EQ(grouped_times[0], 70.0);
+  EXPECT_DOUBLE_EQ(grouped_times[1] - grouped_times[0], 25.0);
+  EXPECT_DOUBLE_EQ(grouped_times[5] - grouped_times[4], 70.0);  // new cluster.
+}
+
+TEST(CumulativeAnnotationTest, RevisitedClusterNotRecharged) {
+  const CostModel model{.c1_seconds = 10.0, .c2_seconds = 1.0};
+  const std::vector<double> times = CumulativeAnnotationSeconds(
+      {TripleRef{0, 0}, TripleRef{1, 0}, TripleRef{0, 1}}, model);
+  EXPECT_DOUBLE_EQ(times[2] - times[1], 1.0);  // cluster 0 already identified.
+}
+
+TEST(GroupBySubjectTest, GroupsAndPreservesOrder) {
+  const std::vector<TripleRef> sample = {
+      {3, 0}, {1, 2}, {3, 5}, {2, 0}, {1, 0}};
+  const std::vector<EvaluationTask> tasks = GroupBySubject(sample);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].cluster, 3u);
+  EXPECT_EQ(tasks[0].offsets, (std::vector<uint64_t>{0, 5}));
+  EXPECT_EQ(tasks[1].cluster, 1u);
+  EXPECT_EQ(tasks[1].offsets, (std::vector<uint64_t>{2, 0}));
+  EXPECT_EQ(tasks[2].cluster, 2u);
+}
+
+TEST(GroupBySubjectTest, EmptySample) {
+  EXPECT_TRUE(GroupBySubject({}).empty());
+}
+
+}  // namespace
+}  // namespace kgacc

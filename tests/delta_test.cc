@@ -1,0 +1,52 @@
+#include "kg/delta.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+Triple T(EntityId s, PredicateId p, EntityId o) {
+  return Triple{s, p, ObjectRef::Entity(o)};
+}
+
+TEST(UpdateBatchTest, FromTriplesGroupsBySubject) {
+  const UpdateBatch batch = UpdateBatch::FromTriples(
+      {T(1, 0, 10), T(2, 0, 11), T(1, 1, 12), T(3, 0, 13), T(2, 1, 14)});
+  EXPECT_EQ(batch.NumEntities(), 3u);
+  EXPECT_EQ(batch.TotalTriples(), 5u);
+  // First-seen subject order is preserved.
+  EXPECT_EQ(batch.deltas()[0].subject, 1u);
+  EXPECT_EQ(batch.deltas()[1].subject, 2u);
+  EXPECT_EQ(batch.deltas()[2].subject, 3u);
+  EXPECT_EQ(batch.deltas()[0].size(), 2u);
+  EXPECT_EQ(batch.deltas()[1].size(), 2u);
+  EXPECT_EQ(batch.deltas()[2].size(), 1u);
+}
+
+TEST(UpdateBatchTest, EmptyBatch) {
+  const UpdateBatch batch = UpdateBatch::FromTriples({});
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.NumEntities(), 0u);
+  EXPECT_EQ(batch.TotalTriples(), 0u);
+}
+
+TEST(UpdateBatchTest, AddDeltaAccumulates) {
+  UpdateBatch batch;
+  batch.AddDelta(ClusterDelta{7, {T(7, 0, 1), T(7, 1, 2)}});
+  batch.AddDelta(ClusterDelta{8, {T(8, 0, 3)}});
+  EXPECT_EQ(batch.NumEntities(), 2u);
+  EXPECT_EQ(batch.TotalTriples(), 3u);
+  EXPECT_FALSE(batch.empty());
+}
+
+TEST(UpdateBatchTest, PreservesTripleOrderWithinDelta) {
+  const UpdateBatch batch =
+      UpdateBatch::FromTriples({T(1, 5, 10), T(1, 6, 11), T(1, 7, 12)});
+  ASSERT_EQ(batch.deltas().size(), 1u);
+  EXPECT_EQ(batch.deltas()[0].triples[0].predicate, 5u);
+  EXPECT_EQ(batch.deltas()[0].triples[1].predicate, 6u);
+  EXPECT_EQ(batch.deltas()[0].triples[2].predicate, 7u);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,107 @@
+#include "kg/generator.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(ZipfSizesTest, WithinBoundsAndSkewed) {
+  Rng rng(1);
+  const auto sizes = GenerateZipfSizes(10000, 2.0, 25, rng);
+  EXPECT_EQ(sizes.size(), 10000u);
+  uint64_t ones = 0;
+  for (uint32_t s : sizes) {
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 25u);
+    if (s == 1) ++ones;
+  }
+  // Zipf(2): P(1) = 1/H ~ 0.645 over 1..25.
+  EXPECT_GT(ones, 6000u);
+  EXPECT_LT(ones, 7000u);
+}
+
+TEST(ZipfSizesTest, DeterministicGivenRngState) {
+  Rng a(9), b(9);
+  EXPECT_EQ(GenerateZipfSizes(100, 1.5, 10, a), GenerateZipfSizes(100, 1.5, 10, b));
+}
+
+TEST(LogNormalSizesTest, BoundsAndHeavyTail) {
+  Rng rng(2);
+  const auto sizes = GenerateLogNormalSizes(50000, 1.55, 1.1, 5000, rng);
+  uint64_t total = 0;
+  uint32_t max_seen = 0;
+  for (uint32_t s : sizes) {
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 5000u);
+    total += s;
+    max_seen = std::max(max_seen, s);
+  }
+  const double mean = static_cast<double>(total) / sizes.size();
+  // E[ceil(exp(N(1.55,1.1)))] ~ 9.x — the MOVIE average cluster size.
+  EXPECT_GT(mean, 7.0);
+  EXPECT_LT(mean, 12.0);
+  EXPECT_GT(max_seen, 100u);  // heavy tail realized.
+}
+
+TEST(ScaleSizesTest, HitsExactTotal) {
+  Rng rng(3);
+  auto sizes = GenerateZipfSizes(817, 2.05, 25, rng);
+  ScaleSizesToTotal(&sizes, 1860);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), uint64_t{0}), 1860u);
+  for (uint32_t s : sizes) EXPECT_GE(s, 1u);
+}
+
+TEST(ScaleSizesTest, ScalesUpAndDown) {
+  std::vector<uint32_t> up = {1, 1, 1, 1};
+  ScaleSizesToTotal(&up, 100);
+  EXPECT_EQ(std::accumulate(up.begin(), up.end(), uint64_t{0}), 100u);
+
+  std::vector<uint32_t> down = {50, 50, 50, 50};
+  ScaleSizesToTotal(&down, 10);
+  EXPECT_EQ(std::accumulate(down.begin(), down.end(), uint64_t{0}), 10u);
+  for (uint32_t s : down) EXPECT_GE(s, 1u);
+}
+
+TEST(ScaleSizesDeathTest, TargetBelowClusterCountAborts) {
+  std::vector<uint32_t> sizes = {1, 1, 1};
+  EXPECT_DEATH(ScaleSizesToTotal(&sizes, 2), "non-empty");
+}
+
+TEST(MaterializeGraphTest, MatchesSizesExactly) {
+  Rng rng(4);
+  const std::vector<uint32_t> sizes = {3, 1, 5};
+  GraphMaterializeOptions options;
+  const KnowledgeGraph kg = MaterializeGraph(sizes, options, rng);
+  EXPECT_EQ(kg.NumClusters(), 3u);
+  EXPECT_EQ(kg.ClusterSize(0), 3u);
+  EXPECT_EQ(kg.ClusterSize(1), 1u);
+  EXPECT_EQ(kg.ClusterSize(2), 5u);
+  EXPECT_EQ(kg.TotalTriples(), 9u);
+}
+
+TEST(MaterializeGraphTest, ObjectsRespectOptions) {
+  Rng rng(5);
+  const std::vector<uint32_t> sizes(100, 10);
+  GraphMaterializeOptions options;
+  options.num_predicates = 4;
+  options.literal_fraction = 0.5;
+  const KnowledgeGraph kg = MaterializeGraph(sizes, options, rng);
+  uint64_t literals = 0;
+  for (const EntityCluster& cluster : kg.clusters()) {
+    for (const Triple& t : cluster.triples) {
+      EXPECT_LT(t.predicate, 4u);
+      if (!t.object.IsEntity()) ++literals;
+      if (t.object.IsEntity()) {
+        // Entity objects live above the subject id space.
+        EXPECT_GE(t.object.id, sizes.size());
+      }
+    }
+  }
+  const double literal_rate = static_cast<double>(literals) / 1000.0;
+  EXPECT_NEAR(literal_rate, 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,187 @@
+#include "core/grouped_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/generator.h"
+#include "labels/gold_labels.h"
+#include "labels/synthetic_oracle.h"
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+/// A materialized graph with two predicates of very different accuracy:
+/// predicate 0 is ~95% correct, predicate 1 ~40%.
+struct PerPredicateFixture {
+  KnowledgeGraph kg;
+  GoldLabelStore gold;
+  double acc_p0 = 0.0;
+  double acc_p1 = 0.0;
+};
+
+PerPredicateFixture MakeFixture(uint64_t seed, uint64_t clusters = 400) {
+  PerPredicateFixture fx;
+  Rng rng(seed);
+  uint64_t correct0 = 0, total0 = 0, correct1 = 0, total1 = 0;
+  for (uint64_t subject = 0; subject < clusters; ++subject) {
+    const uint64_t size = 1 + rng.UniformIndex(8);
+    for (uint64_t j = 0; j < size; ++j) {
+      Triple t;
+      t.subject = static_cast<EntityId>(subject);
+      t.predicate = rng.Bernoulli(0.5) ? 0 : 1;
+      t.object = ObjectRef::Entity(static_cast<EntityId>(
+          clusters + rng.UniformIndex(64)));
+      const TripleRef ref = fx.kg.Add(t);
+      const bool label =
+          t.predicate == 0 ? rng.Bernoulli(0.95) : rng.Bernoulli(0.40);
+      fx.gold.Set(ref, label);
+      if (t.predicate == 0) {
+        ++total0;
+        correct0 += label;
+      } else {
+        ++total1;
+        correct1 += label;
+      }
+    }
+  }
+  fx.acc_p0 = static_cast<double>(correct0) / static_cast<double>(total0);
+  fx.acc_p1 = static_cast<double>(correct1) / static_cast<double>(total1);
+  return fx;
+}
+
+TEST(GroupedEvaluatorTest, PerPredicateEstimatesSeparateAccuracies) {
+  PerPredicateFixture fx = MakeFixture(31);
+  SimulatedAnnotator annotator(&fx.gold, kCost);
+  EvaluationOptions options;
+  options.seed = 1;
+  GroupedEvaluator evaluator(fx.kg, &annotator, options);
+  const auto results = evaluator.EvaluatePerPredicate();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.evaluation.converged) << "group " << result.group;
+    EXPECT_LE(result.evaluation.moe, 0.05 + 1e-12);
+    const double truth = result.group == 0 ? fx.acc_p0 : fx.acc_p1;
+    EXPECT_NEAR(result.evaluation.estimate.mean, truth, 2.5 * 0.05)
+        << "group " << result.group;
+  }
+  // The two groups' estimates must actually differ (no cross-contamination).
+  EXPECT_GT(std::abs(results[0].evaluation.estimate.mean -
+                     results[1].evaluation.estimate.mean),
+            0.25);
+}
+
+TEST(GroupedEvaluatorTest, PopulationCountsPartitionTheGraph) {
+  PerPredicateFixture fx = MakeFixture(37);
+  SimulatedAnnotator annotator(&fx.gold, kCost);
+  GroupedEvaluator evaluator(fx.kg, &annotator, EvaluationOptions{});
+  const auto results = evaluator.EvaluatePerPredicate();
+  uint64_t covered = 0;
+  for (const auto& result : results) covered += result.population_triples;
+  EXPECT_EQ(covered, fx.kg.TotalTriples());
+}
+
+TEST(GroupedEvaluatorTest, SmallGroupsGetCensusEvaluated) {
+  // A graph where predicate 7 appears on just 3 triples: census, MoE 0.
+  KnowledgeGraph kg;
+  GoldLabelStore gold;
+  Rng rng(41);
+  for (uint64_t subject = 0; subject < 120; ++subject) {
+    Triple t{static_cast<EntityId>(subject), 0,
+             ObjectRef::Entity(static_cast<EntityId>(1000 + subject))};
+    gold.Set(kg.Add(t), rng.Bernoulli(0.9));
+  }
+  for (uint64_t i = 0; i < 3; ++i) {
+    Triple t{static_cast<EntityId>(i), 7,
+             ObjectRef::Entity(static_cast<EntityId>(2000 + i))};
+    gold.Set(kg.Add(t), true);
+  }
+  SimulatedAnnotator annotator(&gold, kCost);
+  GroupedEvaluator evaluator(kg, &annotator, EvaluationOptions{});
+  const auto results = evaluator.EvaluatePerPredicate();
+  ASSERT_EQ(results.size(), 2u);
+  const auto& small = results.back();  // smaller group evaluated second.
+  EXPECT_EQ(small.group, 7u);
+  EXPECT_EQ(small.population_triples, 3u);
+  EXPECT_TRUE(small.evaluation.converged);
+  EXPECT_DOUBLE_EQ(small.evaluation.moe, 0.0);
+  EXPECT_DOUBLE_EQ(small.evaluation.estimate.mean, 1.0);
+}
+
+TEST(GroupedEvaluatorTest, MinGroupTriplesFiltersRareGroups) {
+  PerPredicateFixture fx = MakeFixture(43, /*clusters=*/50);
+  // Add a singleton group.
+  Triple t{0, 99, ObjectRef::Entity(9999)};
+  fx.gold.Set(fx.kg.Add(t), true);
+  SimulatedAnnotator annotator(&fx.gold, kCost);
+  GroupedEvaluator evaluator(fx.kg, &annotator, EvaluationOptions{});
+  const auto results = evaluator.EvaluatePerPredicate(/*min_group_triples=*/2);
+  for (const auto& result : results) EXPECT_NE(result.group, 99u);
+}
+
+TEST(GroupedEvaluatorTest, SharedAnnotatorReusesIdentifications) {
+  // Evaluating both predicates through one annotator must cost fewer entity
+  // identifications than two independent campaigns.
+  PerPredicateFixture fx = MakeFixture(47);
+  EvaluationOptions options;
+  options.seed = 2;
+
+  SimulatedAnnotator shared(&fx.gold, kCost);
+  GroupedEvaluator evaluator(fx.kg, &shared, options);
+  const auto results = evaluator.EvaluatePerPredicate();
+  ASSERT_EQ(results.size(), 2u);
+
+  // The per-group ledgers partition the shared ledger exactly (the reuse is
+  // visible as the later group being charged fewer identifications).
+  EXPECT_EQ(shared.ledger().entities_identified,
+            results[0].evaluation.ledger.entities_identified +
+                results[1].evaluation.ledger.entities_identified);
+  EXPECT_EQ(shared.ledger().triples_annotated,
+            results[0].evaluation.ledger.triples_annotated +
+                results[1].evaluation.ledger.triples_annotated);
+
+  // Reuse effect: both groups sample virtual clusters living in the same
+  // subject clusters, so distinct identifications stay strictly below the
+  // total number of first-stage draws.
+  const uint64_t total_draws = results[0].evaluation.estimate.num_units +
+                               results[1].evaluation.estimate.num_units;
+  EXPECT_LT(shared.ledger().entities_identified, total_draws);
+}
+
+TEST(GroupedEvaluatorTest, CustomGroupFunction) {
+  // Group by object-kind: entity-property vs data-property accuracy.
+  KnowledgeGraph kg;
+  GoldLabelStore gold;
+  Rng rng(53);
+  for (uint64_t subject = 0; subject < 300; ++subject) {
+    for (int j = 0; j < 3; ++j) {
+      Triple t;
+      t.subject = static_cast<EntityId>(subject);
+      t.predicate = 0;
+      const bool literal = rng.Bernoulli(0.5);
+      t.object = literal ? ObjectRef::Literal(static_cast<LiteralId>(j))
+                         : ObjectRef::Entity(static_cast<EntityId>(500 + j));
+      // Data properties are much noisier in this fixture.
+      gold.Set(kg.Add(t), literal ? rng.Bernoulli(0.6) : rng.Bernoulli(0.95));
+    }
+  }
+  SimulatedAnnotator annotator(&gold, kCost);
+  EvaluationOptions options;
+  options.seed = 3;
+  GroupedEvaluator evaluator(kg, &annotator, options);
+  const auto results = evaluator.EvaluateAll([](const Triple& t) {
+    return static_cast<uint32_t>(t.object.kind);
+  });
+  ASSERT_EQ(results.size(), 2u);
+  // Entity-property group (kind 0) should score clearly higher.
+  double entity_acc = 0.0, literal_acc = 0.0;
+  for (const auto& result : results) {
+    if (result.group == 0) entity_acc = result.evaluation.estimate.mean;
+    if (result.group == 1) literal_acc = result.evaluation.estimate.mean;
+  }
+  EXPECT_GT(entity_acc, literal_acc + 0.15);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,153 @@
+// Robustness/edge-path tests for the incremental evaluators: the stratified
+// top-up safeguard, reservoir capacity growth under variance-increasing
+// updates, and determinism of full evolution runs.
+
+#include <gtest/gtest.h>
+
+#include "core/reservoir_incremental.h"
+#include "core/stratified_incremental.h"
+#include "kg/cluster_population.h"
+#include "labels/synthetic_oracle.h"
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+struct EvolvingKg {
+  ClusterPopulation population;
+  PerClusterBernoulliOracle oracle{0x44};
+
+  std::pair<uint64_t, uint64_t> Append(uint64_t clusters, uint32_t max_size,
+                                       double accuracy, double spread,
+                                       Rng& rng) {
+    const uint64_t first = population.NumClusters();
+    for (uint64_t i = 0; i < clusters; ++i) {
+      population.Append(1 + static_cast<uint32_t>(rng.UniformIndex(max_size)));
+      double p = accuracy + spread * (rng.UniformDouble() - 0.5) * 2.0;
+      oracle.Append(p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p));
+    }
+    return {first, clusters};
+  }
+};
+
+TEST(StratifiedTopUpTest, TopUpRescuesUnderbudgetedBase) {
+  // The base evaluation is cut off by a tight per-step budget, leaving high
+  // base-stratum variance. A tiny clean delta cannot repair the combined
+  // MoE by itself (Algorithm 2 samples only the newest stratum); the top-up
+  // extension routes draws back into the base stratum and converges.
+  // Arithmetic of the scenario (m=1, so each draw is a Bernoulli at the
+  // 50% base accuracy, per-draw variance 0.25): reaching MoE 5% at 95%
+  // needs ~385 base draws. Each step's budget covers ~250 draws, so the
+  // init is cut short at MoE ~6%; the update step's fresh budget can finish
+  // the job — but only if draws may go back into the base stratum.
+  for (const bool allow_top_up : {false, true}) {
+    Rng rng(99);
+    EvolvingKg kg;
+    kg.Append(2000, 10, 0.5, 0.0, rng);  // pure coin-flip base.
+
+    EvaluationOptions options;
+    options.seed = 5;
+    options.m = 1;
+    options.max_cost_seconds = 250.0 * (45.0 + 25.0);
+    SimulatedAnnotator annotator(&kg.oracle, kCost);
+    StratifiedIncrementalEvaluator evaluator(&kg.population, &annotator,
+                                             options, allow_top_up);
+    const IncrementalUpdateReport init = evaluator.Initialize();
+    ASSERT_FALSE(init.converged) << "budget should cut the base short";
+
+    // A small, uniform-quality delta (negligible weight).
+    Rng rng2(100);
+    const auto [first, count] = kg.Append(50, 10, 1.0, 0.0, rng2);
+    const IncrementalUpdateReport update = evaluator.ApplyUpdate(first, count);
+    if (allow_top_up) {
+      EXPECT_TRUE(update.converged) << "top-up should repair the base stratum";
+    } else {
+      EXPECT_FALSE(update.converged)
+          << "faithful Algorithm 2 cannot fix old strata from the delta";
+    }
+  }
+}
+
+TEST(ReservoirGrowthTest, VarianceIncreasingUpdateGrowsReservoir) {
+  Rng rng(7);
+  EvolvingKg kg;
+  kg.Append(3000, 10, 0.95, 0.02, rng);  // clean base: small reservoir.
+
+  EvaluationOptions options;
+  options.seed = 6;
+  SimulatedAnnotator annotator(&kg.oracle, kCost);
+  ReservoirIncrementalEvaluator evaluator(&kg.population, &annotator, options);
+  const IncrementalUpdateReport init = evaluator.Initialize();
+  ASSERT_TRUE(init.converged);
+  const uint64_t initial_capacity = evaluator.SampleSize();
+
+  // A large, very noisy update doubles the variance: the reservoir must
+  // grow (the paper's "run Static Evaluation again" fallback).
+  const auto [first, count] = kg.Append(3000, 10, 0.5, 0.5, rng);
+  const IncrementalUpdateReport update = evaluator.ApplyUpdate(first, count);
+  EXPECT_TRUE(update.converged);
+  EXPECT_GT(evaluator.SampleSize(), initial_capacity);
+  EXPECT_EQ(update.sample_units, evaluator.SampleSize());
+}
+
+TEST(ReservoirGrowthTest, CleanUpdateKeepsCapacity) {
+  Rng rng(8);
+  EvolvingKg kg;
+  kg.Append(3000, 10, 0.9, 0.1, rng);
+  EvaluationOptions options;
+  options.seed = 7;
+  SimulatedAnnotator annotator(&kg.oracle, kCost);
+  ReservoirIncrementalEvaluator evaluator(&kg.population, &annotator, options);
+  evaluator.Initialize();
+  const uint64_t capacity = evaluator.SampleSize();
+  const auto [first, count] = kg.Append(300, 10, 0.9, 0.1, rng);
+  const IncrementalUpdateReport update = evaluator.ApplyUpdate(first, count);
+  EXPECT_TRUE(update.converged);
+  EXPECT_EQ(evaluator.SampleSize(), capacity);  // fixed-size Algorithm 1 path.
+}
+
+TEST(DeterminismTest, FullEvolutionRunsAreReproducible) {
+  const auto run = [] {
+    Rng rng(11);
+    EvolvingKg kg;
+    kg.Append(2000, 10, 0.9, 0.1, rng);
+    EvaluationOptions options;
+    options.seed = 13;
+    SimulatedAnnotator a_rs(&kg.oracle, kCost), a_ss(&kg.oracle, kCost);
+    ReservoirIncrementalEvaluator rs(&kg.population, &a_rs, options);
+    StratifiedIncrementalEvaluator ss(&kg.population, &a_ss, options);
+    std::vector<double> estimates = {rs.Initialize().estimate.mean,
+                                     ss.Initialize().estimate.mean};
+    for (int b = 0; b < 5; ++b) {
+      const auto [first, count] = kg.Append(200, 10, 0.85, 0.1, rng);
+      estimates.push_back(rs.ApplyUpdate(first, count).estimate.mean);
+      estimates.push_back(ss.ApplyUpdate(first, count).estimate.mean);
+    }
+    return estimates;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ReservoirAccountingTest, RetainedClustersAreNeverRecharged) {
+  Rng rng(17);
+  EvolvingKg kg;
+  kg.Append(2000, 10, 0.9, 0.1, rng);
+  EvaluationOptions options;
+  options.seed = 19;
+  SimulatedAnnotator annotator(&kg.oracle, kCost);
+  ReservoirIncrementalEvaluator evaluator(&kg.population, &annotator, options);
+  evaluator.Initialize();
+  const uint64_t triples_after_init = annotator.ledger().triples_annotated;
+
+  // An empty-ish update (tiny, same quality): near-zero new annotation.
+  const auto [first, count] = kg.Append(5, 10, 0.9, 0.1, rng);
+  const IncrementalUpdateReport update = evaluator.ApplyUpdate(first, count);
+  EXPECT_LE(update.newly_annotated_triples,
+            annotator.ledger().triples_annotated - triples_after_init + 1);
+  EXPECT_LE(update.newly_annotated_entities, 5u + 2u);
+}
+
+}  // namespace
+}  // namespace kgacc

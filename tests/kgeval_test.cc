@@ -1,0 +1,143 @@
+#include "core/kgeval/kgeval_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kgeval/coupling_graph.h"
+#include "kg/generator.h"
+#include "labels/gold_labels.h"
+#include "labels/synthetic_oracle.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+KnowledgeGraph SmallGraph(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> sizes = GenerateZipfSizes(120, 2.0, 10, rng);
+  GraphMaterializeOptions options;
+  options.num_predicates = 6;
+  options.object_pool = 60;
+  return MaterializeGraph(sizes, options, rng);
+}
+
+TEST(CouplingGraphTest, BuildsNodesForEveryTriple) {
+  const KnowledgeGraph kg = SmallGraph(1);
+  const CouplingGraph graph(kg, CouplingGraph::Options{});
+  EXPECT_EQ(graph.NumTriples(), kg.TotalTriples());
+}
+
+TEST(CouplingGraphTest, SameSubjectTriplesAreConnected) {
+  KnowledgeGraph kg;
+  // Three triples with the same subject and predicate.
+  for (uint32_t i = 0; i < 3; ++i) {
+    kg.Add(Triple{1, 7, ObjectRef::Entity(100 + i)});
+  }
+  const CouplingGraph graph(kg, CouplingGraph::Options{});
+  // Star wiring: the hub (first member) touches both others; every member
+  // reaches every other within two hops.
+  EXPECT_GE(graph.Neighbors(0).size(), 2u);
+  EXPECT_GE(graph.Neighbors(1).size(), 1u);
+  EXPECT_GE(graph.Neighbors(2).size(), 1u);
+  EXPECT_GT(graph.NumEdges(), 0u);
+}
+
+TEST(CouplingGraphTest, DisabledConstraintsYieldNoEdges) {
+  KnowledgeGraph kg;
+  for (uint32_t i = 0; i < 3; ++i) {
+    kg.Add(Triple{1, 7, ObjectRef::Entity(100 + i)});
+  }
+  CouplingGraph::Options options;
+  options.same_subject_predicate = false;
+  options.same_predicate_object = false;
+  options.same_subject = false;
+  const CouplingGraph graph(kg, options);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  EXPECT_TRUE(graph.Neighbors(0).empty());
+}
+
+TEST(CouplingGraphTest, GroupSizeCapLimitsWiring) {
+  KnowledgeGraph kg;
+  for (uint32_t i = 0; i < 100; ++i) {
+    kg.Add(Triple{1, 7, ObjectRef::Entity(2)});  // one giant group.
+  }
+  CouplingGraph::Options options;
+  options.max_group_size = 10;
+  const CouplingGraph graph(kg, options);
+  // Path wiring within the cap: at most (10-1) edges per constraint type.
+  EXPECT_LE(graph.NumEdges(), 3u * 9u);
+}
+
+TEST(KgEvalBaselineTest, LabelsEveryTripleAndEstimates) {
+  const KnowledgeGraph kg = SmallGraph(2);
+  // Uniform 85% accuracy.
+  const PerClusterBernoulliOracle lazy =
+      MakeRandomErrorOracle(kg.NumClusters(), 0.85, 3);
+  const GoldLabelStore gold = MaterializeLabels(lazy, kg);
+  const double truth = RealizedOverallAccuracy(gold, kg);
+
+  SimulatedAnnotator annotator(&gold, kCost);
+  KgEvalBaseline kgeval(kg, KgEvalBaseline::Options{});
+  const KgEvalBaseline::Result result = kgeval.Run(&annotator);
+
+  EXPECT_GT(result.triples_annotated, 0u);
+  EXPECT_EQ(result.triples_annotated + result.triples_inferred,
+            kg.TotalTriples());
+  // Propagation-based estimation is biased but should be in the ballpark.
+  EXPECT_NEAR(result.estimated_accuracy, truth, 0.15);
+  EXPECT_GT(result.machine_seconds, 0.0);
+  EXPECT_GT(result.annotation_seconds, 0.0);
+  EXPECT_EQ(result.ledger.triples_annotated, result.triples_annotated);
+}
+
+TEST(KgEvalBaselineTest, PropagationSavesAnnotations) {
+  const KnowledgeGraph kg = SmallGraph(4);
+  const PerClusterBernoulliOracle lazy =
+      MakeRandomErrorOracle(kg.NumClusters(), 0.9, 5);
+  const GoldLabelStore gold = MaterializeLabels(lazy, kg);
+  SimulatedAnnotator annotator(&gold, kCost);
+  KgEvalBaseline kgeval(kg, KgEvalBaseline::Options{});
+  const KgEvalBaseline::Result result = kgeval.Run(&annotator);
+  // Coupling inference must label a substantial share for free.
+  EXPECT_LT(result.triples_annotated, kg.TotalTriples());
+  EXPECT_GT(result.triples_inferred, 0u);
+}
+
+TEST(KgEvalBaselineTest, NoCouplingMeansFullAnnotation) {
+  const KnowledgeGraph kg = SmallGraph(6);
+  const PerClusterBernoulliOracle lazy =
+      MakeRandomErrorOracle(kg.NumClusters(), 0.9, 7);
+  const GoldLabelStore gold = MaterializeLabels(lazy, kg);
+  SimulatedAnnotator annotator(&gold, kCost);
+  KgEvalBaseline::Options options;
+  options.coupling.same_subject_predicate = false;
+  options.coupling.same_predicate_object = false;
+  options.coupling.same_subject = false;
+  KgEvalBaseline kgeval(kg, options);
+  const KgEvalBaseline::Result result = kgeval.Run(&annotator);
+  // Without edges, every triple must be annotated and the estimate is exact.
+  EXPECT_EQ(result.triples_annotated, kg.TotalTriples());
+  EXPECT_EQ(result.triples_inferred, 0u);
+  EXPECT_NEAR(result.estimated_accuracy, RealizedOverallAccuracy(gold, kg),
+              1e-12);
+}
+
+TEST(KgEvalBaselineTest, HigherDecayPropagatesFurther) {
+  const KnowledgeGraph kg = SmallGraph(8);
+  const PerClusterBernoulliOracle lazy =
+      MakeRandomErrorOracle(kg.NumClusters(), 0.9, 9);
+  const GoldLabelStore gold = MaterializeLabels(lazy, kg);
+
+  KgEvalBaseline::Options weak;
+  weak.decay_per_hop = 0.31;  // barely above threshold at hop 1.
+  KgEvalBaseline::Options strong;
+  strong.decay_per_hop = 0.99;
+
+  SimulatedAnnotator a1(&gold, kCost), a2(&gold, kCost);
+  const auto weak_result = KgEvalBaseline(kg, weak).Run(&a1);
+  const auto strong_result = KgEvalBaseline(kg, strong).Run(&a2);
+  EXPECT_LE(strong_result.triples_annotated, weak_result.triples_annotated);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,106 @@
+#include "kg/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/delta.h"
+
+namespace kgacc {
+namespace {
+
+Triple T(EntityId s, PredicateId p, EntityId o) {
+  return Triple{s, p, ObjectRef::Entity(o)};
+}
+
+TEST(KnowledgeGraphTest, AddGroupsBySubject) {
+  KnowledgeGraph kg;
+  kg.Add(T(1, 0, 10));
+  kg.Add(T(2, 0, 11));
+  kg.Add(T(1, 1, 12));
+  EXPECT_EQ(kg.NumClusters(), 2u);
+  EXPECT_EQ(kg.TotalTriples(), 3u);
+  EXPECT_EQ(kg.ClusterSize(0), 2u);  // subject 1.
+  EXPECT_EQ(kg.ClusterSize(1), 1u);  // subject 2.
+  EXPECT_EQ(kg.AverageClusterSize(), 1.5);
+}
+
+TEST(KnowledgeGraphTest, AddReturnsPosition) {
+  KnowledgeGraph kg;
+  const TripleRef first = kg.Add(T(5, 0, 1));
+  const TripleRef second = kg.Add(T(5, 1, 2));
+  EXPECT_EQ(first.cluster, second.cluster);
+  EXPECT_EQ(first.offset, 0u);
+  EXPECT_EQ(second.offset, 1u);
+}
+
+TEST(KnowledgeGraphTest, AtRetrievesTriple) {
+  KnowledgeGraph kg;
+  const TripleRef ref = kg.Add(T(7, 3, 42));
+  const Triple& t = kg.At(ref);
+  EXPECT_EQ(t.subject, 7u);
+  EXPECT_EQ(t.predicate, 3u);
+  EXPECT_EQ(t.object.id, 42u);
+  EXPECT_TRUE(t.object.IsEntity());
+}
+
+TEST(KnowledgeGraphTest, FindCluster) {
+  KnowledgeGraph kg;
+  kg.Add(T(100, 0, 1));
+  kg.Add(T(200, 0, 1));
+  EXPECT_EQ(kg.FindCluster(100), 0u);
+  EXPECT_EQ(kg.FindCluster(200), 1u);
+  EXPECT_EQ(kg.FindCluster(300), kg.NumClusters());  // absent sentinel.
+}
+
+TEST(KnowledgeGraphTest, ApplyMergesIntoExistingClusters) {
+  KnowledgeGraph kg;
+  kg.Add(T(1, 0, 10));
+  UpdateBatch batch = UpdateBatch::FromTriples({T(1, 1, 11), T(2, 0, 12)});
+  kg.Apply(batch, /*as_new_clusters=*/false);
+  EXPECT_EQ(kg.NumClusters(), 2u);
+  EXPECT_EQ(kg.ClusterSize(0), 2u);
+  EXPECT_EQ(kg.TotalTriples(), 3u);
+}
+
+TEST(KnowledgeGraphTest, ApplyAsNewClustersFreezesWeights) {
+  // Section 6.1: deltas become independent clusters even for known subjects.
+  KnowledgeGraph kg;
+  kg.Add(T(1, 0, 10));
+  UpdateBatch batch = UpdateBatch::FromTriples({T(1, 1, 11), T(1, 2, 12)});
+  kg.Apply(batch, /*as_new_clusters=*/true);
+  EXPECT_EQ(kg.NumClusters(), 2u);
+  EXPECT_EQ(kg.ClusterSize(0), 1u);  // original untouched.
+  EXPECT_EQ(kg.ClusterSize(1), 2u);  // delta cluster.
+  EXPECT_EQ(kg.Cluster(1).subject, 1u);
+}
+
+TEST(KnowledgeGraphTest, LiteralObjects) {
+  KnowledgeGraph kg;
+  Triple t{1, 0, ObjectRef::Literal(99)};
+  kg.Add(t);
+  EXPECT_FALSE(kg.At(TripleRef{0, 0}).object.IsEntity());
+}
+
+TEST(KnowledgeGraphTest, ClusterSizesVector) {
+  KnowledgeGraph kg;
+  kg.Add(T(1, 0, 1));
+  kg.Add(T(1, 0, 2));
+  kg.Add(T(2, 0, 3));
+  EXPECT_EQ(kg.ClusterSizes(), (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(KnowledgeGraphDeathTest, OutOfRangeAccessAborts) {
+  KnowledgeGraph kg;
+  kg.Add(T(1, 0, 1));
+  EXPECT_DEATH({ (void)kg.Cluster(5); }, "out of range");
+  EXPECT_DEATH({ (void)kg.At(TripleRef{0, 3}); }, "out of range");
+}
+
+TEST(EmptyGraphTest, ZeroEverything) {
+  KnowledgeGraph kg;
+  EXPECT_EQ(kg.NumClusters(), 0u);
+  EXPECT_EQ(kg.TotalTriples(), 0u);
+  EXPECT_EQ(kg.AverageClusterSize(), 0.0);
+}
+
+}  // namespace
+}  // namespace kgacc

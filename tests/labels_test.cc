@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kg/cluster_population.h"
+#include "labels/gold_labels.h"
+#include "labels/synthetic_oracle.h"
+#include "labels/truth_oracle.h"
+
+namespace kgacc {
+namespace {
+
+TEST(PerClusterBernoulliTest, Deterministic) {
+  const PerClusterBernoulliOracle oracle({0.5, 0.9}, 7);
+  for (uint64_t offset = 0; offset < 50; ++offset) {
+    const TripleRef ref{0, offset};
+    EXPECT_EQ(oracle.IsCorrect(ref), oracle.IsCorrect(ref));
+  }
+}
+
+TEST(PerClusterBernoulliTest, RateMatchesProbability) {
+  PerClusterBernoulliOracle oracle({0.8}, 11);
+  uint64_t correct = 0;
+  const uint64_t n = 100000;
+  for (uint64_t offset = 0; offset < n; ++offset) {
+    if (oracle.IsCorrect(TripleRef{0, offset})) ++correct;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.8, 0.01);
+}
+
+TEST(PerClusterBernoulliTest, ExtremesAreDeterministic) {
+  const PerClusterBernoulliOracle oracle({0.0, 1.0}, 13);
+  for (uint64_t offset = 0; offset < 100; ++offset) {
+    EXPECT_FALSE(oracle.IsCorrect(TripleRef{0, offset}));
+    EXPECT_TRUE(oracle.IsCorrect(TripleRef{1, offset}));
+  }
+}
+
+TEST(PerClusterBernoulliTest, AppendExtends) {
+  PerClusterBernoulliOracle oracle(3);
+  EXPECT_EQ(oracle.Append(0.5), 0u);
+  EXPECT_EQ(oracle.Append(0.7), 1u);
+  EXPECT_EQ(oracle.NumClusters(), 2u);
+  EXPECT_DOUBLE_EQ(oracle.ClusterProbability(1), 0.7);
+}
+
+TEST(RandomErrorModelTest, UniformAccuracyAcrossClusters) {
+  const PerClusterBernoulliOracle oracle = MakeRandomErrorOracle(100, 0.9, 17);
+  EXPECT_EQ(oracle.NumClusters(), 100u);
+  for (uint64_t c = 0; c < 100; ++c) {
+    EXPECT_DOUBLE_EQ(oracle.ClusterProbability(c), 0.9);
+  }
+}
+
+TEST(BmmTest, SigmoidShapeOfEq15) {
+  const BmmParams params{.k = 3.0, .c = 0.5, .sigma = 0.0};
+  // Below k: 0.5.
+  EXPECT_DOUBLE_EQ(BmmExpectedAccuracy(1.0, params), 0.5);
+  EXPECT_DOUBLE_EQ(BmmExpectedAccuracy(2.9, params), 0.5);
+  // At k: sigmoid(0) = 0.5 (continuous).
+  EXPECT_DOUBLE_EQ(BmmExpectedAccuracy(3.0, params), 0.5);
+  // Monotone increasing above k.
+  double prev = 0.5;
+  for (double size = 4.0; size <= 30.0; size += 1.0) {
+    const double p = BmmExpectedAccuracy(size, params);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  // Large clusters approach 1.
+  EXPECT_GT(BmmExpectedAccuracy(100.0, params), 0.99);
+}
+
+TEST(BmmTest, SmallerCWeakensCorrelation) {
+  const BmmParams strong{.k = 3.0, .c = 0.5, .sigma = 0.0};
+  const BmmParams weak{.k = 3.0, .c = 0.00001, .sigma = 0.0};
+  // With tiny c the sigmoid stays near 0.5 even for large clusters.
+  EXPECT_LT(BmmExpectedAccuracy(50.0, weak), 0.51);
+  EXPECT_GT(BmmExpectedAccuracy(50.0, strong), 0.9);
+}
+
+TEST(BmmTest, OracleProbabilitiesTrackSizes) {
+  const std::vector<uint32_t> sizes = {1, 2, 5, 20, 100, 500};
+  const PerClusterBernoulliOracle oracle =
+      MakeBinomialMixtureOracle(sizes, BmmParams{.k = 3, .c = 0.05, .sigma = 0.0},
+                                23);
+  // sigma = 0: probabilities are exactly Eq 15.
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_NEAR(oracle.ClusterProbability(i),
+                BmmExpectedAccuracy(sizes[i], BmmParams{.k = 3, .c = 0.05}),
+                1e-12);
+  }
+}
+
+TEST(BmmTest, NoiseIsClamped) {
+  const std::vector<uint32_t> sizes(1000, 10);
+  const PerClusterBernoulliOracle oracle = MakeBinomialMixtureOracle(
+      sizes, BmmParams{.k = 3, .c = 0.01, .sigma = 1.0}, 29);
+  for (uint64_t c = 0; c < 1000; ++c) {
+    EXPECT_GE(oracle.ClusterProbability(c), 0.0);
+    EXPECT_LE(oracle.ClusterProbability(c), 1.0);
+  }
+}
+
+TEST(GoldLabelStoreTest, SetAndGet) {
+  GoldLabelStore store;
+  store.Set(TripleRef{2, 3}, true);
+  EXPECT_TRUE(store.IsCorrect(TripleRef{2, 3}));
+  EXPECT_FALSE(store.IsCorrect(TripleRef{2, 2}));  // default false.
+}
+
+TEST(GoldLabelStoreTest, PresizedFromClusterSizes) {
+  GoldLabelStore store(std::vector<uint64_t>{2, 3});
+  EXPECT_EQ(store.NumClusters(), 2u);
+  EXPECT_FALSE(store.IsCorrect(TripleRef{1, 2}));
+  store.Set(TripleRef{1, 2}, true);
+  EXPECT_TRUE(store.IsCorrect(TripleRef{1, 2}));
+}
+
+TEST(GoldLabelStoreTest, ValidateCoverage) {
+  const ClusterPopulation pop({2, 3});
+  GoldLabelStore partial(std::vector<uint64_t>{2, 1});
+  EXPECT_TRUE(partial.ValidateCoverage(pop).IsFailedPrecondition());
+  GoldLabelStore full(std::vector<uint64_t>{2, 3});
+  EXPECT_TRUE(full.ValidateCoverage(pop).ok());
+}
+
+TEST(GoldLabelStoreTest, MaterializeFreezesLazyOracle) {
+  const ClusterPopulation pop({5, 5});
+  const PerClusterBernoulliOracle lazy({0.4, 0.9}, 31);
+  const GoldLabelStore frozen = MaterializeLabels(lazy, pop);
+  for (uint64_t c = 0; c < 2; ++c) {
+    for (uint64_t o = 0; o < 5; ++o) {
+      EXPECT_EQ(frozen.IsCorrect(TripleRef{c, o}),
+                lazy.IsCorrect(TripleRef{c, o}));
+    }
+  }
+}
+
+TEST(RealizedAccuracyTest, ClusterAndOverall) {
+  const ClusterPopulation pop({4, 6});
+  GoldLabelStore store(std::vector<uint64_t>{4, 6});
+  store.Set(TripleRef{0, 0}, true);
+  store.Set(TripleRef{0, 1}, true);
+  for (uint64_t o = 0; o < 6; ++o) store.Set(TripleRef{1, o}, true);
+  EXPECT_DOUBLE_EQ(RealizedClusterAccuracy(store, 0, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RealizedClusterAccuracy(store, 1, 6), 1.0);
+  EXPECT_DOUBLE_EQ(RealizedOverallAccuracy(store, pop), 0.8);
+}
+
+TEST(SyntheticOracleDeathTest, BadProbabilityAborts) {
+  EXPECT_DEATH({ PerClusterBernoulliOracle oracle({1.5}, 1); }, "out of");
+}
+
+}  // namespace
+}  // namespace kgacc

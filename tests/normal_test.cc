@@ -1,0 +1,72 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-3.0), 0.0013498980316300933, 1e-12);
+}
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-16);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.5758293035489004, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-10);
+}
+
+TEST(NormalQuantileTest, RoundTripsThroughCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-11) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, ExtremeTails) {
+  // Deep tails stay finite and monotone.
+  const double q_low = NormalQuantile(1e-12);
+  const double q_high = NormalQuantile(1.0 - 1e-12);
+  EXPECT_LT(q_low, -6.0);
+  EXPECT_GT(q_high, 6.0);
+  // Symmetry: the upper branch computes via 1-p where floating cancellation
+  // costs a few ulps more than the lower branch; allow a loose 1e-4.
+  EXPECT_NEAR(q_low, -q_high, 1e-4);
+}
+
+TEST(NormalQuantileTest, Monotone) {
+  double prev = NormalQuantile(0.0001);
+  for (double p = 0.001; p < 0.9995; p += 0.0007) {
+    const double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ZCriticalTest, StandardConfidenceLevels) {
+  EXPECT_NEAR(ZCritical(0.05), 1.959963984540054, 1e-10);   // 95%.
+  EXPECT_NEAR(ZCritical(0.01), 2.5758293035489004, 1e-10);  // 99%.
+  EXPECT_NEAR(ZCritical(0.10), 1.6448536269514722, 1e-10);  // 90%.
+}
+
+TEST(NormalDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH({ (void)NormalQuantile(0.0); }, "requires p");
+  EXPECT_DEATH({ (void)NormalQuantile(1.0); }, "requires p");
+  EXPECT_DEATH({ (void)ZCritical(0.0); }, "requires alpha");
+  EXPECT_DEATH({ (void)ZCritical(1.0); }, "requires alpha");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,112 @@
+#include "core/optimal_m.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/cluster_population.h"
+#include "labels/annotator.h"
+#include "labels/gold_labels.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+TEST(ChooseOptimalMTest, PureClustersPreferM1) {
+  // All within-cluster variance is zero (mu_i in {0,1}); extra second-stage
+  // triples add cost but no information -> m = 1 is optimal.
+  ClusterPopulationStats pop;
+  pop.sizes = {10, 10, 10, 10};
+  pop.accuracies = {1.0, 0.0, 1.0, 1.0};
+  const OptimalMResult result = ChooseOptimalM(pop, kCost, 0.05, 0.05, 10);
+  EXPECT_EQ(result.best_m, 1u);
+  ASSERT_EQ(result.predicted_cost_seconds.size(), 10u);
+  // Objective is increasing in m here.
+  for (size_t i = 1; i < result.predicted_cost_seconds.size(); ++i) {
+    EXPECT_GE(result.predicted_cost_seconds[i],
+              result.predicted_cost_seconds[i - 1] * 0.999);
+  }
+}
+
+TEST(ChooseOptimalMTest, HomogeneousAccuracyPrefersLargeM) {
+  // All clusters share mu_i = 0.5: between-cluster variance is zero and the
+  // within term ~ 1/m; since n(m) shrinks like 1/m while per-draw cost grows
+  // like c1 + m c2, larger m keeps winning until the (absent here) between
+  // term dominates.
+  ClusterPopulationStats pop;
+  pop.sizes.assign(100, 50);
+  pop.accuracies.assign(100, 0.5);
+  const OptimalMResult result = ChooseOptimalM(pop, kCost, 0.05, 0.05, 20);
+  EXPECT_GT(result.best_m, 10u);
+}
+
+TEST(ChooseOptimalMTest, MixedPopulationHasInteriorOptimum) {
+  // Realistic mix (the paper finds m* in 3..5): moderate between-cluster
+  // and within-cluster variance.
+  kgacc::testing::TestPopulation tp =
+      kgacc::testing::MakeTestPopulation(400, 30, 0.8, 0.3, 99);
+  ClusterPopulationStats pop;
+  for (uint64_t i = 0; i < tp.population.NumClusters(); ++i) {
+    pop.sizes.push_back(tp.population.ClusterSize(i));
+    pop.accuracies.push_back(tp.oracle.ClusterProbability(i));
+  }
+  const OptimalMResult result = ChooseOptimalM(pop, kCost, 0.05, 0.05, 20);
+  EXPECT_GE(result.best_m, 2u);
+  EXPECT_LE(result.best_m, 8u);
+  // The required draws must decrease with m (variance decreases).
+  for (size_t i = 1; i < result.required_draws.size(); ++i) {
+    EXPECT_LE(result.required_draws[i], result.required_draws[i - 1]);
+  }
+}
+
+TEST(ChooseOptimalMTest, BestIndexConsistentWithTable) {
+  ClusterPopulationStats pop;
+  pop.sizes = {4, 2, 6, 1, 9, 3};
+  pop.accuracies = {0.5, 1.0, 0.5, 0.0, 0.8, 0.9};
+  const OptimalMResult result = ChooseOptimalM(pop, kCost, 0.05, 0.05, 12);
+  double best = result.predicted_cost_seconds[result.best_m - 1];
+  for (double cost : result.predicted_cost_seconds) {
+    EXPECT_GE(cost, best - 1e-9);
+  }
+}
+
+TEST(BuildPopulationStatsTest, MatchesOracle) {
+  const ClusterPopulation pop({3, 2});
+  GoldLabelStore store(std::vector<uint64_t>{3, 2});
+  store.Set(TripleRef{0, 0}, true);
+  store.Set(TripleRef{0, 1}, true);
+  store.Set(TripleRef{1, 0}, true);
+  store.Set(TripleRef{1, 1}, true);
+  const ClusterPopulationStats stats = BuildPopulationStats(pop, store);
+  ASSERT_EQ(stats.sizes.size(), 2u);
+  EXPECT_EQ(stats.sizes[0], 3u);
+  EXPECT_NEAR(stats.accuracies[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.accuracies[1], 1.0, 1e-12);
+}
+
+TEST(PilotOptimalMTest, ReturnsValidMAndChargesCost) {
+  kgacc::testing::TestPopulation tp =
+      kgacc::testing::MakeTestPopulation(200, 20, 0.7, 0.3, 7);
+  SimulatedAnnotator annotator(&tp.oracle, kCost);
+  const Result<OptimalMResult> result =
+      PilotOptimalM(tp.population, &annotator, 0.05, 0.05,
+                    /*pilot_clusters=*/25, /*m_max=*/15, /*seed=*/3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->best_m, 1u);
+  EXPECT_LE(result->best_m, 15u);
+  // The pilot annotated real triples.
+  EXPECT_GT(annotator.ledger().triples_annotated, 0u);
+  EXPECT_GT(annotator.ElapsedSeconds(), 0.0);
+}
+
+TEST(PilotOptimalMTest, RejectsTinyPilot) {
+  kgacc::testing::TestPopulation tp =
+      kgacc::testing::MakeTestPopulation(10, 5, 0.9, 0.1, 8);
+  SimulatedAnnotator annotator(&tp.oracle, kCost);
+  EXPECT_TRUE(PilotOptimalM(tp.population, &annotator, 0.05, 0.05, 1, 10, 3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,126 @@
+#include "sampling/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(UniformReservoirTest, KeepsAllWhenStreamFits) {
+  UniformReservoirSampler sampler(10);
+  Rng rng(1);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(sampler.Offer(i, rng).has_value());
+  }
+  EXPECT_EQ(sampler.items().size(), 5u);
+  EXPECT_EQ(sampler.stream_size(), 5u);
+}
+
+TEST(UniformReservoirTest, FixedSizeAfterFill) {
+  UniformReservoirSampler sampler(3);
+  Rng rng(2);
+  for (uint64_t i = 0; i < 100; ++i) sampler.Offer(i, rng);
+  EXPECT_EQ(sampler.items().size(), 3u);
+  EXPECT_EQ(sampler.stream_size(), 100u);
+}
+
+TEST(UniformReservoirTest, UniformInclusionProbability) {
+  const uint64_t stream = 50;
+  const uint64_t capacity = 10;
+  std::vector<int> counts(stream, 0);
+  const int trials = 20000;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    UniformReservoirSampler sampler(capacity);
+    for (uint64_t i = 0; i < stream; ++i) sampler.Offer(i, rng);
+    for (uint64_t item : sampler.items()) ++counts[item];
+  }
+  const double expected = static_cast<double>(capacity) / stream;  // 0.2.
+  for (uint64_t i = 0; i < stream; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, expected, 0.02)
+        << "item " << i;
+  }
+}
+
+TEST(WeightedReservoirTest, FillsToCapacity) {
+  WeightedReservoirSampler sampler(4);
+  Rng rng(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    const auto outcome = sampler.Offer(i, 1.0, rng);
+    EXPECT_TRUE(outcome.inserted);
+    EXPECT_FALSE(outcome.evicted.has_value());
+  }
+  EXPECT_EQ(sampler.size(), 4u);
+}
+
+TEST(WeightedReservoirTest, EvictionReportsVictim) {
+  WeightedReservoirSampler sampler(2);
+  Rng rng(5);
+  sampler.Offer(0, 1.0, rng);
+  sampler.Offer(1, 1.0, rng);
+  // A huge weight almost surely displaces an incumbent.
+  const auto outcome = sampler.Offer(2, 1e9, rng);
+  ASSERT_TRUE(outcome.inserted);
+  ASSERT_TRUE(outcome.evicted.has_value());
+  EXPECT_TRUE(*outcome.evicted == 0 || *outcome.evicted == 1);
+  const auto items = sampler.Items();
+  EXPECT_NE(std::find(items.begin(), items.end(), 2), items.end());
+}
+
+TEST(WeightedReservoirTest, MinKeyInfiniteWhileSpare) {
+  WeightedReservoirSampler sampler(2);
+  Rng rng(6);
+  EXPECT_TRUE(std::isinf(sampler.MinKey()));
+  sampler.Offer(0, 1.0, rng);
+  EXPECT_TRUE(std::isinf(sampler.MinKey()));
+  sampler.Offer(1, 1.0, rng);
+  EXPECT_FALSE(std::isinf(sampler.MinKey()));
+  EXPECT_GT(sampler.MinKey(), 0.0);
+  EXPECT_LT(sampler.MinKey(), 1.0);
+}
+
+TEST(WeightedReservoirTest, InclusionGrowsWithWeight) {
+  // Items 0..9 with weight w_i = i+1; capacity 3. Heavier items must appear
+  // more often across trials (A-Res property).
+  const int trials = 30000;
+  std::vector<int> counts(10, 0);
+  Rng rng(7);
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler sampler(3);
+    for (uint64_t i = 0; i < 10; ++i) {
+      sampler.Offer(i, static_cast<double>(i + 1), rng);
+    }
+    for (uint64_t item : sampler.Items()) ++counts[item];
+  }
+  // Monotonically increasing inclusion (allowing small statistical slack).
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_GT(counts[i] + trials / 50, counts[i - 1])
+        << "inclusion not increasing at item " << i;
+  }
+  // The heaviest item should be sampled far more often than the lightest.
+  EXPECT_GT(counts[9], counts[0] * 3);
+}
+
+TEST(WeightedReservoirTest, GrowAndInsertExpandsCapacity) {
+  WeightedReservoirSampler sampler(2);
+  Rng rng(8);
+  sampler.Offer(0, 1.0, rng);
+  sampler.Offer(1, 1.0, rng);
+  sampler.GrowAndInsert(7, 0.5);
+  EXPECT_EQ(sampler.capacity(), 3u);
+  EXPECT_EQ(sampler.size(), 3u);
+  const auto items = sampler.Items();
+  EXPECT_NE(std::find(items.begin(), items.end(), 7), items.end());
+}
+
+TEST(WeightedReservoirDeathTest, NonPositiveWeightAborts) {
+  WeightedReservoirSampler sampler(1);
+  Rng rng(9);
+  EXPECT_DEATH({ sampler.Offer(0, 0.0, rng); }, "positive");
+}
+
+}  // namespace
+}  // namespace kgacc

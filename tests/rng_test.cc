@@ -1,0 +1,145 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexRespectsBound) {
+  Rng rng(11);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformIndex(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIndexRoughlyUniform) {
+  Rng rng(13);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformIndex(bound)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit.
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, UniformDoublePositiveNeverZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100000; ++i) EXPECT_GT(rng.UniformDoublePositive(), 0.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(37);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(HashTest, HashCombineDeterministicAndSensitive) {
+  EXPECT_EQ(HashCombine(1, 2, 3), HashCombine(1, 2, 3));
+  EXPECT_NE(HashCombine(1, 2, 3), HashCombine(1, 3, 2));
+  EXPECT_NE(HashCombine(1, 2, 3), HashCombine(2, 2, 3));
+}
+
+TEST(HashTest, ToUnitDoubleRange) {
+  EXPECT_GE(ToUnitDouble(0), 0.0);
+  EXPECT_LT(ToUnitDouble(~0ull), 1.0);
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    const uint64_t a = Mix64(0x1234567890abcdefULL);
+    const uint64_t b = Mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg_flips = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg_flips, 24.0);
+  EXPECT_LT(avg_flips, 40.0);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,113 @@
+#include "stats/running_stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+double NaiveMean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double NaiveSampleVariance(const std::vector<double>& xs) {
+  const double mean = NaiveMean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - mean) * (x - mean);
+  return sum_sq / static_cast<double>(xs.size() - 1);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.SampleVariance(), 0.0);
+  EXPECT_EQ(stats.PopulationVariance(), 0.0);
+  EXPECT_EQ(stats.VarianceOfMean(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.Count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_EQ(stats.SampleVariance(), 0.0);
+  EXPECT_EQ(stats.VarianceOfMean(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  Rng rng(99);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    xs.push_back(x);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.Mean(), NaiveMean(xs), 1e-10);
+  EXPECT_NEAR(stats.SampleVariance(), NaiveSampleVariance(xs), 1e-8);
+  EXPECT_NEAR(stats.VarianceOfMean(), NaiveSampleVariance(xs) / 1000.0, 1e-10);
+}
+
+TEST(RunningStatsTest, PopulationVsSampleVariance) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0}) stats.Add(x);
+  EXPECT_NEAR(stats.SampleVariance(), 1.0, 1e-12);
+  EXPECT_NEAR(stats.PopulationVariance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats a, b, sequential;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.UniformDouble();
+    a.Add(x);
+    sequential.Add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Gaussian(1.0, 0.5);
+    b.Add(x);
+    sequential.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), sequential.Count());
+  EXPECT_NEAR(a.Mean(), sequential.Mean(), 1e-10);
+  EXPECT_NEAR(a.SampleVariance(), sequential.SampleVariance(), 1e-8);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean_before = a.Mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), mean_before);
+
+  RunningStats c;
+  c.Merge(a);
+  EXPECT_EQ(c.Count(), 2u);
+  EXPECT_DOUBLE_EQ(c.Mean(), mean_before);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  // Catastrophic cancellation check: values with a huge common offset.
+  RunningStats stats;
+  for (double x : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0}) stats.Add(x);
+  EXPECT_NEAR(stats.SampleVariance(), 1.0, 1e-6);
+}
+
+TEST(RunningStatsTest, StdDevIsSqrtOfVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) stats.Add(x);
+  EXPECT_NEAR(stats.SampleStdDev(), std::sqrt(stats.SampleVariance()), 1e-12);
+}
+
+}  // namespace
+}  // namespace kgacc

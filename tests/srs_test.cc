@@ -1,0 +1,118 @@
+#include "sampling/srs.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/cluster_population.h"
+
+namespace kgacc {
+namespace {
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(1);
+  for (uint64_t k : {1ull, 5ull, 50ull, 99ull}) {
+    const auto sample = SampleIndicesWithoutReplacement(100, k, rng);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (uint64_t idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullPopulationWhenKTooLarge) {
+  Rng rng(2);
+  const auto sample = SampleIndicesWithoutReplacement(10, 20, rng);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, KZero) {
+  Rng rng(3);
+  EXPECT_TRUE(SampleIndicesWithoutReplacement(10, 0, rng).empty());
+}
+
+TEST(SampleWithoutReplacementTest, UniformInclusionProbability) {
+  Rng rng(4);
+  const uint64_t population = 20;
+  const uint64_t k = 5;
+  std::vector<int> counts(population, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    for (uint64_t idx : SampleIndicesWithoutReplacement(population, k, rng)) {
+      ++counts[idx];
+    }
+  }
+  const double expected = static_cast<double>(k) / population;  // 0.25.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, expected, 0.015);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, DenseAndSparsePathsAgreeOnCoverage) {
+  // k just above/below the dense-path threshold (population/3).
+  Rng rng(5);
+  const auto sparse = SampleIndicesWithoutReplacement(1000, 100, rng);
+  const auto dense = SampleIndicesWithoutReplacement(1000, 600, rng);
+  EXPECT_EQ(sparse.size(), 100u);
+  EXPECT_EQ(dense.size(), 600u);
+  EXPECT_EQ(std::set<uint64_t>(dense.begin(), dense.end()).size(), 600u);
+}
+
+TEST(TriplePrefixIndexTest, MapsGlobalIndices) {
+  const ClusterPopulation pop({3, 1, 2});
+  const TriplePrefixIndex index(pop);
+  EXPECT_EQ(index.TotalTriples(), 6u);
+  EXPECT_EQ(index.Lookup(0), (TripleRef{0, 0}));
+  EXPECT_EQ(index.Lookup(2), (TripleRef{0, 2}));
+  EXPECT_EQ(index.Lookup(3), (TripleRef{1, 0}));
+  EXPECT_EQ(index.Lookup(4), (TripleRef{2, 0}));
+  EXPECT_EQ(index.Lookup(5), (TripleRef{2, 1}));
+}
+
+TEST(TriplePrefixIndexDeathTest, OutOfRangeAborts) {
+  const ClusterPopulation pop({2});
+  const TriplePrefixIndex index(pop);
+  EXPECT_DEATH({ (void)index.Lookup(2); }, "out of range");
+}
+
+TEST(SrsTripleSamplerTest, BatchesAreDisjoint) {
+  const ClusterPopulation pop({10, 10, 10});
+  SrsTripleSampler sampler(pop);
+  Rng rng(6);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (const TripleRef& ref : sampler.NextBatch(8, rng)) {
+      EXPECT_TRUE(seen.emplace(ref.cluster, ref.offset).second)
+          << "duplicate draw across batches";
+    }
+  }
+  EXPECT_EQ(sampler.NumDrawn(), 24u);
+}
+
+TEST(SrsTripleSamplerTest, ExhaustsPopulationExactly) {
+  const ClusterPopulation pop({2, 3});
+  SrsTripleSampler sampler(pop);
+  Rng rng(7);
+  const auto first = sampler.NextBatch(4, rng);
+  const auto second = sampler.NextBatch(4, rng);  // only 1 left.
+  const auto third = sampler.NextBatch(4, rng);   // empty.
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_TRUE(third.empty());
+}
+
+TEST(SrsTripleSamplerTest, RefsAreValidPositions) {
+  const ClusterPopulation pop({5, 2, 9, 1});
+  SrsTripleSampler sampler(pop);
+  Rng rng(8);
+  for (const TripleRef& ref : sampler.NextBatch(17, rng)) {
+    ASSERT_LT(ref.cluster, pop.NumClusters());
+    EXPECT_LT(ref.offset, pop.ClusterSize(ref.cluster));
+  }
+}
+
+}  // namespace
+}  // namespace kgacc

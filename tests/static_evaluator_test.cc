@@ -1,0 +1,178 @@
+#include "core/static_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/running_stats.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+using kgacc::testing::MakeTestPopulation;
+using kgacc::testing::TestPopulation;
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+EvaluationOptions DefaultOptions(uint64_t seed) {
+  EvaluationOptions options;
+  options.moe_target = 0.05;
+  options.confidence = 0.95;
+  options.seed = seed;
+  return options;
+}
+
+class StaticEvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pop_ = MakeTestPopulation(500, 15, 0.8, 0.2, 31337);
+    truth_ = RealizedOverallAccuracy(pop_.oracle, pop_.population);
+  }
+  TestPopulation pop_;
+  double truth_ = 0.0;
+};
+
+TEST_F(StaticEvaluatorTest, AllDesignsConvergeAndSatisfyMoE) {
+  SimulatedAnnotator a1(&pop_.oracle, kCost), a2(&pop_.oracle, kCost),
+      a3(&pop_.oracle, kCost), a4(&pop_.oracle, kCost);
+  StaticEvaluator srs(pop_.population, &a1, DefaultOptions(1));
+  StaticEvaluator rcs(pop_.population, &a2, DefaultOptions(2));
+  StaticEvaluator wcs(pop_.population, &a3, DefaultOptions(3));
+  StaticEvaluator twcs(pop_.population, &a4, DefaultOptions(4));
+
+  for (const EvaluationResult& r :
+       {srs.EvaluateSrs(), rcs.EvaluateRcs(), wcs.EvaluateWcs(),
+        twcs.EvaluateTwcs()}) {
+    EXPECT_TRUE(r.converged) << r.design;
+    EXPECT_LE(r.moe, 0.05 + 1e-12) << r.design;
+    EXPECT_GE(r.estimate.num_units, 30u) << r.design;
+    // The point estimate should be within ~2 MoE of the truth (generous).
+    EXPECT_NEAR(r.estimate.mean, truth_, 2.5 * 0.05) << r.design;
+    EXPECT_GT(r.annotation_seconds, 0.0) << r.design;
+    EXPECT_GT(r.rounds, 0u) << r.design;
+  }
+}
+
+TEST_F(StaticEvaluatorTest, LedgerMatchesCostModel) {
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  StaticEvaluator evaluator(pop_.population, &annotator, DefaultOptions(5));
+  const EvaluationResult r = evaluator.EvaluateTwcs();
+  EXPECT_DOUBLE_EQ(r.annotation_seconds,
+                   kCost.SampleCostSeconds(r.ledger.entities_identified,
+                                           r.ledger.triples_annotated));
+}
+
+TEST_F(StaticEvaluatorTest, TwcsCheaperThanSrsOnClusteredPopulation) {
+  // The paper's headline: TWCS cuts annotation cost vs SRS. Averaged over
+  // several seeds to avoid flakiness.
+  RunningStats srs_cost, twcs_cost;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    SimulatedAnnotator a1(&pop_.oracle, kCost), a2(&pop_.oracle, kCost);
+    StaticEvaluator srs(pop_.population, &a1, DefaultOptions(100 + seed));
+    StaticEvaluator twcs(pop_.population, &a2, DefaultOptions(200 + seed));
+    srs_cost.Add(srs.EvaluateSrs().annotation_seconds);
+    twcs_cost.Add(twcs.EvaluateTwcs().annotation_seconds);
+  }
+  EXPECT_LT(twcs_cost.Mean(), srs_cost.Mean());
+}
+
+TEST_F(StaticEvaluatorTest, MinUnitsIsRespected) {
+  // Nearly perfect KG: MoE is met immediately, but the evaluator must still
+  // draw min_units before trusting the CLT.
+  TestPopulation perfect = MakeTestPopulation(100, 5, 1.0, 0.0, 1);
+  SimulatedAnnotator annotator(&perfect.oracle, kCost);
+  EvaluationOptions options = DefaultOptions(6);
+  options.min_units = 40;
+  StaticEvaluator evaluator(perfect.population, &annotator, options);
+  const EvaluationResult r = evaluator.EvaluateTwcs();
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.estimate.num_units, 40u);
+  EXPECT_NEAR(r.estimate.mean, 1.0, 1e-12);
+}
+
+TEST_F(StaticEvaluatorTest, CostBudgetStopsEvaluation) {
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  EvaluationOptions options = DefaultOptions(7);
+  options.moe_target = 0.001;          // practically unreachable...
+  options.max_cost_seconds = 3600.0;   // ...within one budgeted hour.
+  StaticEvaluator evaluator(pop_.population, &annotator, options);
+  const EvaluationResult r = evaluator.EvaluateSrs();
+  EXPECT_FALSE(r.converged);
+  EXPECT_GE(r.annotation_seconds, 3600.0);
+  // One batch of overshoot at most.
+  EXPECT_LT(r.annotation_seconds, 3600.0 + 70.0 * (options.batch_units + 1));
+}
+
+TEST_F(StaticEvaluatorTest, MaxUnitsStopsEvaluation) {
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  EvaluationOptions options = DefaultOptions(8);
+  options.moe_target = 1e-6;
+  options.max_units = 100;
+  StaticEvaluator evaluator(pop_.population, &annotator, options);
+  const EvaluationResult r = evaluator.EvaluateTwcs();
+  EXPECT_FALSE(r.converged);
+  EXPECT_GE(r.estimate.num_units, 100u);
+  EXPECT_LT(r.estimate.num_units, 100u + options.batch_units + 1);
+}
+
+TEST_F(StaticEvaluatorTest, SrsExhaustsSmallPopulationGracefully) {
+  TestPopulation tiny = MakeTestPopulation(5, 3, 0.5, 0.5, 2);
+  SimulatedAnnotator annotator(&tiny.oracle, kCost);
+  EvaluationOptions options = DefaultOptions(9);
+  options.moe_target = 1e-9;  // force exhaustion.
+  options.max_units = 0;      // no cap.
+  StaticEvaluator evaluator(tiny.population, &annotator, options);
+  const EvaluationResult r = evaluator.EvaluateSrs();
+  // Every triple annotated exactly once.
+  EXPECT_EQ(r.ledger.triples_annotated, tiny.population.TotalTriples());
+  EXPECT_NEAR(r.estimate.mean,
+              RealizedOverallAccuracy(tiny.oracle, tiny.population), 1e-12);
+}
+
+TEST_F(StaticEvaluatorTest, ExplicitMIsUsed) {
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  EvaluationOptions options = DefaultOptions(10);
+  options.m = 7;
+  StaticEvaluator evaluator(pop_.population, &annotator, options);
+  EXPECT_EQ(evaluator.ResolveSecondStageSize(), 7u);
+}
+
+TEST_F(StaticEvaluatorTest, AutoMDefaultsWithoutStats) {
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  StaticEvaluator evaluator(pop_.population, &annotator, DefaultOptions(11));
+  EXPECT_EQ(evaluator.ResolveSecondStageSize(), 5u);  // paper guideline.
+}
+
+TEST_F(StaticEvaluatorTest, AutoMUsesPopulationStats) {
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  StaticEvaluator evaluator(pop_.population, &annotator, DefaultOptions(12));
+  const ClusterPopulationStats stats =
+      BuildPopulationStats(pop_.population, pop_.oracle);
+  evaluator.SetPopulationStatsForAutoM(&stats);
+  const uint64_t m = evaluator.ResolveSecondStageSize();
+  EXPECT_GE(m, 1u);
+  EXPECT_LE(m, 20u);
+  const OptimalMResult expected = ChooseOptimalM(stats, kCost, 0.05, 0.05);
+  EXPECT_EQ(m, expected.best_m);
+}
+
+TEST_F(StaticEvaluatorTest, DeterministicGivenSeed) {
+  SimulatedAnnotator a1(&pop_.oracle, kCost), a2(&pop_.oracle, kCost);
+  StaticEvaluator e1(pop_.population, &a1, DefaultOptions(77));
+  StaticEvaluator e2(pop_.population, &a2, DefaultOptions(77));
+  const EvaluationResult r1 = e1.EvaluateTwcs();
+  const EvaluationResult r2 = e2.EvaluateTwcs();
+  EXPECT_DOUBLE_EQ(r1.estimate.mean, r2.estimate.mean);
+  EXPECT_EQ(r1.ledger.triples_annotated, r2.ledger.triples_annotated);
+}
+
+TEST(StaticEvaluatorDeathTest, EmptyGraphAborts) {
+  const ClusterPopulation empty;
+  const PerClusterBernoulliOracle oracle(1);
+  SimulatedAnnotator annotator(&oracle, kCost);
+  EXPECT_DEATH(
+      { StaticEvaluator evaluator(empty, &annotator, EvaluationOptions{}); },
+      "empty graph");
+}
+
+}  // namespace
+}  // namespace kgacc

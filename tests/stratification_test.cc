@@ -1,0 +1,107 @@
+#include "stats/stratification.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(CumSqrtFTest, SeparatesBimodalData) {
+  // Two well-separated modes around 1 and 100.
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(1.0 + (i % 5));
+  for (int i = 0; i < 500; ++i) values.push_back(100.0 + (i % 5));
+  const std::vector<double> boundaries = CumulativeSqrtFBoundaries(values, 2);
+  ASSERT_EQ(boundaries.size(), 1u);
+  // The cut must land in the gap: at or above the low mode's maximum (5)
+  // and strictly below the high mode's minimum (100).
+  EXPECT_GE(boundaries[0], 5.0);
+  EXPECT_LT(boundaries[0], 100.0);
+  // Every low-mode value lands in stratum 0, every high-mode value in 1.
+  const std::vector<uint32_t> assignment = AssignStrata(values, boundaries);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(assignment[i], values[i] < 50.0 ? 0u : 1u);
+  }
+}
+
+TEST(CumSqrtFTest, SingleStratumNeedsNoBoundaries) {
+  EXPECT_TRUE(CumulativeSqrtFBoundaries({1.0, 2.0, 3.0}, 1).empty());
+}
+
+TEST(CumSqrtFTest, DegenerateAllEqual) {
+  EXPECT_TRUE(CumulativeSqrtFBoundaries({5.0, 5.0, 5.0}, 3).empty());
+}
+
+TEST(CumSqrtFTest, EmptyInput) {
+  EXPECT_TRUE(CumulativeSqrtFBoundaries({}, 4).empty());
+}
+
+TEST(CumSqrtFTest, BoundariesAreAscending) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i % 97));
+  const std::vector<double> boundaries = CumulativeSqrtFBoundaries(values, 4);
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    EXPECT_GT(boundaries[i], boundaries[i - 1]);
+  }
+}
+
+TEST(AssignStrataTest, RespectsBoundaries) {
+  const std::vector<double> boundaries = {2.0, 5.0};
+  const std::vector<uint32_t> assignment =
+      AssignStrata({1.0, 2.0, 3.0, 5.0, 9.0}, boundaries);
+  EXPECT_EQ(assignment, (std::vector<uint32_t>{0, 0, 1, 1, 2}));
+}
+
+TEST(AssignStrataTest, NoBoundariesMeansOneStratum) {
+  const std::vector<uint32_t> assignment = AssignStrata({1.0, 7.0, 3.0}, {});
+  EXPECT_EQ(assignment, (std::vector<uint32_t>{0, 0, 0}));
+}
+
+TEST(StratifyClustersTest, WeightsSumToOneAndCoverAllClusters) {
+  std::vector<double> signal;
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 200; ++i) {
+    signal.push_back(static_cast<double>(1 + i % 10));
+    sizes.push_back(1 + i % 10);
+  }
+  const Strata strata = StratifyClusters(signal, sizes, 3);
+  ASSERT_GE(strata.NumStrata(), 2u);
+  double weight_sum = 0.0;
+  size_t member_count = 0;
+  for (size_t h = 0; h < strata.NumStrata(); ++h) {
+    EXPECT_FALSE(strata.members[h].empty());
+    weight_sum += strata.weights[h];
+    member_count += strata.members[h].size();
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_EQ(member_count, 200u);
+}
+
+TEST(StratifyClustersTest, HomogeneousSignalGivesOneStratum) {
+  const Strata strata =
+      StratifyClusters({3.0, 3.0, 3.0}, {5, 5, 5}, 4);
+  EXPECT_EQ(strata.NumStrata(), 1u);
+  EXPECT_NEAR(strata.weights[0], 1.0, 1e-12);
+}
+
+TEST(StratifyClustersTest, StrataAreHomogeneousOnSeparatedSignal) {
+  // Signal values 1 and 50; strata should split exactly on the gap.
+  std::vector<double> signal;
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 60; ++i) {
+    const bool big = i % 3 == 0;
+    signal.push_back(big ? 50.0 : 1.0);
+    sizes.push_back(big ? 50 : 1);
+  }
+  const Strata strata = StratifyClusters(signal, sizes, 2);
+  ASSERT_EQ(strata.NumStrata(), 2u);
+  // Every member of a stratum shares the same signal value.
+  for (size_t h = 0; h < 2; ++h) {
+    const double first = signal[strata.members[h][0]];
+    for (uint32_t member : strata.members[h]) {
+      EXPECT_DOUBLE_EQ(signal[member], first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,146 @@
+#include "core/stratified_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/static_evaluator.h"
+#include "kg/cluster_population.h"
+#include "labels/synthetic_oracle.h"
+#include "stats/running_stats.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+EvaluationOptions DefaultOptions(uint64_t seed) {
+  EvaluationOptions options;
+  options.seed = seed;
+  return options;
+}
+
+/// A population where cluster size strongly predicts accuracy (the BMM
+/// regime of Section 7.2.3): size stratification should shine.
+struct BmmPopulation {
+  ClusterPopulation population;
+  PerClusterBernoulliOracle oracle{0};
+};
+
+BmmPopulation MakeBmmPopulation(uint64_t seed) {
+  Rng rng(seed);
+  BmmPopulation out;
+  std::vector<uint32_t> sizes;
+  for (int i = 0; i < 2000; ++i) {
+    sizes.push_back(1 + static_cast<uint32_t>(rng.UniformIndex(60)));
+  }
+  out.oracle = MakeBinomialMixtureOracle(
+      sizes, BmmParams{.k = 3, .c = 0.08, .sigma = 0.05}, seed);
+  for (uint32_t s : sizes) out.population.Append(s);
+  return out;
+}
+
+TEST(SizeStrataTest, PartitionsAllClusters) {
+  BmmPopulation bmm = MakeBmmPopulation(1);
+  const Strata strata =
+      StratifiedTwcsEvaluator::SizeStrata(bmm.population, 4);
+  size_t members = 0;
+  double weight = 0.0;
+  for (size_t h = 0; h < strata.NumStrata(); ++h) {
+    members += strata.members[h].size();
+    weight += strata.weights[h];
+  }
+  EXPECT_EQ(members, bmm.population.NumClusters());
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+  EXPECT_GE(strata.NumStrata(), 2u);
+}
+
+TEST(OracleStrataTest, GroupsByAccuracy) {
+  BmmPopulation bmm = MakeBmmPopulation(2);
+  const Strata strata =
+      StratifiedTwcsEvaluator::OracleStrata(bmm.population, bmm.oracle, 4);
+  EXPECT_GE(strata.NumStrata(), 2u);
+  // Accuracy spread within a stratum should be far smaller than overall.
+  for (size_t h = 0; h < strata.NumStrata(); ++h) {
+    RunningStats acc;
+    for (uint32_t c : strata.members[h]) {
+      acc.Add(RealizedClusterAccuracy(bmm.oracle, c,
+                                      bmm.population.ClusterSize(c)));
+    }
+    EXPECT_LT(acc.SampleStdDev(), 0.35) << "stratum " << h;
+  }
+}
+
+TEST(StratifiedTwcsTest, ConvergesWithValidEstimate) {
+  BmmPopulation bmm = MakeBmmPopulation(3);
+  const double truth = RealizedOverallAccuracy(bmm.oracle, bmm.population);
+  SimulatedAnnotator annotator(&bmm.oracle, kCost);
+  StratifiedTwcsEvaluator evaluator(bmm.population, &annotator,
+                                    DefaultOptions(4));
+  const Strata strata = StratifiedTwcsEvaluator::SizeStrata(bmm.population, 4);
+  const EvaluationResult r = evaluator.Evaluate(strata);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.moe, 0.05 + 1e-12);
+  EXPECT_NEAR(r.estimate.mean, truth, 2.5 * 0.05);
+  EXPECT_EQ(r.design, "TWCS+strat");
+}
+
+TEST(StratifiedTwcsTest, UnbiasedOverTrials) {
+  BmmPopulation bmm = MakeBmmPopulation(5);
+  const double truth = RealizedOverallAccuracy(bmm.oracle, bmm.population);
+  const Strata strata = StratifiedTwcsEvaluator::SizeStrata(bmm.population, 4);
+  RunningStats means;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    SimulatedAnnotator annotator(&bmm.oracle, kCost);
+    StratifiedTwcsEvaluator evaluator(bmm.population, &annotator,
+                                      DefaultOptions(1000 + seed));
+    means.Add(evaluator.Evaluate(strata).estimate.mean);
+  }
+  const double se = means.SampleStdDev() / std::sqrt(40.0);
+  EXPECT_NEAR(means.Mean(), truth, 4.0 * se + 0.005);
+}
+
+TEST(StratifiedTwcsTest, OracleStratificationReducesCostOnBmm) {
+  // Table 7's qualitative claim, averaged over seeds: TWCS with oracle
+  // stratification <= plain TWCS on a strongly size-correlated population.
+  BmmPopulation bmm = MakeBmmPopulation(6);
+  RunningStats plain_cost, oracle_cost;
+  const Strata oracle_strata =
+      StratifiedTwcsEvaluator::OracleStrata(bmm.population, bmm.oracle, 4);
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    SimulatedAnnotator a1(&bmm.oracle, kCost), a2(&bmm.oracle, kCost);
+    EvaluationOptions options = DefaultOptions(3000 + seed);
+    options.m = 5;
+    StaticEvaluator plain(bmm.population, &a1, options);
+    plain_cost.Add(plain.EvaluateTwcs().annotation_seconds);
+    StratifiedTwcsEvaluator stratified(bmm.population, &a2, options);
+    oracle_cost.Add(stratified.Evaluate(oracle_strata).annotation_seconds);
+  }
+  EXPECT_LT(oracle_cost.Mean(), plain_cost.Mean());
+}
+
+TEST(StratifiedTwcsTest, SingleStratumMatchesPlainTwcsShape) {
+  BmmPopulation bmm = MakeBmmPopulation(7);
+  SimulatedAnnotator annotator(&bmm.oracle, kCost);
+  StratifiedTwcsEvaluator evaluator(bmm.population, &annotator,
+                                    DefaultOptions(8));
+  Strata one;
+  one.members.resize(1);
+  for (uint32_t c = 0; c < bmm.population.NumClusters(); ++c) {
+    one.members[0].push_back(c);
+  }
+  one.weights = {1.0};
+  const EvaluationResult r = evaluator.Evaluate(one);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.moe, 0.05 + 1e-12);
+}
+
+TEST(StratifiedTwcsDeathTest, NoStrataAborts) {
+  BmmPopulation bmm = MakeBmmPopulation(9);
+  SimulatedAnnotator annotator(&bmm.oracle, kCost);
+  StratifiedTwcsEvaluator evaluator(bmm.population, &annotator,
+                                    DefaultOptions(10));
+  EXPECT_DEATH({ (void)evaluator.Evaluate(Strata{}); }, "at least one stratum");
+}
+
+}  // namespace
+}  // namespace kgacc

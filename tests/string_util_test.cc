@@ -1,0 +1,90 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(StrFormatTest, BasicFormatting) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f%%", 91.456), "91.46%");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_str(500, 'x');
+  EXPECT_EQ(StrFormat("%s", long_str.c_str()).size(), 500u);
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  const auto fields = SplitString("a\t\tb", '\t');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(SplitStringTest, NoSeparator) {
+  const auto fields = SplitString("abc", '\t');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitStringTest, TrailingSeparator) {
+  const auto fields = SplitString("a,b,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\r\n"), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("no-op"), "no-op");
+}
+
+TEST(ParseUint64Test, ValidInputs) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // 2^64 - 1.
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(ParseUint64("  42 ", &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(ParseUint64Test, RejectsMalformed) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // 2^64 overflows.
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5extra", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));  // non-finite rejected.
+}
+
+TEST(FormatDurationTest, PicksUnit) {
+  EXPECT_EQ(FormatDuration(7200.0), "2.00 h");
+  EXPECT_EQ(FormatDuration(90.0), "1.5 min");
+  EXPECT_EQ(FormatDuration(12.0), "12.0 s");
+  EXPECT_EQ(FormatDuration(0.5), "500.0 ms");
+}
+
+TEST(FormatPercentTest, Decimals) {
+  EXPECT_EQ(FormatPercent(0.915), "91.5%");
+  EXPECT_EQ(FormatPercent(0.915, 0), "92%");
+  EXPECT_EQ(FormatPercent(1.0, 2), "100.00%");
+}
+
+}  // namespace
+}  // namespace kgacc

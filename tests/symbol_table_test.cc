@@ -1,0 +1,76 @@
+#include "kg/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(SymbolTableTest, InternAssignsDenseIdsInOrder) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("alpha"), 0u);
+  EXPECT_EQ(table.Intern("beta"), 1u);
+  EXPECT_EQ(table.Intern("gamma"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  const uint32_t id = table.Intern("x");
+  EXPECT_EQ(table.Intern("x"), id);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTableTest, LookupFindsInterned) {
+  SymbolTable table;
+  table.Intern("subject");
+  const auto result = table.Lookup("subject");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 0u);
+}
+
+TEST(SymbolTableTest, LookupMissingIsNotFound) {
+  SymbolTable table;
+  EXPECT_TRUE(table.Lookup("ghost").status().IsNotFound());
+}
+
+TEST(SymbolTableTest, NameRoundTrips) {
+  SymbolTable table;
+  const uint32_t id = table.Intern("Michael Jordan");
+  EXPECT_EQ(table.Name(id), "Michael Jordan");
+}
+
+TEST(SymbolTableTest, ContainsAndEmpty) {
+  SymbolTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_FALSE(table.Contains("a"));
+  table.Intern("a");
+  EXPECT_TRUE(table.Contains("a"));
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(SymbolTableTest, HandlesEmptyStringAndUnicodeBytes) {
+  SymbolTable table;
+  const uint32_t empty_id = table.Intern("");
+  const uint32_t unicode_id = table.Intern("\xE4\xB8\xAD\xE6\x96\x87");
+  EXPECT_NE(empty_id, unicode_id);
+  EXPECT_EQ(table.Name(empty_id), "");
+  EXPECT_EQ(table.Name(unicode_id), "\xE4\xB8\xAD\xE6\x96\x87");
+}
+
+TEST(SymbolTableTest, ManySymbolsStayConsistent) {
+  SymbolTable table;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.Intern("sym" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(table.Name(9999), "sym9999");
+  EXPECT_EQ(table.Lookup("sym1234").value(), 1234u);
+}
+
+TEST(SymbolTableDeathTest, NameOutOfRangeAborts) {
+  SymbolTable table;
+  EXPECT_DEATH({ (void)table.Name(0); }, "out of range");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/cluster_population.h"
+#include "labels/synthetic_oracle.h"
+#include "util/rng.h"
+
+namespace kgacc::testing {
+
+/// A small synthetic population paired with its label oracle, for estimator
+/// and framework tests.
+struct TestPopulation {
+  ClusterPopulation population;
+  PerClusterBernoulliOracle oracle{0};
+  double true_accuracy = 0.0;  // triple-weighted expected accuracy.
+};
+
+/// Builds `num_clusters` clusters with sizes in [1, max_size] and per-cluster
+/// accuracies drawn around `accuracy` with `spread` (clamped to [0,1]).
+inline TestPopulation MakeTestPopulation(uint64_t num_clusters,
+                                         uint32_t max_size, double accuracy,
+                                         double spread, uint64_t seed) {
+  Rng rng(seed);
+  TestPopulation out;
+  out.oracle = PerClusterBernoulliOracle(HashCombine(seed, 0x7e57));
+  double weighted = 0.0;
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < num_clusters; ++i) {
+    const uint32_t size =
+        1 + static_cast<uint32_t>(rng.UniformIndex(max_size));
+    double p = accuracy + spread * (rng.UniformDouble() - 0.5) * 2.0;
+    p = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    out.population.Append(size);
+    out.oracle.Append(p);
+    weighted += static_cast<double>(size) * p;
+    total += size;
+  }
+  out.true_accuracy = weighted / static_cast<double>(total);
+  return out;
+}
+
+}  // namespace kgacc::testing

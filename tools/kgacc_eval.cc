@@ -1,0 +1,235 @@
+// kgacc_eval — command-line KG accuracy evaluation.
+//
+// Evaluate a built-in benchmark dataset:
+//   kgacc_eval --dataset nell --design twcs --moe 0.05 --confidence 0.95
+//
+// Evaluate your own TSV graph with gold labels (4th column, 0/1):
+//   kgacc_eval --input graph.tsv --design twcs
+//
+// Other modes:
+//   --design srs|rcs|wcs|twcs     sampling design (default twcs)
+//   --strata H                    size-stratified TWCS with H strata
+//   --per-predicate               per-predicate accuracy (TSV/materialized)
+//   --m N                         TWCS second-stage size (default: auto)
+//   --annotators K --noise P      majority vote of K noisy annotators
+//   --wilson                      Wilson CI for the SRS stopping rule
+//   --seed S, --c1 S, --c2 S      randomness / cost-model overrides
+//   --list-datasets               print known dataset names
+
+#include <cstdio>
+#include <memory>
+
+#include "kgaccuracy.h"
+#include "util/flags.h"
+
+namespace kgacc {
+namespace {
+
+constexpr const char* kUsage = R"(kgacc_eval — knowledge graph accuracy evaluation
+
+Modes (choose one input):
+  --dataset NAME      built-in benchmark dataset (see --list-datasets)
+  --input FILE.tsv    your graph: subject<TAB>predicate<TAB>object<TAB>label
+                      (label 0/1 required: it is the gold truth the simulated
+                       annotator consults)
+
+Evaluation:
+  --design D          srs | rcs | wcs | twcs            [twcs]
+  --strata H          size-stratified TWCS with H strata
+  --per-predicate     per-predicate accuracy report (materialized graphs)
+  --moe E             margin-of-error target            [0.05]
+  --confidence C      confidence level                  [0.95]
+  --m N               TWCS second-stage size            [auto]
+  --min-units N       CLT floor on sampling units       [30]
+  --wilson            Wilson CI in the SRS stopping rule
+
+Annotation:
+  --annotators K      majority vote of K annotators     [1]
+  --noise P           per-annotator label flip rate     [0]
+  --c1 SECONDS        entity identification cost        [45]
+  --c2 SECONDS        relationship validation cost      [25]
+
+Misc: --seed S [42], --list-datasets, --help
+)";
+
+int RunEval(const FlagParser& flags) {
+  // --- Input. ----------------------------------------------------------------
+  Dataset dataset;
+  std::unique_ptr<SymbolTable> symbols;
+  const uint64_t seed = flags.GetUint64("seed", 42).ValueOr(42);
+  if (flags.Has("dataset")) {
+    Result<Dataset> made =
+        MakeDatasetByName(flags.GetString("dataset", ""), seed);
+    if (!made.ok()) {
+      std::fprintf(stderr, "error: %s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(made).value();
+  } else if (flags.Has("input")) {
+    symbols = std::make_unique<SymbolTable>();
+    auto graph = std::make_unique<KnowledgeGraph>();
+    std::vector<LabeledTriple> labels;
+    const Status load = LoadTsvFile(flags.GetString("input", ""), symbols.get(),
+                                    graph.get(), &labels);
+    if (!load.ok()) {
+      std::fprintf(stderr, "error: %s\n", load.ToString().c_str());
+      return 1;
+    }
+    if (labels.size() != graph->TotalTriples()) {
+      std::fprintf(stderr,
+                   "error: --input requires a 0/1 gold label on every line "
+                   "(%llu labels for %llu triples)\n",
+                   static_cast<unsigned long long>(labels.size()),
+                   static_cast<unsigned long long>(graph->TotalTriples()));
+      return 1;
+    }
+    auto gold = std::make_unique<GoldLabelStore>(graph->ClusterSizes());
+    for (const LabeledTriple& lt : labels) gold->Set(lt.ref, lt.correct);
+    dataset.name = flags.GetString("input", "");
+    dataset.graph = std::move(graph);
+    dataset.oracle = std::move(gold);
+  } else {
+    std::fprintf(stderr, "error: pass --dataset or --input (see --help)\n");
+    return 1;
+  }
+
+  // --- Options. ----------------------------------------------------------------
+  EvaluationOptions options;
+  options.moe_target = flags.GetDouble("moe", 0.05).ValueOr(0.05);
+  options.confidence = flags.GetDouble("confidence", 0.95).ValueOr(0.95);
+  options.m = flags.GetUint64("m", 0).ValueOr(0);
+  options.min_units = flags.GetUint64("min-units", 30).ValueOr(30);
+  options.seed = seed;
+  if (flags.GetBool("wilson", false)) options.srs_ci = CiMethod::kWilson;
+
+  CostModel cost;
+  cost.c1_seconds = flags.GetDouble("c1", 45.0).ValueOr(45.0);
+  cost.c2_seconds = flags.GetDouble("c2", 25.0).ValueOr(25.0);
+
+  const uint64_t annotators = flags.GetUint64("annotators", 1).ValueOr(1);
+  const double noise = flags.GetDouble("noise", 0.0).ValueOr(0.0);
+  std::unique_ptr<Annotator> annotator;
+  if (annotators > 1) {
+    annotator = std::make_unique<AnnotatorPool>(
+        dataset.oracle.get(), cost,
+        AnnotatorPool::Options{.num_annotators = annotators,
+                               .noise_rate = noise,
+                               .seed = seed});
+  } else {
+    annotator = std::make_unique<SimulatedAnnotator>(
+        dataset.oracle.get(), cost,
+        SimulatedAnnotator::Options{.noise_rate = noise, .seed = seed});
+  }
+
+  const KgView& view = dataset.View();
+  std::printf("graph: %s — %llu entities, %llu triples (avg cluster %.1f)\n",
+              dataset.name.c_str(),
+              static_cast<unsigned long long>(view.NumClusters()),
+              static_cast<unsigned long long>(view.TotalTriples()),
+              view.AverageClusterSize());
+
+  // --- Per-predicate mode. ---------------------------------------------------
+  if (flags.GetBool("per-predicate", false)) {
+    if (dataset.graph == nullptr) {
+      std::fprintf(stderr,
+                   "error: --per-predicate needs a materialized graph "
+                   "(--input, or the nell/yago datasets)\n");
+      return 1;
+    }
+    GroupedEvaluator evaluator(*dataset.graph, annotator.get(), options);
+    const auto results = evaluator.EvaluatePerPredicate();
+    std::printf("%-28s %10s %12s %8s %10s\n", "predicate", "triples",
+                "accuracy", "MoE", "cost");
+    for (const auto& result : results) {
+      const std::string name =
+          symbols != nullptr ? symbols->Name(result.group)
+                             : StrFormat("p%u", result.group);
+      std::printf("%-28s %10llu %11.1f%% %7.1f%% %10s\n", name.c_str(),
+                  static_cast<unsigned long long>(result.population_triples),
+                  result.evaluation.estimate.mean * 100.0,
+                  result.evaluation.moe * 100.0,
+                  FormatDuration(result.evaluation.annotation_seconds).c_str());
+    }
+    std::printf("total annotation bill: %s\n",
+                FormatDuration(annotator->ElapsedSeconds()).c_str());
+    return 0;
+  }
+
+  // --- Whole-graph evaluation. -----------------------------------------------
+  EvaluationResult result;
+  const uint64_t strata_count = flags.GetUint64("strata", 0).ValueOr(0);
+  const std::string design = flags.GetString("design", "twcs");
+  if (strata_count > 1) {
+    StratifiedTwcsEvaluator evaluator(view, annotator.get(), options);
+    result = evaluator.Evaluate(
+        StratifiedTwcsEvaluator::SizeStrata(view, static_cast<int>(strata_count)));
+  } else {
+    StaticEvaluator evaluator(view, annotator.get(), options);
+    if (design == "srs") {
+      result = evaluator.EvaluateSrs();
+    } else if (design == "rcs") {
+      result = evaluator.EvaluateRcs();
+    } else if (design == "wcs") {
+      result = evaluator.EvaluateWcs();
+    } else if (design == "twcs") {
+      result = evaluator.EvaluateTwcs();
+    } else {
+      std::fprintf(stderr, "error: unknown --design '%s'\n", design.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("design: %s%s\n", result.design.c_str(),
+              annotators > 1
+                  ? StrFormat(" (majority of %llu annotators)",
+                              static_cast<unsigned long long>(annotators))
+                        .c_str()
+                  : "");
+  std::printf("estimated accuracy: %s, %s%% CI [%s, %s] (MoE %.2f%%)\n",
+              FormatPercent(result.estimate.mean, 2).c_str(),
+              StrFormat("%.0f", options.confidence * 100).c_str(),
+              FormatPercent(result.estimate.CiLower(options.Alpha()), 2).c_str(),
+              FormatPercent(result.estimate.CiUpper(options.Alpha()), 2).c_str(),
+              result.moe * 100.0);
+  std::printf("sampling units: %llu (%llu rounds); converged: %s\n",
+              static_cast<unsigned long long>(result.estimate.num_units),
+              static_cast<unsigned long long>(result.rounds),
+              result.converged ? "yes" : "NO — raise budget or loosen target");
+  std::printf("annotation: %llu entities, %llu triples -> %s\n",
+              static_cast<unsigned long long>(result.ledger.entities_identified),
+              static_cast<unsigned long long>(result.ledger.triples_annotated),
+              FormatDuration(result.annotation_seconds).c_str());
+  return result.converged ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace kgacc
+
+int main(int argc, char** argv) {
+  using namespace kgacc;
+  Result<FlagParser> parsed = FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const FlagParser& flags = *parsed;
+  const Status valid = flags.Validate(
+      {"dataset", "input", "design", "strata", "per-predicate", "moe",
+       "confidence", "m", "min-units", "wilson", "annotators", "noise", "c1",
+       "c2", "seed", "list-datasets", "help"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s (see --help)\n", valid.message().c_str());
+    return 1;
+  }
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  if (flags.GetBool("list-datasets", false)) {
+    for (const std::string& name : KnownDatasetNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  return RunEval(flags);
+}
