@@ -1,0 +1,119 @@
+#include "core/design_registry.h"
+
+#include <utility>
+
+#include "core/static_evaluator.h"
+#include "core/stratified_evaluator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgacc {
+
+namespace {
+
+void RegisterBuiltins(DesignRegistry* registry) {
+  auto must = [](const Status& status) { KGACC_CHECK(status.ok()); };
+  must(registry->Register(
+      "srs", "simple random sampling of triples (Eq 5)",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        return StaticEvaluator(view, annotator, options).EvaluateSrs();
+      }));
+  must(registry->Register(
+      "rcs", "random cluster sampling, uniform without replacement (Eq 7)",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        return StaticEvaluator(view, annotator, options).EvaluateRcs();
+      }));
+  must(registry->Register(
+      "wcs", "weighted cluster sampling, size-proportional (Eq 8)",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        return StaticEvaluator(view, annotator, options).EvaluateWcs();
+      }));
+  must(registry->Register(
+      "twcs", "two-stage weighted cluster sampling (Eq 9, recommended)",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        return StaticEvaluator(view, annotator, options).EvaluateTwcs();
+      }));
+  must(registry->Register(
+      "twcs+strat",
+      "size-stratified TWCS with options.num_strata strata (Eq 13)",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        const uint64_t h = options.num_strata > 0 ? options.num_strata : 4;
+        StratifiedTwcsEvaluator evaluator(view, annotator, options);
+        return evaluator.Evaluate(
+            StratifiedTwcsEvaluator::SizeStrata(view, static_cast<int>(h)));
+      }));
+}
+
+}  // namespace
+
+DesignRegistry& DesignRegistry::Global() {
+  static DesignRegistry* registry = [] {
+    auto* r = new DesignRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status DesignRegistry::Register(const std::string& name,
+                                const std::string& description, DesignFn fn) {
+  if (name.empty()) return Status::InvalidArgument("empty design name");
+  if (fn == nullptr) return Status::InvalidArgument("null design function");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{description, std::move(fn)});
+  if (!inserted) {
+    return Status::FailedPrecondition(
+        StrFormat("design '%s' already registered", name.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<EvaluationResult> DesignRegistry::Run(
+    const std::string& name, const KgView& view, Annotator* annotator,
+    const EvaluationOptions& options) const {
+  DesignFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string known;
+      for (const auto& [key, entry] : entries_) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      return Status::NotFound(StrFormat("unknown design '%s' (known: %s)",
+                                        name.c_str(), known.c_str()));
+    }
+    fn = it->second.fn;
+  }
+  // Run outside the lock: campaigns are long and may themselves consult the
+  // registry.
+  return fn(view, annotator, options);
+}
+
+bool DesignRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> DesignRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string DesignRegistry::Description(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? "" : it->second.description;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "kg/kg_view.h"
+#include "labels/annotator.h"
+#include "util/result.h"
+
+namespace kgacc {
+
+/// Runs one evaluation campaign of a registered design.
+using DesignFn = std::function<EvaluationResult(
+    const KgView& view, Annotator* annotator,
+    const EvaluationOptions& options)>;
+
+/// String-keyed registry of sampling designs, so benches and the CLI select
+/// designs by name instead of hand-rolled switch blocks, and downstream code
+/// can plug in new designs without touching the callers.
+///
+/// Built-in names: "srs", "rcs", "wcs", "twcs", "twcs+strat" (the last uses
+/// size stratification with EvaluationOptions::num_strata strata).
+class DesignRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in designs.
+  static DesignRegistry& Global();
+
+  /// Registers a design; errors on a duplicate name or empty name.
+  Status Register(const std::string& name, const std::string& description,
+                  DesignFn fn);
+
+  /// Runs one campaign of design `name`; errors on unknown names (the
+  /// message lists the known designs).
+  Result<EvaluationResult> Run(const std::string& name, const KgView& view,
+                               Annotator* annotator,
+                               const EvaluationOptions& options) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// One-line description of a design ("" for unknown names).
+  std::string Description(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    DesignFn fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace kgacc

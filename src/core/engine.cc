@@ -1,0 +1,116 @@
+#include "core/engine.h"
+
+#include <span>
+
+#include "stats/confidence.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kgacc {
+
+StoppingPolicy::StoppingPolicy(const EvaluationOptions& options)
+    : options_(options) {
+  KGACC_CHECK(options_.moe_target > 0.0);
+  KGACC_CHECK(options_.confidence > 0.0 && options_.confidence < 1.0);
+}
+
+double StoppingPolicy::MarginOfError(const UnitEstimator& estimator) const {
+  const Estimate estimate = estimator.Current();
+  if (options_.srs_ci == CiMethod::kWilson && estimate.num_units > 0) {
+    uint64_t successes = 0;
+    uint64_t trials = 0;
+    if (estimator.BinomialCounts(&successes, &trials)) {
+      return WilsonInterval(successes, trials, options_.Alpha()).Width() / 2.0;
+    }
+  }
+  return estimate.MarginOfError(options_.Alpha());
+}
+
+double StoppingPolicy::MarginOfError(const Estimate& estimate) const {
+  return estimate.MarginOfError(options_.Alpha());
+}
+
+StopDecision StoppingPolicy::Check(const Estimate& estimate, double moe,
+                                   double elapsed_cost_seconds,
+                                   bool sampler_exhausted) const {
+  if (estimate.num_units >= options_.min_units && moe <= options_.moe_target) {
+    return {true, true};
+  }
+  if (sampler_exhausted) {
+    return {true, moe <= options_.moe_target};
+  }
+  if (options_.max_cost_seconds > 0.0 &&
+      elapsed_cost_seconds >= options_.max_cost_seconds) {
+    return {true, false};
+  }
+  if (options_.max_units > 0 && estimate.num_units >= options_.max_units) {
+    return {true, false};
+  }
+  return {false, false};
+}
+
+EvaluationEngine::EvaluationEngine(Annotator* annotator,
+                                   EvaluationOptions options)
+    : annotator_(annotator), options_(options) {
+  KGACC_CHECK(annotator_ != nullptr);
+  KGACC_CHECK(options_.batch_units > 0);
+}
+
+EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
+  KGACC_CHECK(config.sampler != nullptr);
+  KGACC_CHECK(config.estimator != nullptr);
+
+  EvaluationResult result;
+  result.design = config.design_name;
+  Rng rng(config.seed_override.value_or(options_.seed));
+  const StoppingPolicy policy(options_);
+
+  const AnnotationLedger start_ledger = annotator_->ledger();
+  const double start_seconds = annotator_->ElapsedSeconds();
+
+  std::vector<TripleRef> refs;
+  std::vector<uint8_t> labels;
+  while (true) {
+    ++result.rounds;
+    WallTimer sample_timer;
+    const std::vector<SampleUnit> batch =
+        config.sampler->NextBatch(options_.batch_units, rng);
+    result.machine_seconds += sample_timer.ElapsedSeconds();
+
+    refs.clear();
+    for (const SampleUnit& unit : batch) {
+      for (uint64_t offset : unit.offsets) {
+        refs.push_back(TripleRef{unit.cluster, offset});
+      }
+    }
+    labels.resize(refs.size());
+    annotator_->AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
+
+    const uint8_t* cursor = labels.data();
+    for (const SampleUnit& unit : batch) {
+      config.estimator->AddUnit(unit, cursor);
+      cursor += unit.offsets.size();
+    }
+
+    const Estimate estimate = config.estimator->Current();
+    const double moe = policy.MarginOfError(*config.estimator);
+    result.estimate = estimate;
+    result.moe = moe;
+    const StopDecision decision = policy.Check(
+        estimate, moe, annotator_->ElapsedSeconds() - start_seconds,
+        batch.empty() && config.sampler->Exhaustible());
+    if (decision.stop) {
+      result.converged = decision.converged;
+      break;
+    }
+  }
+
+  result.ledger.entities_identified =
+      annotator_->ledger().entities_identified - start_ledger.entities_identified;
+  result.ledger.triples_annotated =
+      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
+  result.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
+  return result;
+}
+
+}  // namespace kgacc

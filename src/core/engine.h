@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "kg/triple.h"
+#include "labels/annotator.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// One first-stage sampling unit of the iterative framework (Fig 2): the set
+/// of triple positions that one draw commits the annotator to. SRS units hold
+/// exactly one offset; RCS/WCS units a whole cluster; TWCS units the
+/// second-stage subsample. A cluster drawn twice (with-replacement designs)
+/// yields two independent units.
+struct SampleUnit {
+  uint64_t cluster = 0;
+  std::vector<uint64_t> offsets;
+
+  /// Sampler-private routing tag, carried back verbatim to the estimator
+  /// (e.g. the stratum index of a stratified design). Plain designs ignore it.
+  uint64_t tag = 0;
+};
+
+/// Produces sampling units for the evaluation campaign. Adapters in
+/// sampling/unit_samplers.h wrap the concrete SRS/RCS/WCS/TWCS samplers;
+/// composite designs (stratified TWCS) implement allocation internally.
+class UnitSampler {
+ public:
+  virtual ~UnitSampler() = default;
+
+  /// Draws up to `n` new units. Without-replacement samplers return fewer
+  /// (eventually zero) units as the population runs out.
+  virtual std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) = 0;
+
+  /// True for without-replacement designs, whose empty batch means the
+  /// population is exhausted (a terminal condition for the stopping policy).
+  /// With-replacement samplers never exhaust.
+  virtual bool Exhaustible() const { return false; }
+};
+
+/// Consumes annotated units and exposes the running unbiased estimate.
+/// Adapters in estimators/unit_estimators.h wrap the Eq 5/7/8/9 estimators.
+class UnitEstimator {
+ public:
+  virtual ~UnitEstimator() = default;
+
+  /// Adds one annotated unit. `labels[i]` is the 0/1 label of
+  /// `unit.offsets[i]`. Units are fed back in the exact order the sampler
+  /// returned them.
+  virtual void AddUnit(const SampleUnit& unit, const uint8_t* labels) = 0;
+
+  /// The current point estimate with its CLT variance.
+  virtual Estimate Current() const = 0;
+
+  /// When the estimate is a plain binomial proportion (SRS), exposes the
+  /// success/trial counts so the stopping policy can build a Wilson interval.
+  /// Returns false for designs whose units are not Bernoulli trials.
+  virtual bool BinomialCounts(uint64_t* successes, uint64_t* trials) const {
+    (void)successes;
+    (void)trials;
+    return false;
+  }
+};
+
+/// Verdict of one stopping check.
+struct StopDecision {
+  bool stop = false;       ///< terminate the campaign now.
+  bool converged = false;  ///< the MoE target was met.
+};
+
+/// The single source of truth for campaign termination: the MoE target with
+/// Wald/Wilson CI selection, the CLT floor (min_units), the cost and unit
+/// budgets, and sampler exhaustion. Every design — static, stratified,
+/// grouped, incremental — consults this one implementation, so stopping
+/// semantics cannot drift between designs again.
+class StoppingPolicy {
+ public:
+  explicit StoppingPolicy(const EvaluationOptions& options);
+
+  /// The margin of error the stopping rule sees: the Wald half-width of Eq 1,
+  /// or the Wilson half-width when CiMethod::kWilson is selected and the
+  /// estimator exposes binomial counts (the SRS boundary-accuracy fix).
+  double MarginOfError(const UnitEstimator& estimator) const;
+
+  /// Plain Wald margin of error for callers without a UnitEstimator (the
+  /// incremental evaluators' read paths).
+  double MarginOfError(const Estimate& estimate) const;
+
+  /// Checks all termination conditions, in fixed precedence order:
+  ///   1. converged: moe <= target with at least min_units units;
+  ///   2. exhausted: the sampler ran dry (converged iff moe <= target);
+  ///   3. cost budget: elapsed_cost_seconds >= max_cost_seconds (> 0);
+  ///   4. unit budget: num_units >= max_units (> 0).
+  StopDecision Check(const Estimate& estimate, double moe,
+                     double elapsed_cost_seconds, bool sampler_exhausted) const;
+
+ private:
+  EvaluationOptions options_;
+};
+
+/// Borrowed configuration of one campaign. `sampler` and `estimator` may
+/// point to the same object (composite designs that route allocation through
+/// estimator feedback, e.g. stratified TWCS).
+struct EngineConfig {
+  std::string design_name;
+  UnitSampler* sampler = nullptr;
+  UnitEstimator* estimator = nullptr;
+  /// Seed for the sampling Rng; defaults to EvaluationOptions::seed.
+  std::optional<uint64_t> seed_override;
+};
+
+/// The one iterative evaluation loop of the framework (Fig 2):
+///
+///   sample batch -> annotate (batched) -> estimate -> stopping policy
+///
+/// looping until the StoppingPolicy terminates the campaign. Every design in
+/// the library is a configuration of this engine; new designs plug in a
+/// UnitSampler/UnitEstimator pair and inherit identical, tested stopping and
+/// accounting semantics (ledger deltas, rounds, machine vs annotation time).
+class EvaluationEngine {
+ public:
+  /// `annotator` is borrowed and must outlive the engine.
+  EvaluationEngine(Annotator* annotator, EvaluationOptions options);
+
+  /// Runs one campaign to completion.
+  EvaluationResult Run(const EngineConfig& config);
+
+ private:
+  Annotator* annotator_;
+  EvaluationOptions options_;
+};
+
+}  // namespace kgacc

@@ -57,6 +57,11 @@ struct EvaluationOptions {
   /// CI used by the SRS stopping rule (see CiMethod).
   CiMethod srs_ci = CiMethod::kWald;
 
+  /// Stratum count used by the stratified designs when selected through the
+  /// DesignRegistry ("twcs+strat"); direct StratifiedTwcsEvaluator callers
+  /// pass explicit Strata instead.
+  uint64_t num_strata = 4;
+
   double Alpha() const { return 1.0 - confidence; }
 };
 

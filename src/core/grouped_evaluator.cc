@@ -1,15 +1,66 @@
 #include "core/grouped_evaluator.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
+#include <utility>
 
-#include "estimators/estimators.h"
+#include "core/engine.h"
+#include "core/optimal_m.h"
+#include "estimators/unit_estimators.h"
 #include "sampling/alias_table.h"
 #include "sampling/srs.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace kgacc {
+
+namespace {
+
+/// TWCS over one group's virtual clusters (the group's triples within one
+/// subject cluster): first stage size-weighted with replacement across the
+/// virtual clusters, second stage an SRS of <= m of the cluster's offsets.
+/// Units carry the *parent* cluster id so annotation cost-sharing with other
+/// groups works unchanged.
+class VirtualTwcsSampler : public UnitSampler {
+ public:
+  VirtualTwcsSampler(const std::vector<GroupedEvaluator::VirtualCluster>& clusters,
+                     uint64_t m)
+      : clusters_(clusters), alias_(Weights(clusters)), m_(m) {}
+
+  std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) override {
+    std::vector<SampleUnit> units;
+    units.reserve(n);
+    for (uint64_t d = 0; d < n; ++d) {
+      const GroupedEvaluator::VirtualCluster& vc = clusters_[alias_.Sample(rng)];
+      const std::vector<uint64_t> picks =
+          SampleIndicesWithoutReplacement(vc.offsets.size(), m_, rng);
+      SampleUnit unit;
+      unit.cluster = vc.parent_cluster;
+      unit.offsets.reserve(picks.size());
+      for (uint64_t pick : picks) unit.offsets.push_back(vc.offsets[pick]);
+      units.push_back(std::move(unit));
+    }
+    return units;
+  }
+
+ private:
+  static std::vector<double> Weights(
+      const std::vector<GroupedEvaluator::VirtualCluster>& clusters) {
+    std::vector<double> weights;
+    weights.reserve(clusters.size());
+    for (const GroupedEvaluator::VirtualCluster& vc : clusters) {
+      weights.push_back(static_cast<double>(vc.offsets.size()));
+    }
+    return weights;
+  }
+
+  const std::vector<GroupedEvaluator::VirtualCluster>& clusters_;
+  AliasTable alias_;
+  uint64_t m_;
+};
+
+}  // namespace
 
 GroupedEvaluator::GroupedEvaluator(const KnowledgeGraph& kg,
                                    Annotator* annotator,
@@ -23,33 +74,29 @@ GroupedEvaluator::GroupResult GroupedEvaluator::EvaluateGroup(
     uint32_t group, const std::vector<VirtualCluster>& clusters) {
   GroupResult result;
   result.group = group;
-  result.evaluation.design = "TWCS/group";
-
-  std::vector<double> weights;
-  weights.reserve(clusters.size());
   for (const VirtualCluster& vc : clusters) {
     result.population_triples += vc.offsets.size();
-    weights.push_back(static_cast<double>(vc.offsets.size()));
   }
-  const AliasTable alias(weights);
-  const uint64_t m = options_.m > 0 ? options_.m : 5;
-  Rng rng(HashCombine(options_.seed, group));
+  const uint64_t m = ResolveSecondStageSize(options_, annotator_->cost_model(),
+                                            /*stats=*/nullptr);
 
-  const AnnotationLedger start_ledger = annotator_->ledger();
-  const double start_seconds = annotator_->ElapsedSeconds();
-
-  TwcsEstimator estimator;
-  EvaluationResult& evaluation = result.evaluation;
   // Tiny groups: annotate everything instead of sampling (census).
   if (result.population_triples <= options_.min_units * m) {
-    uint64_t correct = 0;
+    EvaluationResult& evaluation = result.evaluation;
+    evaluation.design = "TWCS/group";
+    const AnnotationLedger start_ledger = annotator_->ledger();
+    const double start_seconds = annotator_->ElapsedSeconds();
+    std::vector<TripleRef> refs;
+    refs.reserve(result.population_triples);
     for (const VirtualCluster& vc : clusters) {
       for (uint64_t offset : vc.offsets) {
-        if (annotator_->Annotate(TripleRef{vc.parent_cluster, offset})) {
-          ++correct;
-        }
+        refs.push_back(TripleRef{vc.parent_cluster, offset});
       }
     }
+    std::vector<uint8_t> labels(refs.size());
+    annotator_->AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
+    uint64_t correct = 0;
+    for (uint8_t label : labels) correct += label != 0;
     evaluation.estimate.mean = static_cast<double>(correct) /
                                static_cast<double>(result.population_triples);
     evaluation.estimate.variance_of_mean = 0.0;  // census: no sampling error.
@@ -57,49 +104,24 @@ GroupedEvaluator::GroupResult GroupedEvaluator::EvaluateGroup(
     evaluation.moe = 0.0;
     evaluation.converged = true;
     evaluation.rounds = 1;
-  } else {
-    while (true) {
-      ++evaluation.rounds;
-      WallTimer machine;
-      for (uint64_t d = 0; d < options_.batch_units; ++d) {
-        const VirtualCluster& vc = clusters[alias.Sample(rng)];
-        const std::vector<uint64_t> picks =
-            SampleIndicesWithoutReplacement(vc.offsets.size(), m, rng);
-        uint64_t correct = 0;
-        for (uint64_t pick : picks) {
-          if (annotator_->Annotate(
-                  TripleRef{vc.parent_cluster, vc.offsets[pick]})) {
-            ++correct;
-          }
-        }
-        estimator.AddDraw(correct, picks.size());
-      }
-      evaluation.machine_seconds += machine.ElapsedSeconds();
-
-      evaluation.estimate = estimator.Current();
-      evaluation.moe = evaluation.estimate.MarginOfError(options_.Alpha());
-      if (evaluation.estimate.num_units >= options_.min_units &&
-          evaluation.moe <= options_.moe_target) {
-        evaluation.converged = true;
-        break;
-      }
-      if (options_.max_units > 0 &&
-          evaluation.estimate.num_units >= options_.max_units) {
-        break;
-      }
-      if (options_.max_cost_seconds > 0.0 &&
-          annotator_->ElapsedSeconds() - start_seconds >=
-              options_.max_cost_seconds) {
-        break;
-      }
-    }
+    evaluation.ledger.entities_identified =
+        annotator_->ledger().entities_identified -
+        start_ledger.entities_identified;
+    evaluation.ledger.triples_annotated =
+        annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
+    evaluation.annotation_seconds =
+        annotator_->ElapsedSeconds() - start_seconds;
+    return result;
   }
 
-  evaluation.ledger.entities_identified =
-      annotator_->ledger().entities_identified - start_ledger.entities_identified;
-  evaluation.ledger.triples_annotated =
-      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
-  evaluation.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
+  VirtualTwcsSampler sampler(clusters, m);
+  TwcsUnitEstimator estimator;
+  result.evaluation =
+      EvaluationEngine(annotator_, options_)
+          .Run({.design_name = "TWCS/group",
+                .sampler = &sampler,
+                .estimator = &estimator,
+                .seed_override = HashCombine(options_.seed, group)});
   return result;
 }
 

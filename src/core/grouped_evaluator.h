@@ -48,13 +48,14 @@ class GroupedEvaluator {
   /// Convenience: per-predicate accuracy.
   std::vector<GroupResult> EvaluatePerPredicate(uint64_t min_group_triples = 2);
 
- private:
-  /// A group's triples inside one subject cluster.
+  /// A group's triples inside one subject cluster — the sampling population
+  /// of the group's TWCS campaign.
   struct VirtualCluster {
     uint64_t parent_cluster = 0;
     std::vector<uint64_t> offsets;
   };
 
+ private:
   GroupResult EvaluateGroup(uint32_t group,
                             const std::vector<VirtualCluster>& clusters);
 

@@ -8,6 +8,20 @@
 
 namespace kgacc {
 
+uint64_t ResolveSecondStageSize(const EvaluationOptions& options,
+                                const CostModel& cost_model,
+                                const ClusterPopulationStats* stats) {
+  if (options.m > 0) return options.m;
+  if (stats != nullptr) {
+    return ChooseOptimalM(*stats, cost_model, options.Alpha(),
+                          options.moe_target)
+        .best_m;
+  }
+  // Paper guideline (Section 7.2.2): the optimum lands in 3..5 across all
+  // studied KGs; 5 is a safe default without population knowledge.
+  return 5;
+}
+
 OptimalMResult ChooseOptimalM(const ClusterPopulationStats& pop,
                               const CostModel& cost_model, double alpha,
                               double epsilon, uint64_t m_max) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/evaluation.h"
 #include "cost/cost_model.h"
 #include "kg/kg_view.h"
 #include "labels/annotator.h"
@@ -33,6 +34,16 @@ struct OptimalMResult {
 OptimalMResult ChooseOptimalM(const ClusterPopulationStats& pop,
                               const CostModel& cost_model, double alpha,
                               double epsilon, uint64_t m_max = 20);
+
+/// The shared second-stage-size resolution used by every two-stage design
+/// (static TWCS, stratified TWCS, the incremental evaluators, grouped
+/// evaluation): an explicit options.m wins; otherwise the Eq 12 search when
+/// exact population stats are supplied; otherwise the paper's recommended
+/// default of 5 (Section 7.2.2 finds the optimum in 3..5 across all studied
+/// KGs). `stats` may be null.
+uint64_t ResolveSecondStageSize(const EvaluationOptions& options,
+                                const CostModel& cost_model,
+                                const ClusterPopulationStats* stats);
 
 /// Builds exact population stats (sizes + realized per-cluster accuracies)
 /// by consulting the oracle for every triple. O(total triples); intended for

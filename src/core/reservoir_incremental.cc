@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "core/engine.h"
+#include "core/optimal_m.h"
 #include "sampling/srs.h"
 #include "stats/running_stats.h"
 #include "util/logging.h"
@@ -18,10 +20,11 @@ ReservoirIncrementalEvaluator::ReservoirIncrementalEvaluator(
     : population_(population),
       annotator_(annotator),
       options_(options),
-      rng_(options.seed),
-      m_(options.m > 0 ? options.m : 5) {
+      rng_(options.seed) {
   KGACC_CHECK(population_ != nullptr);
   KGACC_CHECK(annotator_ != nullptr);
+  m_ = ResolveSecondStageSize(options_, annotator_->cost_model(),
+                              /*stats=*/nullptr);
 }
 
 double ReservoirIncrementalEvaluator::MakeKey(uint64_t cluster) {
@@ -52,6 +55,7 @@ double ReservoirIncrementalEvaluator::AnnotatedClusterAccuracy(uint64_t cluster)
 
 IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate() {
   IncrementalUpdateReport report;
+  const StoppingPolicy policy(options_);
   const AnnotationLedger start_ledger = annotator_->ledger();
   const double start_seconds = annotator_->ElapsedSeconds();
 
@@ -73,18 +77,16 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate() {
     report.estimate.mean = stats.Mean();
     report.estimate.variance_of_mean = stats.VarianceOfMean();
     report.estimate.num_units = stats.Count();
-    report.moe = report.estimate.MarginOfError(options_.Alpha());
+    report.moe = policy.MarginOfError(report.estimate);
     report.sample_units = capacity_;
 
-    if (report.estimate.num_units >= options_.min_units &&
-        report.moe <= options_.moe_target) {
-      report.converged = true;
-      break;
-    }
-    if (capacity_ >= entries_.size()) break;  // whole population sampled.
-    if (options_.max_units > 0 && capacity_ >= options_.max_units) break;
-    if (options_.max_cost_seconds > 0.0 &&
-        annotator_->ElapsedSeconds() - start_seconds >= options_.max_cost_seconds) {
+    // The reservoir exhausts when the whole population is sampled.
+    const StopDecision decision = policy.Check(
+        report.estimate, report.moe,
+        annotator_->ElapsedSeconds() - start_seconds,
+        /*sampler_exhausted=*/capacity_ >= entries_.size());
+    if (decision.stop) {
+      report.converged = decision.converged;
       break;
     }
     // MoE unmet: draw more cluster samples (grow the reservoir).

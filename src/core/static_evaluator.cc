@@ -1,14 +1,9 @@
 #include "core/static_evaluator.h"
 
-#include <algorithm>
-
-#include "estimators/estimators.h"
-#include "sampling/cluster_sampler.h"
-#include "sampling/srs.h"
-#include "stats/confidence.h"
+#include "core/engine.h"
+#include "estimators/unit_estimators.h"
+#include "sampling/unit_samplers.h"
 #include "util/logging.h"
-#include "util/rng.h"
-#include "util/timer.h"
 
 namespace kgacc {
 
@@ -29,203 +24,38 @@ void StaticEvaluator::SetPopulationStatsForAutoM(
 }
 
 uint64_t StaticEvaluator::ResolveSecondStageSize() const {
-  if (options_.m > 0) return options_.m;
-  if (auto_m_stats_ != nullptr) {
-    return ChooseOptimalM(*auto_m_stats_, annotator_->cost_model(),
-                          options_.Alpha(), options_.moe_target)
-        .best_m;
-  }
-  // Paper guideline (Section 7.2.2): the optimum lands in 3..5 across all
-  // studied KGs; 5 is a safe default without population knowledge.
-  return 5;
-}
-
-bool StaticEvaluator::ShouldStop(const Estimate& estimate, double moe,
-                                 double session_start_seconds,
-                                 bool sampler_exhausted,
-                                 EvaluationResult* result) const {
-  result->estimate = estimate;
-  result->moe = moe;
-
-  const bool enough_units = estimate.num_units >= options_.min_units;
-  if (enough_units && moe <= options_.moe_target) {
-    result->converged = true;
-    return true;
-  }
-  if (sampler_exhausted) {
-    result->converged = moe <= options_.moe_target;
-    return true;
-  }
-  if (options_.max_cost_seconds > 0.0 &&
-      annotator_->ElapsedSeconds() - session_start_seconds >=
-          options_.max_cost_seconds) {
-    result->converged = false;
-    return true;
-  }
-  if (options_.max_units > 0 && estimate.num_units >= options_.max_units) {
-    result->converged = false;
-    return true;
-  }
-  return false;
+  return kgacc::ResolveSecondStageSize(options_, annotator_->cost_model(),
+                                       auto_m_stats_);
 }
 
 EvaluationResult StaticEvaluator::EvaluateSrs() {
-  EvaluationResult result;
-  result.design = "SRS";
-  Rng rng(options_.seed);
-  WallTimer machine;
-
-  const AnnotationLedger start_ledger = annotator_->ledger();
-  const double start_seconds = annotator_->ElapsedSeconds();
-
-  SrsTripleSampler sampler(view_);
-  SrsEstimator estimator;
-  while (true) {
-    ++result.rounds;
-    WallTimer sample_timer;
-    const std::vector<TripleRef> batch =
-        sampler.NextBatch(options_.batch_units, rng);
-    result.machine_seconds += sample_timer.ElapsedSeconds();
-
-    for (const TripleRef& ref : batch) estimator.Add(annotator_->Annotate(ref));
-    const Estimate estimate = estimator.Current();
-    double moe = estimate.MarginOfError(options_.Alpha());
-    if (options_.srs_ci == CiMethod::kWilson && estimate.num_units > 0) {
-      moe = WilsonInterval(estimator.Successes(), estimator.SampleSize(),
-                           options_.Alpha())
-                .Width() / 2.0;
-    }
-    if (ShouldStop(estimate, moe, start_seconds, batch.empty(), &result)) {
-      break;
-    }
-  }
-
-  result.ledger.entities_identified =
-      annotator_->ledger().entities_identified - start_ledger.entities_identified;
-  result.ledger.triples_annotated =
-      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
-  result.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
-  return result;
+  SrsUnitSampler sampler(view_);
+  SrsUnitEstimator estimator;
+  return EvaluationEngine(annotator_, options_)
+      .Run({.design_name = "SRS", .sampler = &sampler, .estimator = &estimator});
 }
 
 EvaluationResult StaticEvaluator::EvaluateRcs() {
-  EvaluationResult result;
-  result.design = "RCS";
-  Rng rng(options_.seed);
-
-  const AnnotationLedger start_ledger = annotator_->ledger();
-  const double start_seconds = annotator_->ElapsedSeconds();
-
-  RcsSampler sampler(view_);
-  RcsEstimator estimator(view_.NumClusters(), view_.TotalTriples());
-  while (true) {
-    ++result.rounds;
-    WallTimer sample_timer;
-    const std::vector<ClusterDraw> batch =
-        sampler.NextBatch(options_.batch_units, rng);
-    result.machine_seconds += sample_timer.ElapsedSeconds();
-
-    for (const ClusterDraw& draw : batch) {
-      uint64_t correct = 0;
-      for (uint64_t offset : draw.offsets) {
-        if (annotator_->Annotate(TripleRef{draw.cluster, offset})) ++correct;
-      }
-      estimator.AddCluster(correct);
-    }
-    const Estimate estimate = estimator.Current();
-    if (ShouldStop(estimate, estimate.MarginOfError(options_.Alpha()),
-                   start_seconds, batch.empty(), &result)) {
-      break;
-    }
-  }
-
-  result.ledger.entities_identified =
-      annotator_->ledger().entities_identified - start_ledger.entities_identified;
-  result.ledger.triples_annotated =
-      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
-  result.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
-  return result;
+  RcsUnitSampler sampler(view_);
+  RcsUnitEstimator estimator(view_.NumClusters(), view_.TotalTriples());
+  return EvaluationEngine(annotator_, options_)
+      .Run({.design_name = "RCS", .sampler = &sampler, .estimator = &estimator});
 }
 
 EvaluationResult StaticEvaluator::EvaluateWcs() {
-  EvaluationResult result;
-  result.design = "WCS";
-  Rng rng(options_.seed);
-
-  const AnnotationLedger start_ledger = annotator_->ledger();
-  const double start_seconds = annotator_->ElapsedSeconds();
-
-  WcsSampler sampler(view_);
-  WcsEstimator estimator;
-  while (true) {
-    ++result.rounds;
-    WallTimer sample_timer;
-    const std::vector<ClusterDraw> batch =
-        sampler.NextBatch(options_.batch_units, rng);
-    result.machine_seconds += sample_timer.ElapsedSeconds();
-
-    for (const ClusterDraw& draw : batch) {
-      uint64_t correct = 0;
-      for (uint64_t offset : draw.offsets) {
-        if (annotator_->Annotate(TripleRef{draw.cluster, offset})) ++correct;
-      }
-      estimator.AddCluster(static_cast<double>(correct) /
-                           static_cast<double>(draw.offsets.size()));
-    }
-    // WCS draws with replacement: the sampler never exhausts.
-    const Estimate estimate = estimator.Current();
-    if (ShouldStop(estimate, estimate.MarginOfError(options_.Alpha()),
-                   start_seconds, /*sampler_exhausted=*/false, &result)) {
-      break;
-    }
-  }
-
-  result.ledger.entities_identified =
-      annotator_->ledger().entities_identified - start_ledger.entities_identified;
-  result.ledger.triples_annotated =
-      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
-  result.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
-  return result;
+  WcsUnitSampler sampler(view_);
+  WcsUnitEstimator estimator;
+  return EvaluationEngine(annotator_, options_)
+      .Run({.design_name = "WCS", .sampler = &sampler, .estimator = &estimator});
 }
 
 EvaluationResult StaticEvaluator::EvaluateTwcs() {
-  EvaluationResult result;
-  const uint64_t m = ResolveSecondStageSize();
-  result.design = "TWCS";
-  Rng rng(options_.seed);
-
-  const AnnotationLedger start_ledger = annotator_->ledger();
-  const double start_seconds = annotator_->ElapsedSeconds();
-
-  TwcsSampler sampler(view_, m);
-  TwcsEstimator estimator;
-  while (true) {
-    ++result.rounds;
-    WallTimer sample_timer;
-    const std::vector<ClusterDraw> batch =
-        sampler.NextBatch(options_.batch_units, rng);
-    result.machine_seconds += sample_timer.ElapsedSeconds();
-
-    for (const ClusterDraw& draw : batch) {
-      uint64_t correct = 0;
-      for (uint64_t offset : draw.offsets) {
-        if (annotator_->Annotate(TripleRef{draw.cluster, offset})) ++correct;
-      }
-      estimator.AddDraw(correct, draw.offsets.size());
-    }
-    const Estimate estimate = estimator.Current();
-    if (ShouldStop(estimate, estimate.MarginOfError(options_.Alpha()),
-                   start_seconds, /*sampler_exhausted=*/false, &result)) {
-      break;
-    }
-  }
-
-  result.ledger.entities_identified =
-      annotator_->ledger().entities_identified - start_ledger.entities_identified;
-  result.ledger.triples_annotated =
-      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
-  result.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
-  return result;
+  TwcsUnitSampler sampler(view_, ResolveSecondStageSize());
+  TwcsUnitEstimator estimator;
+  return EvaluationEngine(annotator_, options_)
+      .Run({.design_name = "TWCS",
+            .sampler = &sampler,
+            .estimator = &estimator});
 }
 
 }  // namespace kgacc

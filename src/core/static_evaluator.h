@@ -11,10 +11,12 @@ namespace kgacc {
 
 /// The iterative Static Evaluation procedure of the framework (Fig 2):
 /// Sample Collector -> Sample Pool -> Estimation -> Quality Control, looping
-/// until the estimate's margin of error satisfies the user target. One
-/// evaluator instance runs one campaign per Evaluate* call; use a fresh
-/// SimulatedAnnotator per campaign so annotation caching does not leak cost
-/// savings across designs.
+/// until the estimate's margin of error satisfies the user target. Each
+/// Evaluate* call is a thin configuration of the shared EvaluationEngine
+/// (core/engine.h) — the campaign loop, batched annotation, and stopping
+/// semantics live there. One evaluator instance runs one campaign per
+/// Evaluate* call; use a fresh SimulatedAnnotator per campaign so annotation
+/// caching does not leak cost savings across designs.
 ///
 /// All four designs of Section 5 are provided: SRS (Eq 5), RCS (Eq 7),
 /// WCS (Eq 8) and TWCS (Eq 9). TWCS is the paper's recommended design.
@@ -45,12 +47,6 @@ class StaticEvaluator {
   uint64_t ResolveSecondStageSize() const;
 
  private:
-  /// True when the iteration should stop; fills convergence into `result`.
-  /// `moe` is precomputed by the caller (SRS may use a Wilson interval).
-  bool ShouldStop(const Estimate& estimate, double moe,
-                  double session_start_seconds, bool sampler_exhausted,
-                  EvaluationResult* result) const;
-
   const KgView& view_;
   Annotator* annotator_;
   EvaluationOptions options_;

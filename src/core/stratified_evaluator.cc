@@ -1,17 +1,10 @@
 #include "core/stratified_evaluator.h"
 
-#include <cmath>
-#include <memory>
 #include <vector>
 
-#include "estimators/estimators.h"
-#include "kg/subset_view.h"
-#include "sampling/cluster_sampler.h"
-#include "stats/allocation.h"
-#include "stats/running_stats.h"
+#include "core/engine.h"
+#include "core/stratified_source.h"
 #include "util/logging.h"
-#include "util/rng.h"
-#include "util/timer.h"
 
 namespace kgacc {
 
@@ -21,6 +14,16 @@ StratifiedTwcsEvaluator::StratifiedTwcsEvaluator(const KgView& view,
     : view_(view), annotator_(annotator), options_(options) {
   KGACC_CHECK(annotator_ != nullptr);
   KGACC_CHECK(view_.TotalTriples() > 0);
+}
+
+void StratifiedTwcsEvaluator::SetPopulationStatsForAutoM(
+    const ClusterPopulationStats* stats) {
+  auto_m_stats_ = stats;
+}
+
+uint64_t StratifiedTwcsEvaluator::ResolveSecondStageSize() const {
+  return kgacc::ResolveSecondStageSize(options_, annotator_->cost_model(),
+                                       auto_m_stats_);
 }
 
 Strata StratifiedTwcsEvaluator::SizeStrata(const KgView& view, int num_strata) {
@@ -48,89 +51,13 @@ Strata StratifiedTwcsEvaluator::OracleStrata(const KgView& view,
 }
 
 EvaluationResult StratifiedTwcsEvaluator::Evaluate(const Strata& strata) {
-  EvaluationResult result;
-  result.design = "TWCS+strat";
-  const size_t h_count = strata.NumStrata();
-  KGACC_CHECK(h_count >= 1) << "need at least one stratum";
-
-  Rng rng(options_.seed);
-  const uint64_t m = options_.m > 0 ? options_.m : 5;
-
-  const AnnotationLedger start_ledger = annotator_->ledger();
-  const double start_seconds = annotator_->ElapsedSeconds();
-
-  // Per-stratum machinery. SubsetViews borrow `view_` and stay valid for the
-  // whole campaign.
-  std::vector<std::unique_ptr<SubsetView>> views;
-  std::vector<std::unique_ptr<TwcsSampler>> samplers;
-  std::vector<RunningStats> stats(h_count);
-  StratifiedEstimator combined;
-  for (size_t h = 0; h < h_count; ++h) {
-    views.push_back(std::make_unique<SubsetView>(view_, strata.members[h]));
-    samplers.push_back(std::make_unique<TwcsSampler>(*views[h], m));
-    combined.AddStratum(strata.weights[h]);
-  }
-
-  const auto draw_into_stratum = [&](size_t h, uint64_t units) {
-    WallTimer sample_timer;
-    const std::vector<ClusterDraw> batch = samplers[h]->NextBatch(units, rng);
-    result.machine_seconds += sample_timer.ElapsedSeconds();
-    for (const ClusterDraw& draw : batch) {
-      uint64_t correct = 0;
-      for (uint64_t offset : draw.offsets) {
-        const TripleRef global{views[h]->ToParent(draw.cluster), offset};
-        if (annotator_->Annotate(global)) ++correct;
-      }
-      stats[h].Add(static_cast<double>(correct) /
-                   static_cast<double>(draw.offsets.size()));
-    }
-    Estimate est;
-    est.mean = stats[h].Mean();
-    est.variance_of_mean = stats[h].VarianceOfMean();
-    est.num_units = stats[h].Count();
-    combined.UpdateStratum(h, est);
-  };
-
-  // Seed round: every stratum gets enough draws for a variance estimate.
-  for (size_t h = 0; h < h_count; ++h) {
-    draw_into_stratum(h, options_.min_stratum_units);
-  }
-
-  while (true) {
-    ++result.rounds;
-    const Estimate estimate = combined.Current();
-    const double moe = estimate.MarginOfError(options_.Alpha());
-    result.estimate = estimate;
-    result.moe = moe;
-
-    if (estimate.num_units >= options_.min_units && moe <= options_.moe_target) {
-      result.converged = true;
-      break;
-    }
-    if (options_.max_cost_seconds > 0.0 &&
-        annotator_->ElapsedSeconds() - start_seconds >= options_.max_cost_seconds) {
-      break;
-    }
-    if (options_.max_units > 0 && estimate.num_units >= options_.max_units) {
-      break;
-    }
-
-    // Neyman allocation of the next batch using running stddevs.
-    std::vector<double> stddevs(h_count);
-    for (size_t h = 0; h < h_count; ++h) stddevs[h] = stats[h].SampleStdDev();
-    std::vector<uint64_t> allocation = NeymanAllocation(
-        strata.weights, stddevs, options_.batch_units, /*min_per_stratum=*/0);
-    for (size_t h = 0; h < h_count; ++h) {
-      if (allocation[h] > 0) draw_into_stratum(h, allocation[h]);
-    }
-  }
-
-  result.ledger.entities_identified =
-      annotator_->ledger().entities_identified - start_ledger.entities_identified;
-  result.ledger.triples_annotated =
-      annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
-  result.annotation_seconds = annotator_->ElapsedSeconds() - start_seconds;
-  return result;
+  KGACC_CHECK(strata.NumStrata() >= 1) << "need at least one stratum";
+  StratifiedTwcsSource source(view_, strata, ResolveSecondStageSize(),
+                              options_.min_stratum_units);
+  return EvaluationEngine(annotator_, options_)
+      .Run({.design_name = "TWCS+strat",
+            .sampler = &source,
+            .estimator = &source});
 }
 
 }  // namespace kgacc

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "core/evaluation.h"
+#include "core/optimal_m.h"
 #include "kg/kg_view.h"
 #include "labels/annotator.h"
 #include "labels/truth_oracle.h"
@@ -31,10 +32,19 @@ class StratifiedTwcsEvaluator {
   static Strata OracleStrata(const KgView& view, const TruthOracle& oracle,
                              int num_strata);
 
+  /// Supplies exact population stats so that auto-m (options.m == 0) can run
+  /// the Eq 12 search instead of defaulting to m = 5. Borrowed pointer; pass
+  /// nullptr to clear.
+  void SetPopulationStatsForAutoM(const ClusterPopulationStats* stats);
+
+  /// The second-stage size Evaluate() will use (shared auto-m resolution).
+  uint64_t ResolveSecondStageSize() const;
+
  private:
   const KgView& view_;
   Annotator* annotator_;
   EvaluationOptions options_;
+  const ClusterPopulationStats* auto_m_stats_ = nullptr;
 };
 
 }  // namespace kgacc

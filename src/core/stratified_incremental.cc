@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/engine.h"
+#include "core/optimal_m.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -15,10 +17,11 @@ StratifiedIncrementalEvaluator::StratifiedIncrementalEvaluator(
       annotator_(annotator),
       options_(options),
       allow_top_up_(allow_top_up),
-      rng_(options.seed),
-      m_(options.m > 0 ? options.m : 5) {
+      rng_(options.seed) {
   KGACC_CHECK(population_ != nullptr);
   KGACC_CHECK(annotator_ != nullptr);
+  m_ = ResolveSecondStageSize(options_, annotator_->cost_model(),
+                              /*stats=*/nullptr);
 }
 
 void StratifiedIncrementalEvaluator::AddStratum(uint64_t first_cluster,
@@ -133,20 +136,19 @@ IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
     SampleStratum(active, min_active_units - strata_[active].stats.Count());
   }
 
+  const StoppingPolicy policy(options_);
   while (true) {
     const Estimate estimate = Combined();
     report.estimate = estimate;
-    report.moe = estimate.MarginOfError(options_.Alpha());
+    report.moe = policy.MarginOfError(estimate);
     report.sample_units = estimate.num_units;
 
-    if (report.moe <= options_.moe_target &&
-        estimate.num_units >= options_.min_units) {
-      report.converged = true;
-      break;
-    }
-    if (options_.max_units > 0 && estimate.num_units >= options_.max_units) break;
-    if (options_.max_cost_seconds > 0.0 &&
-        annotator_->ElapsedSeconds() - start_seconds >= options_.max_cost_seconds) {
+    // The newest-stratum TWCS sampler draws with replacement: never exhausts.
+    const StopDecision decision = policy.Check(
+        estimate, report.moe, annotator_->ElapsedSeconds() - start_seconds,
+        /*sampler_exhausted=*/false);
+    if (decision.stop) {
+      report.converged = decision.converged;
       break;
     }
 

@@ -1,0 +1,41 @@
+#include "estimators/unit_estimators.h"
+
+namespace kgacc {
+
+uint64_t CountCorrect(const SampleUnit& unit, const uint8_t* labels) {
+  uint64_t correct = 0;
+  for (size_t i = 0; i < unit.offsets.size(); ++i) {
+    if (labels[i] != 0) ++correct;
+  }
+  return correct;
+}
+
+void SrsUnitEstimator::AddUnit(const SampleUnit& unit, const uint8_t* labels) {
+  for (size_t i = 0; i < unit.offsets.size(); ++i) {
+    impl_.Add(labels[i] != 0);
+  }
+}
+
+bool SrsUnitEstimator::BinomialCounts(uint64_t* successes,
+                                      uint64_t* trials) const {
+  *successes = impl_.Successes();
+  *trials = impl_.SampleSize();
+  return true;
+}
+
+void RcsUnitEstimator::AddUnit(const SampleUnit& unit, const uint8_t* labels) {
+  impl_.AddCluster(CountCorrect(unit, labels));
+}
+
+void WcsUnitEstimator::AddUnit(const SampleUnit& unit, const uint8_t* labels) {
+  if (unit.offsets.empty()) return;
+  impl_.AddCluster(static_cast<double>(CountCorrect(unit, labels)) /
+                   static_cast<double>(unit.offsets.size()));
+}
+
+void TwcsUnitEstimator::AddUnit(const SampleUnit& unit, const uint8_t* labels) {
+  if (unit.offsets.empty()) return;
+  impl_.AddDraw(CountCorrect(unit, labels), unit.offsets.size());
+}
+
+}  // namespace kgacc

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "estimators/estimators.h"
+
+namespace kgacc {
+
+/// UnitEstimator adapters over the Eq 5/7/8/9 estimators. Each translates an
+/// annotated SampleUnit into the wrapped estimator's native input; the
+/// per-cluster-accuracy designs guard against empty draws (a zero-size
+/// cluster would otherwise produce a NaN estimate).
+
+/// SRS (Eq 5). Exposes binomial counts so the stopping policy can apply the
+/// Wilson interval near boundary accuracies.
+class SrsUnitEstimator : public UnitEstimator {
+ public:
+  void AddUnit(const SampleUnit& unit, const uint8_t* labels) override;
+  Estimate Current() const override { return impl_.Current(); }
+  bool BinomialCounts(uint64_t* successes, uint64_t* trials) const override;
+
+ private:
+  SrsEstimator impl_;
+};
+
+/// RCS (Eq 7). An empty cluster draw is a legitimate unit with tau = 0.
+class RcsUnitEstimator : public UnitEstimator {
+ public:
+  RcsUnitEstimator(uint64_t num_clusters, uint64_t total_triples)
+      : impl_(num_clusters, total_triples) {}
+
+  void AddUnit(const SampleUnit& unit, const uint8_t* labels) override;
+  Estimate Current() const override { return impl_.Current(); }
+
+ private:
+  RcsEstimator impl_;
+};
+
+/// WCS (Eq 8, Hansen–Hurwitz). Empty draws are skipped: a size-weighted
+/// first stage can never legitimately select a zero-size cluster, and the
+/// per-cluster accuracy correct/size is undefined for one.
+class WcsUnitEstimator : public UnitEstimator {
+ public:
+  void AddUnit(const SampleUnit& unit, const uint8_t* labels) override;
+  Estimate Current() const override { return impl_.Current(); }
+
+ private:
+  WcsEstimator impl_;
+};
+
+/// TWCS (Eq 9). Empty draws are skipped for the same reason as WCS.
+class TwcsUnitEstimator : public UnitEstimator {
+ public:
+  void AddUnit(const SampleUnit& unit, const uint8_t* labels) override;
+  Estimate Current() const override { return impl_.Current(); }
+
+ private:
+  TwcsEstimator impl_;
+};
+
+/// Counts the 1-labels of one unit.
+uint64_t CountCorrect(const SampleUnit& unit, const uint8_t* labels);
+
+}  // namespace kgacc

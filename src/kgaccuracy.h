@@ -19,6 +19,7 @@
 #include "util/rng.h"         // IWYU pragma: export
 #include "util/status.h"      // IWYU pragma: export
 #include "util/string_util.h" // IWYU pragma: export
+#include "util/thread_pool.h" // IWYU pragma: export
 #include "util/timer.h"       // IWYU pragma: export
 
 // Statistics.
@@ -58,11 +59,15 @@
 #include "sampling/cluster_sampler.h" // IWYU pragma: export
 #include "sampling/reservoir.h"       // IWYU pragma: export
 #include "sampling/srs.h"             // IWYU pragma: export
+#include "sampling/unit_samplers.h"   // IWYU pragma: export
 
 // Estimators.
-#include "estimators/estimators.h" // IWYU pragma: export
+#include "estimators/estimators.h"      // IWYU pragma: export
+#include "estimators/unit_estimators.h" // IWYU pragma: export
 
 // Evaluation framework (the paper's core contribution).
+#include "core/design_registry.h"        // IWYU pragma: export
+#include "core/engine.h"                 // IWYU pragma: export
 #include "core/evaluation.h"             // IWYU pragma: export
 #include "core/grouped_evaluator.h"      // IWYU pragma: export
 #include "core/incremental.h"            // IWYU pragma: export
@@ -74,6 +79,7 @@
 #include "core/state_io.h"               // IWYU pragma: export
 #include "core/static_evaluator.h"       // IWYU pragma: export
 #include "core/stratified_evaluator.h"   // IWYU pragma: export
+#include "core/stratified_source.h"      // IWYU pragma: export
 #include "core/stratified_incremental.h" // IWYU pragma: export
 
 // Benchmark datasets (paper Table 3 reconstructions).

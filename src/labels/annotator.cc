@@ -4,12 +4,28 @@
 
 namespace kgacc {
 
-std::vector<uint8_t> Annotator::AnnotateTask(const EvaluationTask& task) {
-  std::vector<uint8_t> labels;
-  labels.reserve(task.offsets.size());
-  for (uint64_t offset : task.offsets) {
-    labels.push_back(Annotate(TripleRef{task.cluster, offset}) ? 1 : 0);
+namespace {
+
+/// Batches below this size are cheaper to label sequentially than to shard
+/// across the pool.
+constexpr size_t kParallelBatchThreshold = 1024;
+
+}  // namespace
+
+void Annotator::AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out) {
+  for (size_t i = 0; i < refs.size(); ++i) {
+    out[i] = Annotate(refs[i]) ? 1 : 0;
   }
+}
+
+std::vector<uint8_t> Annotator::AnnotateTask(const EvaluationTask& task) {
+  std::vector<TripleRef> refs;
+  refs.reserve(task.offsets.size());
+  for (uint64_t offset : task.offsets) {
+    refs.push_back(TripleRef{task.cluster, offset});
+  }
+  std::vector<uint8_t> labels(refs.size());
+  AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
   return labels;
 }
 
@@ -43,6 +59,60 @@ bool SimulatedAnnotator::Annotate(const TripleRef& ref) {
   }
   cached_labels_.emplace(ref, label ? 1 : 0);
   return label;
+}
+
+void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
+                                       uint8_t* out) {
+  const size_t n = refs.size();
+  if (n == 0) return;
+
+  // Sharded pass: precompute oracle labels for cache misses in parallel.
+  // Safe because the cache is only read here, the oracle is a pure function
+  // of the ref, and noise (which consumes the sequential rng stream) is
+  // applied later, in the bookkeeping pass.
+  std::vector<uint8_t> precomputed;
+  if (options_.annotation_threads > 1 && n >= kParallelBatchThreshold) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.annotation_threads);
+    }
+    precomputed.resize(n);
+    const size_t shards = static_cast<size_t>(pool_->size());
+    // Contiguous block per shard: disjoint cache lines of `precomputed` and
+    // sequential reads of `refs` (interleaved striding would false-share).
+    pool_->ParallelFor(static_cast<int>(shards), [&](int shard) {
+      const size_t begin = n * static_cast<size_t>(shard) / shards;
+      const size_t end = n * (static_cast<size_t>(shard) + 1) / shards;
+      for (size_t i = begin; i < end; ++i) {
+        if (cached_labels_.find(refs[i]) == cached_labels_.end()) {
+          precomputed[i] = oracle_->IsCorrect(refs[i]) ? 1 : 0;
+        }
+      }
+    });
+  }
+
+  // Bookkeeping pass, in batch order: one try_emplace probe per triple
+  // (Annotate pays a find plus an emplace), ledger charges and noise flips in
+  // exactly the per-triple order.
+  cached_labels_.reserve(cached_labels_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    const TripleRef& ref = refs[i];
+    const auto [it, inserted] = cached_labels_.try_emplace(ref, uint8_t{0});
+    if (!inserted) {
+      out[i] = it->second;
+      continue;
+    }
+    if (identified_clusters_.insert(ref.cluster).second) {
+      ++ledger_.entities_identified;
+    }
+    ++ledger_.triples_annotated;
+    bool label = precomputed.empty() ? oracle_->IsCorrect(ref)
+                                     : precomputed[i] != 0;
+    if (options_.noise_rate > 0.0 && rng_.Bernoulli(options_.noise_rate)) {
+      label = !label;
+    }
+    it->second = label ? 1 : 0;
+    out[i] = it->second;
+  }
 }
 
 void SimulatedAnnotator::Reset() {

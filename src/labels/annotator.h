@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "cost/task.h"
 #include "labels/truth_oracle.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace kgacc {
 
@@ -23,6 +26,13 @@ class Annotator {
 
   /// Annotates one triple, charging cost as needed. Returns the label.
   virtual bool Annotate(const TripleRef& ref) = 0;
+
+  /// Annotates a batch, writing 0/1 labels to `out[i]` for `refs[i]`.
+  /// Semantically identical to calling Annotate(refs[i]) in order — same
+  /// labels, same ledger — but backends may implement it much faster (the
+  /// EvaluationEngine annotates one sampling batch per call). The default
+  /// simply loops over Annotate.
+  virtual void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out);
 
   /// Effort so far (distinct entities / triples — Eq 4 set semantics).
   virtual const AnnotationLedger& ledger() const = 0;
@@ -52,11 +62,21 @@ class Annotator {
 /// Optional label noise flips each *first* annotation with probability
 /// `noise_rate`, modelling imperfect annotators; cached labels stay stable,
 /// as a human task-force would reuse its recorded answer.
+///
+/// AnnotateBatch is specialized: one hash probe per triple instead of two,
+/// and — when `annotation_threads` > 1 — a sharded thread-pooled pass that
+/// precomputes oracle labels for cache misses in parallel before the
+/// sequential bookkeeping pass. Both paths are bit-identical to the
+/// per-triple path (same labels, ledger, and noise stream).
 class SimulatedAnnotator : public Annotator {
  public:
   struct Options {
     double noise_rate = 0.0;
     uint64_t seed = 0x5eed;
+
+    /// Worker threads for the sharded batch path; <= 1 disables it. Only
+    /// large batches use the pool (small ones are faster sequentially).
+    int annotation_threads = 0;
   };
 
   SimulatedAnnotator(const TruthOracle* oracle, const CostModel& cost_model);
@@ -64,6 +84,7 @@ class SimulatedAnnotator : public Annotator {
                      Options options);
 
   bool Annotate(const TripleRef& ref) override;
+  void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out) override;
   const AnnotationLedger& ledger() const override { return ledger_; }
   const CostModel& cost_model() const override { return cost_model_; }
 
@@ -79,6 +100,7 @@ class SimulatedAnnotator : public Annotator {
   std::unordered_set<uint64_t> identified_clusters_;
   std::unordered_map<TripleRef, uint8_t, TripleRefHash> cached_labels_;
   AnnotationLedger ledger_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created.
 };
 
 }  // namespace kgacc

@@ -1,0 +1,38 @@
+#include "sampling/unit_samplers.h"
+
+#include <utility>
+
+namespace kgacc {
+
+std::vector<SampleUnit> ToSampleUnits(std::vector<ClusterDraw> draws) {
+  std::vector<SampleUnit> units;
+  units.reserve(draws.size());
+  for (ClusterDraw& draw : draws) {
+    units.push_back(SampleUnit{draw.cluster, std::move(draw.offsets)});
+  }
+  return units;
+}
+
+std::vector<SampleUnit> SrsUnitSampler::NextBatch(uint64_t n, Rng& rng) {
+  const std::vector<TripleRef> triples = sampler_.NextBatch(n, rng);
+  std::vector<SampleUnit> units;
+  units.reserve(triples.size());
+  for (const TripleRef& ref : triples) {
+    units.push_back(SampleUnit{ref.cluster, {ref.offset}});
+  }
+  return units;
+}
+
+std::vector<SampleUnit> RcsUnitSampler::NextBatch(uint64_t n, Rng& rng) {
+  return ToSampleUnits(sampler_.NextBatch(n, rng));
+}
+
+std::vector<SampleUnit> WcsUnitSampler::NextBatch(uint64_t n, Rng& rng) {
+  return ToSampleUnits(sampler_.NextBatch(n, rng));
+}
+
+std::vector<SampleUnit> TwcsUnitSampler::NextBatch(uint64_t n, Rng& rng) {
+  return ToSampleUnits(sampler_.NextBatch(n, rng));
+}
+
+}  // namespace kgacc

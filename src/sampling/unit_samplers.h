@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "kg/kg_view.h"
+#include "sampling/cluster_sampler.h"
+#include "sampling/srs.h"
+#include "util/rng.h"
+
+namespace kgacc {
+
+/// UnitSampler adapters over the concrete Section 5 samplers, so every design
+/// runs through the one EvaluationEngine campaign loop. Each adapter is a
+/// thin translation layer: the wrapped sampler owns all randomness and
+/// without-replacement bookkeeping.
+
+/// SRS of triples (Section 5.1): one unit per sampled triple.
+class SrsUnitSampler : public UnitSampler {
+ public:
+  explicit SrsUnitSampler(const KgView& view) : sampler_(view) {}
+
+  std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) override;
+  bool Exhaustible() const override { return true; }
+
+ private:
+  SrsTripleSampler sampler_;
+};
+
+/// Random cluster sampling (Section 5.2.1): uniform, without replacement;
+/// a unit is a whole cluster.
+class RcsUnitSampler : public UnitSampler {
+ public:
+  explicit RcsUnitSampler(const KgView& view) : sampler_(view) {}
+
+  std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) override;
+  bool Exhaustible() const override { return true; }
+
+ private:
+  RcsSampler sampler_;
+};
+
+/// Weighted cluster sampling (Section 5.2.2): size-proportional, with
+/// replacement; a unit is a whole cluster.
+class WcsUnitSampler : public UnitSampler {
+ public:
+  explicit WcsUnitSampler(const KgView& view) : sampler_(view) {}
+
+  std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) override;
+
+ private:
+  WcsSampler sampler_;
+};
+
+/// Two-stage weighted cluster sampling (Section 5.2.3): a unit is one
+/// first-stage draw with its <= m second-stage offsets.
+class TwcsUnitSampler : public UnitSampler {
+ public:
+  TwcsUnitSampler(const KgView& view, uint64_t m) : sampler_(view, m) {}
+
+  std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) override;
+
+  uint64_t second_stage_size() const { return sampler_.second_stage_size(); }
+
+ private:
+  TwcsSampler sampler_;
+};
+
+/// Shared translation: ClusterDraws -> SampleUnits.
+std::vector<SampleUnit> ToSampleUnits(std::vector<ClusterDraw> draws);
+
+}  // namespace kgacc

@@ -1,0 +1,67 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace kgacc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* fn = nullptr;
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || (fn_ != nullptr && generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    fn = fn_;
+    while (next_shard_ < num_shards_) {
+      const int shard = next_shard_++;
+      lock.unlock();
+      (*fn)(shard);
+      lock.lock();
+      if (--active_shards_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int num_shards,
+                             const std::function<void(int)>& fn) {
+  if (num_shards <= 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  num_shards_ = num_shards;
+  next_shard_ = 0;
+  active_shards_ = num_shards;
+  ++generation_;
+  work_ready_.notify_all();
+  // The calling thread helps, so a pool is useful even on small machines.
+  while (next_shard_ < num_shards_) {
+    const int shard = next_shard_++;
+    lock.unlock();
+    fn(shard);
+    lock.lock();
+    if (--active_shards_ == 0) work_done_.notify_all();
+  }
+  work_done_.wait(lock, [&] { return active_shards_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kgacc {
+
+/// A small fixed-size worker pool for sharded, CPU-bound fan-out (the batched
+/// synthetic-oracle annotation path). Workers persist across ParallelFor
+/// calls so repeated small batches do not pay thread start-up cost.
+///
+/// Not a task queue: one ParallelFor runs at a time, and the caller blocks
+/// until every shard completes. Shard functions must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(shard) for every shard in [0, num_shards) across the workers
+  /// and the calling thread, returning when all shards are done.
+  void ParallelFor(int num_shards, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<std::thread> workers_;
+
+  // State of the current ParallelFor, guarded by mutex_.
+  const std::function<void(int)>* fn_ = nullptr;
+  int num_shards_ = 0;
+  int next_shard_ = 0;
+  int active_shards_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,149 @@
+// AnnotateBatch must be semantically identical to per-triple Annotate — same
+// labels, same ledger, same noise stream — on every path: the base-class
+// fallback loop, SimulatedAnnotator's single-probe fast path, and the
+// sharded thread-pooled path.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "labels/annotator.h"
+#include "labels/annotator_pool.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+using kgacc::testing::MakeTestPopulation;
+using kgacc::testing::TestPopulation;
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+/// A mixed workload: fresh triples, within-batch duplicates, and repeats of
+/// earlier batches' triples (exercising all cache interactions).
+std::vector<TripleRef> MakeRefs(const KgView& view, uint64_t count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TripleRef> refs;
+  refs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t cluster = rng.UniformIndex(view.NumClusters());
+    const uint64_t offset = rng.UniformIndex(view.ClusterSize(cluster));
+    refs.push_back(TripleRef{cluster, offset});
+    if (i % 7 == 0 && !refs.empty()) refs.push_back(refs[rng.UniformIndex(refs.size())]);
+  }
+  return refs;
+}
+
+void ExpectSameAsSequential(const TestPopulation& pop,
+                            SimulatedAnnotator::Options options,
+                            const std::vector<TripleRef>& refs) {
+  SimulatedAnnotator sequential(&pop.oracle, kCost, options);
+  SimulatedAnnotator batched(&pop.oracle, kCost, options);
+
+  std::vector<uint8_t> expected(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    expected[i] = sequential.Annotate(refs[i]) ? 1 : 0;
+  }
+  std::vector<uint8_t> actual(refs.size());
+  batched.AnnotateBatch(std::span<const TripleRef>(refs), actual.data());
+
+  EXPECT_EQ(expected, actual);
+  EXPECT_EQ(sequential.ledger().entities_identified,
+            batched.ledger().entities_identified);
+  EXPECT_EQ(sequential.ledger().triples_annotated,
+            batched.ledger().triples_annotated);
+  EXPECT_DOUBLE_EQ(sequential.ElapsedSeconds(), batched.ElapsedSeconds());
+}
+
+TEST(AnnotateBatchTest, FastPathMatchesSequential) {
+  TestPopulation pop = MakeTestPopulation(300, 10, 0.8, 0.2, 11);
+  ExpectSameAsSequential(pop, {}, MakeRefs(pop.population, 500, 1));
+}
+
+TEST(AnnotateBatchTest, FastPathMatchesSequentialWithNoise) {
+  // Noise consumes the annotator's rng per first annotation; the batch path
+  // must replay the identical stream.
+  TestPopulation pop = MakeTestPopulation(300, 10, 0.8, 0.2, 12);
+  ExpectSameAsSequential(pop, {.noise_rate = 0.3, .seed = 0xabc},
+                         MakeRefs(pop.population, 500, 2));
+}
+
+TEST(AnnotateBatchTest, ShardedPathMatchesSequential) {
+  TestPopulation pop = MakeTestPopulation(2000, 8, 0.8, 0.2, 13);
+  // 5000 refs clears the parallel threshold.
+  ExpectSameAsSequential(pop, {.annotation_threads = 4},
+                         MakeRefs(pop.population, 5000, 3));
+}
+
+TEST(AnnotateBatchTest, ShardedPathMatchesSequentialWithNoise) {
+  // The sharded pass precomputes pure oracle labels only; noise flips stay
+  // on the sequential bookkeeping pass, so determinism survives threading.
+  TestPopulation pop = MakeTestPopulation(2000, 8, 0.8, 0.2, 14);
+  ExpectSameAsSequential(
+      pop, {.noise_rate = 0.2, .seed = 0xdef, .annotation_threads = 4},
+      MakeRefs(pop.population, 5000, 4));
+}
+
+TEST(AnnotateBatchTest, CachedTriplesStayFreeAcrossBatches) {
+  TestPopulation pop = MakeTestPopulation(100, 5, 0.9, 0.1, 15);
+  SimulatedAnnotator annotator(&pop.oracle, kCost);
+  const std::vector<TripleRef> refs = MakeRefs(pop.population, 200, 5);
+  std::vector<uint8_t> first(refs.size()), second(refs.size());
+  annotator.AnnotateBatch(std::span<const TripleRef>(refs), first.data());
+  const AnnotationLedger after_first = annotator.ledger();
+  annotator.AnnotateBatch(std::span<const TripleRef>(refs), second.data());
+  EXPECT_EQ(first, second);  // cached labels are stable.
+  EXPECT_EQ(annotator.ledger().triples_annotated,
+            after_first.triples_annotated);  // re-annotation is free.
+  EXPECT_EQ(annotator.ledger().entities_identified,
+            after_first.entities_identified);
+}
+
+TEST(AnnotateBatchTest, EmptyBatchIsANoOp) {
+  TestPopulation pop = MakeTestPopulation(10, 3, 0.9, 0.0, 16);
+  SimulatedAnnotator annotator(&pop.oracle, kCost);
+  annotator.AnnotateBatch(std::span<const TripleRef>(), nullptr);
+  EXPECT_EQ(annotator.ledger().triples_annotated, 0u);
+}
+
+TEST(AnnotateBatchTest, BaseClassFallbackLoopsOverAnnotate) {
+  // AnnotatorPool does not override AnnotateBatch: the default must produce
+  // the same labels and ledger as per-triple calls.
+  TestPopulation pop = MakeTestPopulation(200, 6, 0.8, 0.1, 17);
+  const AnnotatorPool::Options pool_options{.num_annotators = 3,
+                                            .noise_rate = 0.1,
+                                            .seed = 0xfeed};
+  AnnotatorPool sequential(&pop.oracle, kCost, pool_options);
+  AnnotatorPool batched(&pop.oracle, kCost, pool_options);
+  const std::vector<TripleRef> refs = MakeRefs(pop.population, 300, 6);
+  std::vector<uint8_t> expected(refs.size()), actual(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    expected[i] = sequential.Annotate(refs[i]) ? 1 : 0;
+  }
+  batched.AnnotateBatch(std::span<const TripleRef>(refs), actual.data());
+  EXPECT_EQ(expected, actual);
+  EXPECT_EQ(sequential.ledger().triples_annotated,
+            batched.ledger().triples_annotated);
+}
+
+TEST(AnnotateBatchTest, AnnotateTaskRoutesThroughBatch) {
+  TestPopulation pop = MakeTestPopulation(50, 8, 0.7, 0.2, 18);
+  SimulatedAnnotator a1(&pop.oracle, kCost), a2(&pop.oracle, kCost);
+  EvaluationTask task;
+  task.cluster = 3;
+  for (uint64_t offset = 0; offset < pop.population.ClusterSize(3); ++offset) {
+    task.offsets.push_back(offset);
+  }
+  const std::vector<uint8_t> via_task = a1.AnnotateTask(task);
+  std::vector<uint8_t> via_single;
+  for (uint64_t offset : task.offsets) {
+    via_single.push_back(a2.Annotate(TripleRef{task.cluster, offset}) ? 1 : 0);
+  }
+  EXPECT_EQ(via_task, via_single);
+  EXPECT_EQ(a1.ledger().entities_identified, 1u);
+}
+
+}  // namespace
+}  // namespace kgacc

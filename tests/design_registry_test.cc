@@ -1,0 +1,117 @@
+#include "core/design_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/static_evaluator.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+using kgacc::testing::MakeTestPopulation;
+using kgacc::testing::TestPopulation;
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+TEST(DesignRegistryTest, BuiltinsAreRegistered) {
+  const DesignRegistry& registry = DesignRegistry::Global();
+  for (const char* name : {"srs", "rcs", "wcs", "twcs", "twcs+strat"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    EXPECT_FALSE(registry.Description(name).empty()) << name;
+  }
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_GE(names.size(), 5u);
+}
+
+TEST(DesignRegistryTest, EveryBuiltinRunsAndConverges) {
+  TestPopulation pop = MakeTestPopulation(400, 12, 0.8, 0.15, 4242);
+  const double truth = RealizedOverallAccuracy(pop.oracle, pop.population);
+  EvaluationOptions options;
+  options.seed = 9;
+  const struct {
+    const char* name;
+    const char* design_label;
+  } kCases[] = {{"srs", "SRS"},
+                {"rcs", "RCS"},
+                {"wcs", "WCS"},
+                {"twcs", "TWCS"},
+                {"twcs+strat", "TWCS+strat"}};
+  for (const auto& test_case : kCases) {
+    SCOPED_TRACE(test_case.name);
+    SimulatedAnnotator annotator(&pop.oracle, kCost);
+    Result<EvaluationResult> run = DesignRegistry::Global().Run(
+        test_case.name, pop.population, &annotator, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->design, test_case.design_label);
+    EXPECT_TRUE(run->converged);
+    EXPECT_LE(run->moe, options.moe_target + 1e-12);
+    EXPECT_NEAR(run->estimate.mean, truth, 2.5 * options.moe_target);
+  }
+}
+
+TEST(DesignRegistryTest, UnknownDesignListsKnownNames) {
+  TestPopulation pop = MakeTestPopulation(50, 5, 0.8, 0.1, 1);
+  SimulatedAnnotator annotator(&pop.oracle, kCost);
+  const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      "no-such-design", pop.population, &annotator, EvaluationOptions{});
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("no-such-design"), std::string::npos);
+  EXPECT_NE(run.status().message().find("twcs"), std::string::npos);
+}
+
+TEST(DesignRegistryTest, RejectsDuplicateAndInvalidRegistrations) {
+  DesignRegistry registry;
+  const DesignFn noop = [](const KgView& view, Annotator* annotator,
+                           const EvaluationOptions& options) {
+    return StaticEvaluator(view, annotator, options).EvaluateSrs();
+  };
+  EXPECT_TRUE(registry.Register("custom", "test design", noop).ok());
+  EXPECT_FALSE(registry.Register("custom", "duplicate", noop).ok());
+  EXPECT_FALSE(registry.Register("", "empty name", noop).ok());
+  EXPECT_FALSE(registry.Register("null-fn", "", nullptr).ok());
+}
+
+TEST(DesignRegistryTest, CustomDesignPlugsIn) {
+  // The ~50-line-plugin promise: a new design is one Register call.
+  DesignRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("twcs-m2", "TWCS pinned to m = 2",
+                            [](const KgView& view, Annotator* annotator,
+                               const EvaluationOptions& options) {
+                              EvaluationOptions pinned = options;
+                              pinned.m = 2;
+                              return StaticEvaluator(view, annotator, pinned)
+                                  .EvaluateTwcs();
+                            })
+                  .ok());
+  TestPopulation pop = MakeTestPopulation(300, 10, 0.85, 0.1, 7);
+  SimulatedAnnotator annotator(&pop.oracle, kCost);
+  const Result<EvaluationResult> run = registry.Run(
+      "twcs-m2", pop.population, &annotator, EvaluationOptions{.seed = 3});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->converged);
+}
+
+TEST(DesignRegistryTest, StrataCountFlowsThroughOptions) {
+  TestPopulation pop = MakeTestPopulation(600, 20, 0.8, 0.2, 99);
+  EvaluationOptions two;
+  two.seed = 5;
+  two.num_strata = 2;
+  EvaluationOptions six = two;
+  six.num_strata = 6;
+  SimulatedAnnotator a1(&pop.oracle, kCost), a2(&pop.oracle, kCost);
+  const EvaluationResult r2 =
+      *DesignRegistry::Global().Run("twcs+strat", pop.population, &a1, two);
+  const EvaluationResult r6 =
+      *DesignRegistry::Global().Run("twcs+strat", pop.population, &a2, six);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_TRUE(r6.converged);
+  // Different stratifications draw different samples.
+  EXPECT_NE(r2.ledger.triples_annotated, r6.ledger.triples_annotated);
+}
+
+}  // namespace
+}  // namespace kgacc

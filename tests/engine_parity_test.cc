@@ -1,0 +1,147 @@
+// Golden-parity tests for the EvaluationEngine refactor: every registry
+// design must reproduce, bit for bit, the EvaluationResult the pre-refactor
+// hand-rolled loops produced at fixed seeds on the synthetic generator. The
+// golden numbers below were captured from the last commit before the engine
+// existed (the four loops in static_evaluator.cc and the stratified loop);
+// sampling, annotation order, estimation, and stopping are all deterministic
+// given the seed, so any drift in these values means the refactor changed
+// campaign semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/design_registry.h"
+#include "core/static_evaluator.h"
+#include "core/stratified_evaluator.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+using kgacc::testing::MakeTestPopulation;
+using kgacc::testing::TestPopulation;
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+struct Golden {
+  std::string design;        ///< registry name.
+  double mean;
+  double variance_of_mean;
+  uint64_t num_units;
+  double moe;
+  bool converged;
+  uint64_t rounds;
+  uint64_t entities_identified;
+  uint64_t triples_annotated;
+  double annotation_seconds;
+  bool wilson = false;
+};
+
+// Captured pre-refactor on MakeTestPopulation(500, 15, 0.8, 0.2, 31337)
+// with EvaluationOptions{.seed = 77} (and srs_ci = kWilson where flagged).
+const Golden kGoldens[] = {
+    {"srs", 0.77142857142857146, 0.00062973760932944595, 280,
+     0.049184459884006361, true, 28, 212, 280, 16540.0},
+    {"srs", 0.77037037037037037, 0.00065518467713255094, 270,
+     0.049959417048247468, true, 27, 203, 270, 15885.0, /*wilson=*/true},
+    {"rcs", 0.80620899114638511, 0.00064250557600313779, 340,
+     0.049680566746791575, true, 34, 340, 2771, 84575.0},
+    {"wcs", 0.81382228882228869, 0.00051318543519964573, 50,
+     0.044400233295551865, true, 5, 47, 484, 14215.0},
+    {"twcs", 0.82750000000000001, 0.00064608050847457629, 60,
+     0.049818587576909545, true, 6, 54, 269, 9155.0},
+    {"twcs+strat", 0.8229028947185304, 0.00062420856914991124, 60,
+     0.04896806626684154, true, 3, 55, 252, 8775.0},
+};
+
+class EngineParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pop_ = MakeTestPopulation(500, 15, 0.8, 0.2, 31337); }
+
+  EvaluationOptions Options(bool wilson) const {
+    EvaluationOptions options;
+    options.seed = 77;
+    if (wilson) options.srs_ci = CiMethod::kWilson;
+    return options;
+  }
+
+  TestPopulation pop_;
+};
+
+TEST_F(EngineParityTest, RegistryDesignsReproducePreRefactorResults) {
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(golden.design + (golden.wilson ? "+wilson" : ""));
+    SimulatedAnnotator annotator(&pop_.oracle, kCost);
+    Result<EvaluationResult> run = DesignRegistry::Global().Run(
+        golden.design, pop_.population, &annotator, Options(golden.wilson));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const EvaluationResult& r = *run;
+    EXPECT_DOUBLE_EQ(r.estimate.mean, golden.mean);
+    EXPECT_DOUBLE_EQ(r.estimate.variance_of_mean, golden.variance_of_mean);
+    EXPECT_EQ(r.estimate.num_units, golden.num_units);
+    EXPECT_DOUBLE_EQ(r.moe, golden.moe);
+    EXPECT_EQ(r.converged, golden.converged);
+    EXPECT_EQ(r.rounds, golden.rounds);
+    EXPECT_EQ(r.ledger.entities_identified, golden.entities_identified);
+    EXPECT_EQ(r.ledger.triples_annotated, golden.triples_annotated);
+    EXPECT_DOUBLE_EQ(r.annotation_seconds, golden.annotation_seconds);
+  }
+}
+
+TEST_F(EngineParityTest, EvaluatorApiMatchesRegistryPath) {
+  // The classic evaluator entry points are thin wrappers over the same
+  // engine configurations the registry builds: identical campaigns.
+  SimulatedAnnotator a1(&pop_.oracle, kCost), a2(&pop_.oracle, kCost);
+  StaticEvaluator evaluator(pop_.population, &a1, Options(false));
+  const EvaluationResult direct = evaluator.EvaluateTwcs();
+  const EvaluationResult via_registry =
+      *DesignRegistry::Global().Run("twcs", pop_.population, &a2,
+                                    Options(false));
+  EXPECT_DOUBLE_EQ(direct.estimate.mean, via_registry.estimate.mean);
+  EXPECT_EQ(direct.estimate.num_units, via_registry.estimate.num_units);
+  EXPECT_EQ(direct.ledger.triples_annotated,
+            via_registry.ledger.triples_annotated);
+  EXPECT_EQ(direct.rounds, via_registry.rounds);
+}
+
+TEST_F(EngineParityTest, StratifiedEvaluatorMatchesRegistryPath) {
+  SimulatedAnnotator a1(&pop_.oracle, kCost), a2(&pop_.oracle, kCost);
+  StratifiedTwcsEvaluator evaluator(pop_.population, &a1, Options(false));
+  const EvaluationResult direct = evaluator.Evaluate(
+      StratifiedTwcsEvaluator::SizeStrata(pop_.population, 4));
+  EvaluationOptions options = Options(false);
+  options.num_strata = 4;
+  const EvaluationResult via_registry = *DesignRegistry::Global().Run(
+      "twcs+strat", pop_.population, &a2, options);
+  EXPECT_DOUBLE_EQ(direct.estimate.mean, via_registry.estimate.mean);
+  EXPECT_EQ(direct.ledger.triples_annotated,
+            via_registry.ledger.triples_annotated);
+}
+
+TEST_F(EngineParityTest, StratifiedSecondStageSizeUsesSharedResolution) {
+  // The pre-refactor stratified loop hardcoded m = 5; it must now route
+  // through the same auto-m resolution as static TWCS.
+  SimulatedAnnotator annotator(&pop_.oracle, kCost);
+  EvaluationOptions options = Options(false);
+  options.m = 7;
+  StratifiedTwcsEvaluator stratified(pop_.population, &annotator, options);
+  EXPECT_EQ(stratified.ResolveSecondStageSize(), 7u);
+
+  options.m = 0;
+  StratifiedTwcsEvaluator auto_m(pop_.population, &annotator, options);
+  StaticEvaluator static_eval(pop_.population, &annotator, options);
+  EXPECT_EQ(auto_m.ResolveSecondStageSize(),
+            static_eval.ResolveSecondStageSize());
+
+  const ClusterPopulationStats stats =
+      BuildPopulationStats(pop_.population, pop_.oracle);
+  StratifiedTwcsEvaluator with_stats(pop_.population, &annotator, options);
+  with_stats.SetPopulationStatsForAutoM(&stats);
+  EXPECT_EQ(with_stats.ResolveSecondStageSize(),
+            ChooseOptimalM(stats, kCost, 0.05, 0.05).best_m);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,159 @@
+// Unit tests for the single StoppingPolicy implementation every design
+// consults: MoE/CLT convergence, Wilson CI selection at boundary accuracies,
+// sampler exhaustion, and the cost/unit budgets.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "estimators/unit_estimators.h"
+#include "stats/confidence.h"
+
+namespace kgacc {
+namespace {
+
+Estimate MakeEstimate(double mean, double variance_of_mean,
+                      uint64_t num_units) {
+  Estimate estimate;
+  estimate.mean = mean;
+  estimate.variance_of_mean = variance_of_mean;
+  estimate.num_units = num_units;
+  return estimate;
+}
+
+/// Feeds `n` SRS units with `successes` 1-labels into a fresh SRS adapter.
+SrsUnitEstimator MakeSrs(uint64_t successes, uint64_t n) {
+  SrsUnitEstimator estimator;
+  for (uint64_t i = 0; i < n; ++i) {
+    SampleUnit unit{0, {i}};
+    const uint8_t label = i < successes ? 1 : 0;
+    estimator.AddUnit(unit, &label);
+  }
+  return estimator;
+}
+
+TEST(StoppingPolicyTest, ConvergesWhenMoeMetWithEnoughUnits) {
+  EvaluationOptions options;
+  const StoppingPolicy policy(options);
+  const StopDecision d =
+      policy.Check(MakeEstimate(0.8, 1e-6, 100), /*moe=*/0.002,
+                   /*elapsed=*/0.0, /*exhausted=*/false);
+  EXPECT_TRUE(d.stop);
+  EXPECT_TRUE(d.converged);
+}
+
+TEST(StoppingPolicyTest, CltFloorBlocksEarlyConvergence) {
+  // MoE already met, but fewer than min_units units: keep sampling.
+  EvaluationOptions options;
+  options.min_units = 30;
+  const StoppingPolicy policy(options);
+  const StopDecision d = policy.Check(MakeEstimate(1.0, 0.0, 10), /*moe=*/0.0,
+                                      0.0, /*exhausted=*/false);
+  EXPECT_FALSE(d.stop);
+}
+
+TEST(StoppingPolicyTest, ExhaustionStopsAndConvergesOnlyIfMoeMet) {
+  const StoppingPolicy policy(EvaluationOptions{});
+  // Exhausted with the target met (even under the CLT floor): a census is
+  // a census — stop, converged.
+  StopDecision d = policy.Check(MakeEstimate(0.9, 1e-8, 10), /*moe=*/0.001,
+                                0.0, /*exhausted=*/true);
+  EXPECT_TRUE(d.stop);
+  EXPECT_TRUE(d.converged);
+  // Exhausted with a wide interval: stop, not converged.
+  d = policy.Check(MakeEstimate(0.5, 0.01, 10), /*moe=*/0.2, 0.0,
+                   /*exhausted=*/true);
+  EXPECT_TRUE(d.stop);
+  EXPECT_FALSE(d.converged);
+}
+
+TEST(StoppingPolicyTest, CostBudgetCutsCampaignShort) {
+  EvaluationOptions options;
+  options.max_cost_seconds = 3600.0;
+  const StoppingPolicy policy(options);
+  StopDecision d = policy.Check(MakeEstimate(0.5, 0.01, 100), /*moe=*/0.2,
+                                /*elapsed=*/3599.0, false);
+  EXPECT_FALSE(d.stop);
+  d = policy.Check(MakeEstimate(0.5, 0.01, 100), 0.2, /*elapsed=*/3600.0,
+                   false);
+  EXPECT_TRUE(d.stop);
+  EXPECT_FALSE(d.converged);
+}
+
+TEST(StoppingPolicyTest, UnitBudgetCutsCampaignShort) {
+  EvaluationOptions options;
+  options.max_units = 100;
+  const StoppingPolicy policy(options);
+  StopDecision d =
+      policy.Check(MakeEstimate(0.5, 0.01, 99), /*moe=*/0.2, 0.0, false);
+  EXPECT_FALSE(d.stop);
+  d = policy.Check(MakeEstimate(0.5, 0.01, 100), 0.2, 0.0, false);
+  EXPECT_TRUE(d.stop);
+  EXPECT_FALSE(d.converged);
+}
+
+TEST(StoppingPolicyTest, ZeroBudgetsMeanUnlimited) {
+  EvaluationOptions options;
+  options.max_units = 0;
+  options.max_cost_seconds = 0.0;
+  const StoppingPolicy policy(options);
+  const StopDecision d = policy.Check(MakeEstimate(0.5, 0.01, 1000000),
+                                      /*moe=*/0.2, 1e12, false);
+  EXPECT_FALSE(d.stop);
+}
+
+TEST(StoppingPolicyTest, WilsonKeepsHonestWidthAtPerfectAccuracy) {
+  // p-hat = 1: the Wald plug-in p(1-p)/n collapses to zero MoE; Wilson must
+  // not.
+  const SrsUnitEstimator estimator = MakeSrs(/*successes=*/40, /*n=*/40);
+  EvaluationOptions wald;
+  EvaluationOptions wilson;
+  wilson.srs_ci = CiMethod::kWilson;
+  EXPECT_DOUBLE_EQ(StoppingPolicy(wald).MarginOfError(estimator), 0.0);
+  const double wilson_moe = StoppingPolicy(wilson).MarginOfError(estimator);
+  EXPECT_GT(wilson_moe, 0.0);
+  EXPECT_DOUBLE_EQ(wilson_moe,
+                   WilsonInterval(40, 40, wilson.Alpha()).Width() / 2.0);
+}
+
+TEST(StoppingPolicyTest, WilsonKeepsHonestWidthAtZeroAccuracy) {
+  const SrsUnitEstimator estimator = MakeSrs(/*successes=*/0, /*n=*/40);
+  EvaluationOptions wilson;
+  wilson.srs_ci = CiMethod::kWilson;
+  EXPECT_DOUBLE_EQ(StoppingPolicy(EvaluationOptions{}).MarginOfError(estimator),
+                   0.0);
+  EXPECT_GT(StoppingPolicy(wilson).MarginOfError(estimator), 0.0);
+}
+
+TEST(StoppingPolicyTest, WilsonIgnoredForNonBinomialEstimators) {
+  // Cluster designs have no Bernoulli trial counts; Wilson selection must
+  // silently fall back to Wald for them.
+  TwcsUnitEstimator estimator;
+  SampleUnit unit{0, {0, 1, 2}};
+  const uint8_t labels[3] = {1, 1, 1};
+  estimator.AddUnit(unit, labels);
+  EvaluationOptions wilson;
+  wilson.srs_ci = CiMethod::kWilson;
+  EXPECT_DOUBLE_EQ(
+      StoppingPolicy(wilson).MarginOfError(estimator),
+      estimator.Current().MarginOfError(wilson.Alpha()));
+}
+
+TEST(StoppingPolicyTest, WilsonWithEmptyEstimatorFallsBackToWald) {
+  const SrsUnitEstimator empty;
+  EvaluationOptions wilson;
+  wilson.srs_ci = CiMethod::kWilson;
+  EXPECT_DOUBLE_EQ(StoppingPolicy(wilson).MarginOfError(empty),
+                   empty.Current().MarginOfError(wilson.Alpha()));
+}
+
+TEST(StoppingPolicyDeathTest, RejectsInvalidOptions) {
+  EvaluationOptions bad_moe;
+  bad_moe.moe_target = 0.0;
+  EXPECT_DEATH({ StoppingPolicy policy(bad_moe); }, "moe_target");
+  EvaluationOptions bad_confidence;
+  bad_confidence.confidence = 1.0;
+  EXPECT_DEATH({ StoppingPolicy policy(bad_confidence); }, "confidence");
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -34,8 +34,12 @@ Modes (choose one input):
                        annotator consults)
 
 Evaluation:
-  --design D          srs | rcs | wcs | twcs            [twcs]
-  --strata H          size-stratified TWCS with H strata
+  --design D          any registered design name        [twcs]
+                      (srs | rcs | wcs | twcs | twcs+strat | ...;
+                       see --list-designs)
+  --strata H          stratum count for twcs+strat; passing H > 1
+                      selects twcs+strat (conflicts with any other
+                      explicit --design)                   [4]
   --per-predicate     per-predicate accuracy report (materialized graphs)
   --moe E             margin-of-error target            [0.05]
   --confidence C      confidence level                  [0.95]
@@ -44,12 +48,14 @@ Evaluation:
   --wilson            Wilson CI in the SRS stopping rule
 
 Annotation:
-  --annotators K      majority vote of K annotators     [1]
-  --noise P           per-annotator label flip rate     [0]
-  --c1 SECONDS        entity identification cost        [45]
-  --c2 SECONDS        relationship validation cost      [25]
+  --annotators K          majority vote of K annotators     [1]
+  --noise P               per-annotator label flip rate     [0]
+  --annotation-threads N  sharded batch-annotation threads  [0]
+                          (--annotation_threads also accepted)
+  --c1 SECONDS            entity identification cost        [45]
+  --c2 SECONDS            relationship validation cost      [25]
 
-Misc: --seed S [42], --list-datasets, --help
+Misc: --seed S [42], --list-datasets, --list-designs, --help
 )";
 
 int RunEval(const FlagParser& flags) {
@@ -108,8 +114,19 @@ int RunEval(const FlagParser& flags) {
 
   const uint64_t annotators = flags.GetUint64("annotators", 1).ValueOr(1);
   const double noise = flags.GetDouble("noise", 0.0).ValueOr(0.0);
+  // --annotation-threads follows the tool's hyphenated convention; the
+  // underscore spelling is accepted as an alias.
+  const uint64_t annotation_threads =
+      flags.Has("annotation-threads")
+          ? flags.GetUint64("annotation-threads", 0).ValueOr(0)
+          : flags.GetUint64("annotation_threads", 0).ValueOr(0);
   std::unique_ptr<Annotator> annotator;
   if (annotators > 1) {
+    if (annotation_threads > 1) {
+      std::fprintf(stderr,
+                   "warning: --annotation_threads is ignored with "
+                   "--annotators > 1 (the pool annotates sequentially)\n");
+    }
     annotator = std::make_unique<AnnotatorPool>(
         dataset.oracle.get(), cost,
         AnnotatorPool::Options{.num_annotators = annotators,
@@ -118,7 +135,10 @@ int RunEval(const FlagParser& flags) {
   } else {
     annotator = std::make_unique<SimulatedAnnotator>(
         dataset.oracle.get(), cost,
-        SimulatedAnnotator::Options{.noise_rate = noise, .seed = seed});
+        SimulatedAnnotator::Options{
+            .noise_rate = noise,
+            .seed = seed,
+            .annotation_threads = static_cast<int>(annotation_threads)});
   }
 
   const KgView& view = dataset.View();
@@ -155,29 +175,29 @@ int RunEval(const FlagParser& flags) {
     return 0;
   }
 
-  // --- Whole-graph evaluation. -----------------------------------------------
-  EvaluationResult result;
+  // --- Whole-graph evaluation (design resolved via the registry). ------------
   const uint64_t strata_count = flags.GetUint64("strata", 0).ValueOr(0);
-  const std::string design = flags.GetString("design", "twcs");
+  std::string design = flags.GetString("design", "twcs");
   if (strata_count > 1) {
-    StratifiedTwcsEvaluator evaluator(view, annotator.get(), options);
-    result = evaluator.Evaluate(
-        StratifiedTwcsEvaluator::SizeStrata(view, static_cast<int>(strata_count)));
-  } else {
-    StaticEvaluator evaluator(view, annotator.get(), options);
-    if (design == "srs") {
-      result = evaluator.EvaluateSrs();
-    } else if (design == "rcs") {
-      result = evaluator.EvaluateRcs();
-    } else if (design == "wcs") {
-      result = evaluator.EvaluateWcs();
-    } else if (design == "twcs") {
-      result = evaluator.EvaluateTwcs();
-    } else {
-      std::fprintf(stderr, "error: unknown --design '%s'\n", design.c_str());
+    options.num_strata = strata_count;
+    if (!flags.Has("design")) {
+      design = "twcs+strat";
+    } else if (design != "twcs+strat") {
+      std::fprintf(stderr,
+                   "error: --strata %llu conflicts with --design %s (strata "
+                   "only apply to twcs+strat)\n",
+                   static_cast<unsigned long long>(strata_count),
+                   design.c_str());
       return 1;
     }
   }
+  Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      design, view, annotator.get(), options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const EvaluationResult result = std::move(run).value();
 
   std::printf("design: %s%s\n", result.design.c_str(),
               annotators > 1
@@ -215,8 +235,9 @@ int main(int argc, char** argv) {
   const FlagParser& flags = *parsed;
   const Status valid = flags.Validate(
       {"dataset", "input", "design", "strata", "per-predicate", "moe",
-       "confidence", "m", "min-units", "wilson", "annotators", "noise", "c1",
-       "c2", "seed", "list-datasets", "help"});
+       "confidence", "m", "min-units", "wilson", "annotators", "noise",
+       "annotation-threads", "annotation_threads", "c1", "c2", "seed",
+       "list-datasets", "list-designs", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s (see --help)\n", valid.message().c_str());
     return 1;
@@ -228,6 +249,14 @@ int main(int argc, char** argv) {
   if (flags.GetBool("list-datasets", false)) {
     for (const std::string& name : KnownDatasetNames()) {
       std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (flags.GetBool("list-designs", false)) {
+    const DesignRegistry& registry = DesignRegistry::Global();
+    for (const std::string& name : registry.Names()) {
+      std::printf("%-12s %s\n", name.c_str(),
+                  registry.Description(name).c_str());
     }
     return 0;
   }
