@@ -8,14 +8,22 @@
 //
 // The graph (sizes and labels) is fixed across runs; only the evaluation
 // seed varies, so "a run with a bad start" is a run whose initial *sample*
-// was unlucky — the paper's premise.
+// was unlucky — the paper's premise. Both methods run through the
+// campaign-level IncrementalCampaignDriver (the registry's "rs"/"ss" path).
+//
+// Machine-readable output: full per-round trajectories of a representative
+// run plus the over-/under-estimating runs stream through the JSON telemetry
+// sink into BENCH_fig9_evolving_sequence.json (kgacc-trace-v1, one campaign
+// per initialize/update step, per-batch ground truth in the metadata;
+// destination directory via KGACC_BENCH_JSON_DIR). The former batch-by-batch
+// trajectory tables live there now; the console keeps the averaged summary.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
-#include "core/reservoir_incremental.h"
-#include "core/stratified_incremental.h"
+#include "core/incremental_driver.h"
+#include "core/telemetry.h"
 #include "kg/cluster_population.h"
 #include "kg/generator.h"
 #include "labels/annotator.h"
@@ -59,8 +67,11 @@ class Fig9Scenario {
   }
 
   /// Runs both methods with the given evaluation seed. When `init_only`,
-  /// stops after Initialize (used by the bad-start seed scan).
-  Trajectory Run(uint64_t eval_seed, bool init_only) const {
+  /// stops after Initialize (used by the bad-start seed scan). When
+  /// `telemetry` is non-null, both drivers stream per-round campaign traces
+  /// into it.
+  Trajectory Run(uint64_t eval_seed, bool init_only,
+                 TelemetrySink* telemetry = nullptr) const {
     ClusterPopulation population(base_sizes_);
     PerClusterBernoulliOracle oracle(
         std::vector<double>(base_sizes_.size(), 0.9), label_seed_);
@@ -69,9 +80,12 @@ class Fig9Scenario {
     EvaluationOptions options;
     options.seed = eval_seed;
     options.m = 5;
+    options.telemetry = telemetry;
     SimulatedAnnotator a_rs(&oracle, kCost), a_ss(&oracle, kCost);
-    ReservoirIncrementalEvaluator rs(&population, &a_rs, options);
-    StratifiedIncrementalEvaluator ss(&population, &a_ss, options);
+    IncrementalCampaignDriver rs(IncrementalMethod::kReservoir, &population,
+                                 &a_rs, options);
+    IncrementalCampaignDriver ss(IncrementalMethod::kStratified, &population,
+                                 &a_ss, options);
 
     Trajectory out;
     out.rs_initial = rs.Initialize().estimate.mean;
@@ -101,18 +115,16 @@ class Fig9Scenario {
   uint64_t label_seed_;
 };
 
-void PrintTrajectory(const char* title, const Trajectory& trajectory) {
+void SummarizeTrajectory(const char* title, const Trajectory& trajectory) {
   bench::Banner(title);
   std::printf("initial estimates: RS %s, SS %s (truth 90%%)\n",
               FormatPercent(trajectory.rs_initial, 2).c_str(),
               FormatPercent(trajectory.ss_initial, 2).c_str());
-  std::printf("%7s %10s %10s %10s\n", "batch", "RS", "SS", "truth");
-  bench::Rule();
-  for (int b = 0; b < kBatches; ++b) {
-    std::printf("%7d %9.2f%% %9.2f%% %9.2f%%\n", b + 1,
-                trajectory.rs[b] * 100.0, trajectory.ss[b] * 100.0,
-                trajectory.truth[b] * 100.0);
-  }
+  std::printf("after %d batches: RS %s, SS %s (truth %s) — full per-batch "
+              "trajectory in the JSON artifact\n",
+              kBatches, FormatPercent(trajectory.rs.back(), 2).c_str(),
+              FormatPercent(trajectory.ss.back(), 2).c_str(),
+              FormatPercent(trajectory.truth.back(), 2).c_str());
 }
 
 }  // namespace
@@ -123,15 +135,28 @@ int main() {
   const uint64_t seed = bench::Seed();
   const int trials = bench::Trials(15);
   const Fig9Scenario scenario(seed);
+  TraceRecorder recorder;
+  std::vector<std::pair<std::string, double>> metadata;
 
   // ---- Part 1: unbiasedness averaged over trials. -------------------------
   std::vector<RunningStats> rs_by_batch(kBatches), ss_by_batch(kBatches);
   double truth_last = 0.9;
   for (int t = 0; t < trials; ++t) {
-    const Trajectory trajectory = scenario.Run(seed + 7717 * t, false);
+    TelemetrySink* sink = nullptr;
+    if (t == 0) {
+      recorder.SetLabelPrefix("representative/");
+      sink = &recorder;
+    }
+    const Trajectory trajectory = scenario.Run(seed + 7717 * t, false, sink);
     for (int b = 0; b < kBatches; ++b) {
       rs_by_batch[b].Add(trajectory.rs[b]);
       ss_by_batch[b].Add(trajectory.ss[b]);
+    }
+    if (t == 0) {
+      for (int b = 0; b < kBatches; ++b) {
+        metadata.emplace_back(StrFormat("truth_batch_%d", b + 1),
+                              trajectory.truth[b]);
+      }
     }
     truth_last = trajectory.truth.back();
   }
@@ -146,6 +171,7 @@ int main() {
   }
   std::printf("final truth: %s — both methods stay unbiased across the "
               "sequence.\n", FormatPercent(truth_last, 2).c_str());
+  metadata.emplace_back("truth_final", truth_last);
 
   // ---- Parts 2+3: fault tolerance from a bad start. -----------------------
   // Scan evaluation seeds for runs where BOTH methods' initial samples were
@@ -164,16 +190,29 @@ int main() {
     }
   }
   if (over_seed != 0) {
-    PrintTrajectory("Figure 9-2: one run starting with over-estimation",
-                    scenario.Run(over_seed, false));
+    recorder.SetLabelPrefix("overstart/");
+    SummarizeTrajectory("Figure 9-2: one run starting with over-estimation",
+                        scenario.Run(over_seed, false, &recorder));
   }
   if (under_seed != 0) {
-    PrintTrajectory("Figure 9-3: one run starting with under-estimation",
-                    scenario.Run(under_seed, false));
+    recorder.SetLabelPrefix("understart/");
+    SummarizeTrajectory("Figure 9-3: one run starting with under-estimation",
+                        scenario.Run(under_seed, false, &recorder));
   }
   std::printf(
       "\nPaper shape: RS stochastically refreshes its reservoir and drifts "
       "back toward the truth;\nSS keeps every annotated base sample, so its "
       "bias persists, decaying only with the base stratum's weight.\n");
+
+  const std::string artifact =
+      bench::ArtifactPath("BENCH_fig9_evolving_sequence.json");
+  const Status written = WriteTraceJson(artifact, recorder.campaigns(),
+                                        metadata);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("per-round trajectories (representative + bad-start runs): "
+              "%s\n", artifact.c_str());
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/design_registry.h"
+#include "core/telemetry.h"
 #include "kg/cluster_population.h"
 #include "kg/generator.h"
 #include "labels/annotator.h"
@@ -114,6 +115,28 @@ void BM_EngineCampaign(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(triples));
 }
 BENCHMARK(BM_EngineCampaign);
+
+void BM_EngineCampaignTraced(benchmark::State& state) {
+  // The same campaign with a per-round TraceRecorder attached: the delta to
+  // BM_EngineCampaign is the full telemetry overhead (should be noise — one
+  // struct append per round, no extra sampling or hashing).
+  const Workload workload = MakeWorkload(1);
+  uint64_t triples = 0;
+  for (auto _ : state) {
+    TraceRecorder recorder;
+    EvaluationOptions options;
+    options.seed = 7;
+    options.telemetry = &recorder;
+    SimulatedAnnotator annotator(&workload.oracle, kCost);
+    const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+        "twcs", workload.population, &annotator, options);
+    benchmark::DoNotOptimize(run);
+    benchmark::DoNotOptimize(recorder.campaigns().size());
+    triples += run->ledger.triples_annotated;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(triples));
+}
+BENCHMARK(BM_EngineCampaignTraced);
 
 }  // namespace
 }  // namespace kgacc

@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/kgeval/kgeval_baseline.h"
+#include "core/design_registry.h"
 #include "core/static_evaluator.h"
 #include "datasets/registry.h"
 #include "labels/annotator.h"
@@ -28,10 +28,16 @@ void RunDataset(const char* name, const Dataset& dataset, int twcs_trials,
                 uint64_t seed) {
   const CostModel cost{.c1_seconds = 45.0, .c2_seconds = 25.0};
 
-  // --- KGEval (single run; its control loop is deterministic). -----------
+  // --- KGEval through the registry (single run; its control loop is
+  // deterministic). -------------------------------------------------------
   SimulatedAnnotator kgeval_annotator(dataset.oracle.get(), cost);
-  KgEvalBaseline kgeval(*dataset.graph, KgEvalBaseline::Options{});
-  const KgEvalBaseline::Result kgeval_result = kgeval.Run(&kgeval_annotator);
+  const Result<EvaluationResult> kgeval_run = DesignRegistry::Global().Run(
+      "kgeval", dataset.View(), &kgeval_annotator, EvaluationOptions{});
+  if (!kgeval_run.ok()) {
+    std::fprintf(stderr, "error: %s\n", kgeval_run.status().ToString().c_str());
+    return;
+  }
+  const EvaluationResult& kgeval_result = *kgeval_run;
 
   // --- TWCS over trials. --------------------------------------------------
   const ClusterPopulationStats stats =
@@ -57,14 +63,14 @@ void RunDataset(const char* name, const Dataset& dataset, int twcs_trials,
               FormatDuration(kgeval_result.machine_seconds).c_str(),
               FormatDuration(twcs_machine.Mean()).c_str());
   std::printf("%-26s %18llu %18s\n", "# triples annotated",
-              static_cast<unsigned long long>(kgeval_result.triples_annotated),
+              static_cast<unsigned long long>(
+                  kgeval_result.ledger.triples_annotated),
               bench::MeanStd(twcs_triples, 0).c_str());
   std::printf("%-26s %18s %18s\n", "annotation time (h)",
-              StrFormat("%.2f", kgeval_result.annotation_seconds / 3600.0)
-                  .c_str(),
+              StrFormat("%.2f", kgeval_result.AnnotationHours()).c_str(),
               bench::MeanStd(twcs_hours).c_str());
   std::printf("%-26s %17.2f%% %18s\n", "estimation",
-              kgeval_result.estimated_accuracy * 100.0,
+              kgeval_result.estimate.mean * 100.0,
               bench::MeanStdPercent(twcs_estimate).c_str());
   std::printf("%-26s %18s %18s\n", "statistical guarantee", "none",
               "MoE<=5% @95%");

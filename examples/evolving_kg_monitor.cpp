@@ -3,12 +3,16 @@
 // varying quality; after each batch the monitor re-establishes a 5% MoE
 // estimate, reusing previous annotations.
 //
-// Both incremental evaluators run side by side:
+// Both incremental methods run side by side through the campaign-level
+// IncrementalCampaignDriver (the registry's "rs"/"ss" code path):
 //   RS — weighted reservoir sampling (Algorithm 1): robust, stochastically
 //        refreshes its sample;
 //   SS — stratified incremental evaluation (Algorithm 2): cheapest, reuses
 //        every annotation, one stratum per batch.
-// A from-scratch baseline shows what not reusing anything would cost.
+// A from-scratch baseline shows what not reusing anything would cost, and
+// every campaign's per-round trajectory is captured through the telemetry
+// sink and written as kg_monitor_trace.json (kgacc-trace-v1) — the feed a
+// monitoring dashboard would consume.
 //
 // Run: ./build/examples/evolving_kg_monitor
 
@@ -61,22 +65,26 @@ int main() {
 
   EvaluationOptions options;
   options.seed = 11;
+  TraceRecorder recorder;  // per-round trajectories of every campaign.
+  options.telemetry = &recorder;
 
   SimulatedAnnotator rs_annotator(&store.oracle, cost_model);
   SimulatedAnnotator ss_annotator(&store.oracle, cost_model);
-  ReservoirIncrementalEvaluator rs(&store.population, &rs_annotator, options);
-  StratifiedIncrementalEvaluator ss(&store.population, &ss_annotator, options);
+  IncrementalCampaignDriver rs(IncrementalMethod::kReservoir,
+                               &store.population, &rs_annotator, options);
+  IncrementalCampaignDriver ss(IncrementalMethod::kStratified,
+                               &store.population, &ss_annotator, options);
   SnapshotBaselineEvaluator baseline(&store.oracle, cost_model, options);
 
   std::printf("initial evaluation of the base KG (500K triples)...\n");
-  const IncrementalUpdateReport rs0 = rs.Initialize();
-  const IncrementalUpdateReport ss0 = ss.Initialize();
+  const EvaluationResult rs0 = rs.Initialize();
+  const EvaluationResult ss0 = ss.Initialize();
   std::printf("  RS: %s (MoE %.1f%%), %s\n",
               FormatPercent(rs0.estimate.mean, 1).c_str(), rs0.moe * 100.0,
-              FormatDuration(rs0.step_cost_seconds).c_str());
+              FormatDuration(rs0.annotation_seconds).c_str());
   std::printf("  SS: %s (MoE %.1f%%), %s\n",
               FormatPercent(ss0.estimate.mean, 1).c_str(), ss0.moe * 100.0,
-              FormatDuration(ss0.step_cost_seconds).c_str());
+              FormatDuration(ss0.annotation_seconds).c_str());
 
   // A stream of ingestion batches; batch 4 is a bad crawl (40% accurate) —
   // the monitor must catch the drop.
@@ -97,22 +105,22 @@ int main() {
   std::printf("\n%5s %11s %11s %11s | %11s %11s %12s\n", "batch", "truth",
               "RS est", "SS est", "RS cost", "SS cost", "scratch cost");
   std::printf("%s\n", std::string(92, '-').c_str());
-  double rs_total = rs0.step_cost_seconds, ss_total = ss0.step_cost_seconds;
+  double rs_total = rs0.annotation_seconds, ss_total = ss0.annotation_seconds;
   double baseline_total = 0.0;
   for (size_t b = 0; b < stream.size(); ++b) {
     const auto [first, count] =
         store.Ingest(stream[b].triples, stream[b].accuracy, rng);
-    const IncrementalUpdateReport r1 = rs.ApplyUpdate(first, count);
-    const IncrementalUpdateReport r2 = ss.ApplyUpdate(first, count);
+    const EvaluationResult r1 = rs.ApplyUpdate(first, count);
+    const EvaluationResult r2 = ss.ApplyUpdate(first, count);
     const IncrementalUpdateReport r3 = baseline.Evaluate(store.population);
-    rs_total += r1.step_cost_seconds;
-    ss_total += r2.step_cost_seconds;
+    rs_total += r1.annotation_seconds;
+    ss_total += r2.annotation_seconds;
     baseline_total += r3.step_cost_seconds;
     std::printf("%5zu %10.1f%% %10.1f%% %10.1f%% | %11s %11s %12s   %s\n",
                 b + 1, store.TrueAccuracy() * 100.0, r1.estimate.mean * 100.0,
                 r2.estimate.mean * 100.0,
-                FormatDuration(r1.step_cost_seconds).c_str(),
-                FormatDuration(r2.step_cost_seconds).c_str(),
+                FormatDuration(r1.annotation_seconds).c_str(),
+                FormatDuration(r2.annotation_seconds).c_str(),
                 FormatDuration(r3.step_cost_seconds).c_str(), stream[b].note);
   }
 
@@ -120,18 +128,34 @@ int main() {
               FormatDuration(rs_total).c_str(), FormatDuration(ss_total).c_str(),
               FormatDuration(baseline_total).c_str());
 
+  // The dashboard feed: every campaign above, one JSON document.
+  if (const Status written =
+          WriteTraceJson("kg_monitor_trace.json", recorder.campaigns());
+      !written.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("per-round trajectories: kg_monitor_trace.json "
+              "(%zu campaigns)\n", recorder.campaigns().size());
+
   // --- Surviving a restart: persist the SS state and resume. ----------------
   // A real monitor checkpoints after every batch; here we round-trip through
   // a string and show the restored evaluator carries the exact estimate and
   // keeps serving updates without re-annotating anything.
   std::stringstream checkpoint;
-  if (const Status saved = SaveStratifiedState(ss, checkpoint); !saved.ok()) {
+  if (const Status saved = SaveStratifiedState(*ss.stratified(), checkpoint);
+      !saved.ok()) {
     std::fprintf(stderr, "checkpoint failed: %s\n", saved.ToString().c_str());
     return 1;
   }
   SimulatedAnnotator resumed_annotator(&store.oracle, cost_model);
+  // The trace file is already written; don't record the post-restart
+  // campaigns into a recorder nobody flushes again.
+  EvaluationOptions resumed_options = options;
+  resumed_options.telemetry = nullptr;
   StratifiedIncrementalEvaluator resumed(&store.population, &resumed_annotator,
-                                         options);
+                                         resumed_options);
   if (const Status restored = RestoreStratifiedState(checkpoint, &resumed);
       !restored.ok()) {
     std::fprintf(stderr, "restore failed: %s\n", restored.ToString().c_str());

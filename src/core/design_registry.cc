@@ -1,15 +1,137 @@
 #include "core/design_registry.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "core/incremental_driver.h"
+#include "core/kgeval/kgeval_baseline.h"
+#include "core/optimal_m.h"
 #include "core/static_evaluator.h"
 #include "core/stratified_evaluator.h"
+#include "core/telemetry.h"
+#include "kg/knowledge_graph.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace kgacc {
 
 namespace {
+
+/// TelemetrySink adapter that re-labels a campaign and shifts its cumulative
+/// cost/annotation fields by a constant offset — how twcs+pilot charges the
+/// pilot's (pre-campaign) effort to the campaign trace so the trace agrees
+/// with the EvaluationResult the same run returns.
+class OffsetCampaignSink : public TelemetrySink {
+ public:
+  OffsetCampaignSink(TelemetrySink* inner, std::string design,
+                     double cost_offset_seconds, uint64_t triples_offset,
+                     uint64_t entities_offset)
+      : inner_(inner),
+        design_(std::move(design)),
+        cost_offset_seconds_(cost_offset_seconds),
+        triples_offset_(triples_offset),
+        entities_offset_(entities_offset) {}
+
+  void BeginCampaign(const std::string& design,
+                     const std::string& label) override {
+    (void)design;
+    inner_->BeginCampaign(design_, label);
+  }
+  void OnRound(const CampaignRound& round) override {
+    CampaignRound shifted = round;
+    shifted.cost_seconds += cost_offset_seconds_;
+    shifted.triples_annotated += triples_offset_;
+    shifted.entities_identified += entities_offset_;
+    inner_->OnRound(shifted);
+  }
+  void EndCampaign(bool converged) override { inner_->EndCampaign(converged); }
+
+ private:
+  TelemetrySink* inner_;
+  std::string design_;
+  double cost_offset_seconds_;
+  uint64_t triples_offset_;
+  uint64_t entities_offset_;
+};
+
+/// TWCS with the second-stage size chosen by an annotated pilot (Eq 12).
+/// The pilot's annotations stay cached in the annotator, so the subsequent
+/// campaign reuses them for free; ledger/cost fields of the returned result
+/// — and of the emitted campaign trace — cover pilot + campaign (the full
+/// bill of selecting this design).
+Result<EvaluationResult> RunTwcsWithPilot(const KgView& view,
+                                          Annotator* annotator,
+                                          const EvaluationOptions& options) {
+  const AnnotationLedger start_ledger = annotator->ledger();
+  const double start_seconds = annotator->ElapsedSeconds();
+  EvaluationOptions pinned = options;
+  pinned.telemetry = nullptr;  // re-attached below, with the pilot's bill.
+  if (pinned.m == 0) {
+    const uint64_t pilot_clusters = std::max<uint64_t>(options.min_units, 30);
+    KGACC_ASSIGN_OR_RETURN(
+        const OptimalMResult pilot,
+        PilotOptimalM(view, annotator, options.Alpha(), options.moe_target,
+                      pilot_clusters, /*m_max=*/20, options.seed));
+    pinned.m = pilot.best_m;
+  }
+  OffsetCampaignSink traced(
+      options.telemetry, "TWCS+pilot",
+      annotator->ElapsedSeconds() - start_seconds,
+      annotator->ledger().triples_annotated - start_ledger.triples_annotated,
+      annotator->ledger().entities_identified -
+          start_ledger.entities_identified);
+  if (options.telemetry != nullptr) pinned.telemetry = &traced;
+  EvaluationResult result = StaticEvaluator(view, annotator, pinned)
+                                .EvaluateTwcs();
+  result.design = "TWCS+pilot";
+  result.ledger.entities_identified =
+      annotator->ledger().entities_identified - start_ledger.entities_identified;
+  result.ledger.triples_annotated =
+      annotator->ledger().triples_annotated - start_ledger.triples_annotated;
+  result.annotation_seconds = annotator->ElapsedSeconds() - start_seconds;
+  return result;
+}
+
+/// The KGEval baseline behind the registry face. Estimation carries no
+/// statistical guarantee: moe stays 1.0 and the campaign never "converges"
+/// (Section 8 / Table 6 — the paper's point about this baseline).
+Result<EvaluationResult> RunKgEval(const KgView& view, Annotator* annotator,
+                                   const EvaluationOptions& options) {
+  const auto* graph = dynamic_cast<const KnowledgeGraph*>(&view);
+  if (graph == nullptr) {
+    return Status::FailedPrecondition(
+        "design 'kgeval' needs a materialized KnowledgeGraph "
+        "(nell/yago/movie or --input), not a sizes-only population");
+  }
+  KgEvalBaseline baseline(*graph, KgEvalBaseline::Options{});
+  const KgEvalBaseline::Result run = baseline.Run(annotator);
+
+  EvaluationResult result;
+  result.design = "KGEval";
+  result.estimate.mean = run.estimated_accuracy;
+  result.estimate.num_units = run.triples_annotated;
+  result.rounds = run.triples_annotated;  // one control-loop pick per triple.
+  result.ledger = run.ledger;
+  result.annotation_seconds = run.annotation_seconds;
+  result.machine_seconds = run.machine_seconds;
+  if (options.telemetry != nullptr) {
+    // KGEval has no per-round estimate trajectory; report the terminal state
+    // as a single round so traces stay uniformly consumable.
+    options.telemetry->BeginCampaign("KGEval", "");
+    options.telemetry->OnRound(CampaignRound{
+        .round = 1,
+        .cost_seconds = run.annotation_seconds,
+        .units = run.triples_annotated,
+        .estimate = run.estimated_accuracy,
+        .ci_lower = 0.0,
+        .ci_upper = 1.0,
+        .moe = 1.0,
+        .triples_annotated = run.ledger.triples_annotated,
+        .entities_identified = run.ledger.entities_identified});
+    options.telemetry->EndCampaign(false);
+  }
+  return result;
+}
 
 void RegisterBuiltins(DesignRegistry* registry) {
   auto must = [](const Status& status) { KGACC_CHECK(status.ok()); };
@@ -47,6 +169,35 @@ void RegisterBuiltins(DesignRegistry* registry) {
         return evaluator.Evaluate(
             StratifiedTwcsEvaluator::SizeStrata(view, static_cast<int>(h)));
       }));
+  must(registry->Register(
+      "twcs+pilot",
+      "TWCS with m selected by an annotated pilot (Eq 12 search)",
+      RunTwcsWithPilot));
+  must(registry->Register(
+      "rs",
+      "reservoir incremental evaluation (Sec 6.1, Alg 1); base campaign on "
+      "the current graph",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        return IncrementalCampaignDriver(IncrementalMethod::kReservoir, &view,
+                                         annotator, options)
+            .Initialize();
+      }));
+  must(registry->Register(
+      "ss",
+      "stratified incremental evaluation (Sec 6.2, Alg 2); base campaign on "
+      "the current graph",
+      [](const KgView& view, Annotator* annotator,
+         const EvaluationOptions& options) {
+        return IncrementalCampaignDriver(IncrementalMethod::kStratified, &view,
+                                         annotator, options)
+            .Initialize();
+      }));
+  must(registry->Register(
+      "kgeval",
+      "KGEval baseline (Ojha & Talukdar 2017); materialized graphs only, no "
+      "statistical guarantee",
+      RunKgEval));
 }
 
 }  // namespace

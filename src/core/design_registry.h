@@ -13,8 +13,10 @@
 
 namespace kgacc {
 
-/// Runs one evaluation campaign of a registered design.
-using DesignFn = std::function<EvaluationResult(
+/// Runs one evaluation campaign of a registered design. Designs may fail
+/// (e.g. "kgeval" on a sizes-only population); plain EvaluationResult
+/// returns convert implicitly.
+using DesignFn = std::function<Result<EvaluationResult>(
     const KgView& view, Annotator* annotator,
     const EvaluationOptions& options)>;
 
@@ -22,8 +24,17 @@ using DesignFn = std::function<EvaluationResult(
 /// designs by name instead of hand-rolled switch blocks, and downstream code
 /// can plug in new designs without touching the callers.
 ///
-/// Built-in names: "srs", "rcs", "wcs", "twcs", "twcs+strat" (the last uses
-/// size stratification with EvaluationOptions::num_strata strata).
+/// Built-in names:
+///   - static: "srs", "rcs", "wcs", "twcs", "twcs+strat" (the last uses size
+///     stratification with EvaluationOptions::num_strata strata);
+///   - "twcs+pilot": TWCS with m chosen by an annotated pilot (Eq 12);
+///   - incremental: "rs", "ss" via IncrementalCampaignDriver (the registry
+///     path evaluates the current graph as the base campaign);
+///   - "kgeval": the KGEval baseline (needs a materialized KnowledgeGraph;
+///     no statistical guarantee, never reports convergence).
+///
+/// Every built-in honours EvaluationOptions::telemetry with per-round
+/// campaign traces (see core/telemetry.h).
 class DesignRegistry {
  public:
   /// The process-wide registry, pre-populated with the built-in designs.

@@ -14,20 +14,67 @@ StoppingPolicy::StoppingPolicy(const EvaluationOptions& options)
   KGACC_CHECK(options_.confidence > 0.0 && options_.confidence < 1.0);
 }
 
-double StoppingPolicy::MarginOfError(const UnitEstimator& estimator) const {
-  const Estimate estimate = estimator.Current();
+std::optional<ConfidenceInterval> StoppingPolicy::WilsonIntervalFor(
+    const UnitEstimator& estimator, const Estimate& estimate) const {
   if (options_.srs_ci == CiMethod::kWilson && estimate.num_units > 0) {
     uint64_t successes = 0;
     uint64_t trials = 0;
     if (estimator.BinomialCounts(&successes, &trials)) {
-      return WilsonInterval(successes, trials, options_.Alpha()).Width() / 2.0;
+      return WilsonInterval(successes, trials, options_.Alpha());
     }
+  }
+  return std::nullopt;
+}
+
+double StoppingPolicy::MarginOfError(const UnitEstimator& estimator) const {
+  const Estimate estimate = estimator.Current();
+  if (const std::optional<ConfidenceInterval> wilson =
+          WilsonIntervalFor(estimator, estimate)) {
+    return wilson->Width() / 2.0;
   }
   return estimate.MarginOfError(options_.Alpha());
 }
 
 double StoppingPolicy::MarginOfError(const Estimate& estimate) const {
   return estimate.MarginOfError(options_.Alpha());
+}
+
+ConfidenceInterval StoppingPolicy::Interval(
+    const UnitEstimator& estimator) const {
+  const Estimate estimate = estimator.Current();
+  if (const std::optional<ConfidenceInterval> wilson =
+          WilsonIntervalFor(estimator, estimate)) {
+    return *wilson;
+  }
+  return Interval(estimate);
+}
+
+ConfidenceInterval StoppingPolicy::Interval(const Estimate& estimate) const {
+  // Unclamped on purpose: the unbiased cluster estimators (Eq 7) can
+  // overshoot [0, 1] in early rounds, and a telemetry interval must bracket
+  // whatever estimate the stopping rule actually saw. Clamping to the
+  // accuracy domain is a presentation concern (Estimate::CiLower/CiUpper).
+  const double moe = MarginOfError(estimate);
+  return ConfidenceInterval{estimate.mean - moe, estimate.mean + moe};
+}
+
+CampaignRound MakeCampaignRound(uint64_t round, const Estimate& estimate,
+                                double moe, const ConfidenceInterval& ci,
+                                const Annotator& annotator,
+                                const AnnotationLedger& start_ledger,
+                                double start_seconds) {
+  return CampaignRound{
+      .round = round,
+      .cost_seconds = annotator.ElapsedSeconds() - start_seconds,
+      .units = estimate.num_units,
+      .estimate = estimate.mean,
+      .ci_lower = ci.lower,
+      .ci_upper = ci.upper,
+      .moe = moe,
+      .triples_annotated = annotator.ledger().triples_annotated -
+                           start_ledger.triples_annotated,
+      .entities_identified = annotator.ledger().entities_identified -
+                             start_ledger.entities_identified};
 }
 
 StopDecision StoppingPolicy::Check(const Estimate& estimate, double moe,
@@ -68,6 +115,12 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
   const AnnotationLedger start_ledger = annotator_->ledger();
   const double start_seconds = annotator_->ElapsedSeconds();
 
+  TelemetrySink* telemetry =
+      config.telemetry != nullptr ? config.telemetry : options_.telemetry;
+  if (telemetry != nullptr) {
+    telemetry->BeginCampaign(config.design_name, config.telemetry_label);
+  }
+
   std::vector<TripleRef> refs;
   std::vector<uint8_t> labels;
   while (true) {
@@ -96,6 +149,11 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
     const double moe = policy.MarginOfError(*config.estimator);
     result.estimate = estimate;
     result.moe = moe;
+    if (telemetry != nullptr) {
+      telemetry->OnRound(MakeCampaignRound(
+          result.rounds, estimate, moe, policy.Interval(*config.estimator),
+          *annotator_, start_ledger, start_seconds));
+    }
     const StopDecision decision = policy.Check(
         estimate, moe, annotator_->ElapsedSeconds() - start_seconds,
         batch.empty() && config.sampler->Exhaustible());
@@ -104,6 +162,7 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
       break;
     }
   }
+  if (telemetry != nullptr) telemetry->EndCampaign(result.converged);
 
   result.ledger.entities_identified =
       annotator_->ledger().entities_identified - start_ledger.entities_identified;

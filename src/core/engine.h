@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "core/evaluation.h"
+#include "core/telemetry.h"
 #include "kg/triple.h"
 #include "labels/annotator.h"
+#include "stats/confidence.h"
 #include "util/rng.h"
 
 namespace kgacc {
@@ -67,6 +69,17 @@ class UnitEstimator {
   }
 };
 
+/// Builds the CampaignRound emitted after one evaluation round: cumulative
+/// cost/annotations are measured against the campaign-start snapshot
+/// (`start_ledger`, `start_seconds`). The one construction point shared by
+/// the engine and both incremental update loops, so the trace vocabulary
+/// cannot drift between designs.
+CampaignRound MakeCampaignRound(uint64_t round, const Estimate& estimate,
+                                double moe, const ConfidenceInterval& ci,
+                                const Annotator& annotator,
+                                const AnnotationLedger& start_ledger,
+                                double start_seconds);
+
 /// Verdict of one stopping check.
 struct StopDecision {
   bool stop = false;       ///< terminate the campaign now.
@@ -91,6 +104,16 @@ class StoppingPolicy {
   /// incremental evaluators' read paths).
   double MarginOfError(const Estimate& estimate) const;
 
+  /// The confidence interval behind the margin of error, for telemetry:
+  /// Wilson when selected and the estimator exposes binomial counts, the
+  /// unclamped Wald interval otherwise (unclamped so the bounds always
+  /// bracket the estimate, even when an unbiased cluster estimator
+  /// overshoots [0, 1] in early rounds).
+  ConfidenceInterval Interval(const UnitEstimator& estimator) const;
+
+  /// Unclamped Wald interval for callers without a UnitEstimator.
+  ConfidenceInterval Interval(const Estimate& estimate) const;
+
   /// Checks all termination conditions, in fixed precedence order:
   ///   1. converged: moe <= target with at least min_units units;
   ///   2. exhausted: the sampler ran dry (converged iff moe <= target);
@@ -100,6 +123,12 @@ class StoppingPolicy {
                      double elapsed_cost_seconds, bool sampler_exhausted) const;
 
  private:
+  /// The Wilson interval when CiMethod::kWilson is selected and the
+  /// estimator exposes binomial counts; nullopt selects the Wald path. The
+  /// one dispatch shared by MarginOfError and Interval.
+  std::optional<ConfidenceInterval> WilsonIntervalFor(
+      const UnitEstimator& estimator, const Estimate& estimate) const;
+
   EvaluationOptions options_;
 };
 
@@ -112,6 +141,12 @@ struct EngineConfig {
   UnitEstimator* estimator = nullptr;
   /// Seed for the sampling Rng; defaults to EvaluationOptions::seed.
   std::optional<uint64_t> seed_override;
+  /// Per-round telemetry receiver; overrides EvaluationOptions::telemetry
+  /// when set. Borrowed, may be null.
+  TelemetrySink* telemetry = nullptr;
+  /// Campaign label reported to the telemetry sink ("" for one-shot runs;
+  /// incremental drivers use "initialize"/"update-N").
+  std::string telemetry_label;
 };
 
 /// The one iterative evaluation loop of the framework (Fig 2):

@@ -8,6 +8,8 @@
 
 namespace kgacc {
 
+class TelemetrySink;  // core/telemetry.h
+
 /// How the SRS stopping rule builds its confidence interval. The paper uses
 /// the Wald (normal plug-in) interval, which degenerates when the sample
 /// proportion sits at 0 or 1 — on a nearly perfect KG the reported MoE
@@ -61,6 +63,12 @@ struct EvaluationOptions {
   /// DesignRegistry ("twcs+strat"); direct StratifiedTwcsEvaluator callers
   /// pass explicit Strata instead.
   uint64_t num_strata = 4;
+
+  /// Borrowed per-round telemetry receiver (see core/telemetry.h); null
+  /// disables emission. Carried inside the options so campaign telemetry
+  /// flows through the DesignRegistry and the CLI without widening every
+  /// design signature. Never influences the evaluation itself.
+  TelemetrySink* telemetry = nullptr;
 
   double Alpha() const { return 1.0 - confidence; }
 };

@@ -10,6 +10,7 @@
 #include "estimators/unit_estimators.h"
 #include "sampling/alias_table.h"
 #include "sampling/srs.h"
+#include "util/string_util.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -111,6 +112,25 @@ GroupedEvaluator::GroupResult GroupedEvaluator::EvaluateGroup(
         annotator_->ledger().triples_annotated - start_ledger.triples_annotated;
     evaluation.annotation_seconds =
         annotator_->ElapsedSeconds() - start_seconds;
+    if (options_.telemetry != nullptr) {
+      // A census has no sampling trajectory; report the terminal state as a
+      // single exact round so per-group traces stay complete.
+      options_.telemetry->BeginCampaign(
+          "TWCS/group",
+          StrFormat("group-%llu/census",
+                    static_cast<unsigned long long>(group)));
+      options_.telemetry->OnRound(CampaignRound{
+          .round = 1,
+          .cost_seconds = evaluation.annotation_seconds,
+          .units = evaluation.estimate.num_units,
+          .estimate = evaluation.estimate.mean,
+          .ci_lower = evaluation.estimate.mean,
+          .ci_upper = evaluation.estimate.mean,
+          .moe = 0.0,
+          .triples_annotated = evaluation.ledger.triples_annotated,
+          .entities_identified = evaluation.ledger.entities_identified});
+      options_.telemetry->EndCampaign(true);
+    }
     return result;
   }
 
@@ -121,7 +141,9 @@ GroupedEvaluator::GroupResult GroupedEvaluator::EvaluateGroup(
           .Run({.design_name = "TWCS/group",
                 .sampler = &sampler,
                 .estimator = &estimator,
-                .seed_override = HashCombine(options_.seed, group)});
+                .seed_override = HashCombine(options_.seed, group),
+                .telemetry_label = StrFormat(
+                    "group-%llu", static_cast<unsigned long long>(group))});
   return result;
 }
 

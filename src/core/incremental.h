@@ -19,6 +19,7 @@ struct IncrementalUpdateReport {
   double step_cost_seconds = 0.0;        ///< Eq 4 cost of this step only.
   uint64_t sample_units = 0;             ///< first-stage units backing the estimate.
   double machine_seconds = 0.0;          ///< sample-maintenance machine time.
+  uint64_t rounds = 0;                   ///< estimate/stop iterations this step.
 
   double StepCostHours() const { return step_cost_seconds / 3600.0; }
 };

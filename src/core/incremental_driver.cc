@@ -1,0 +1,74 @@
+#include "core/incremental_driver.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgacc {
+
+IncrementalCampaignDriver::IncrementalCampaignDriver(
+    IncrementalMethod method, const KgView* population, Annotator* annotator,
+    EvaluationOptions options)
+    : method_(method) {
+  switch (method_) {
+    case IncrementalMethod::kReservoir:
+      reservoir_ = std::make_unique<ReservoirIncrementalEvaluator>(
+          population, annotator, options);
+      break;
+    case IncrementalMethod::kStratified:
+      stratified_ = std::make_unique<StratifiedIncrementalEvaluator>(
+          population, annotator, options);
+      break;
+  }
+}
+
+Result<IncrementalMethod> IncrementalCampaignDriver::ParseMethod(
+    const std::string& name) {
+  if (name == "rs") return IncrementalMethod::kReservoir;
+  if (name == "ss") return IncrementalMethod::kStratified;
+  return Status::InvalidArgument(
+      StrFormat("unknown incremental method '%s' (want rs or ss)",
+                name.c_str()));
+}
+
+const char* IncrementalCampaignDriver::DesignLabel(IncrementalMethod method) {
+  switch (method) {
+    case IncrementalMethod::kReservoir: return "RS";
+    case IncrementalMethod::kStratified: return "SS";
+  }
+  KGACC_CHECK(false) << "unreachable";
+  return "";
+}
+
+EvaluationResult IncrementalCampaignDriver::ToResult(
+    const IncrementalUpdateReport& report) const {
+  EvaluationResult result;
+  result.design = DesignLabel(method_);
+  result.estimate = report.estimate;
+  result.moe = report.moe;
+  result.converged = report.converged;
+  result.rounds = report.rounds;
+  result.ledger.entities_identified = report.newly_annotated_entities;
+  result.ledger.triples_annotated = report.newly_annotated_triples;
+  result.annotation_seconds = report.step_cost_seconds;
+  result.machine_seconds = report.machine_seconds;
+  return result;
+}
+
+EvaluationResult IncrementalCampaignDriver::Initialize() {
+  return ToResult(reservoir_ != nullptr ? reservoir_->Initialize()
+                                        : stratified_->Initialize());
+}
+
+EvaluationResult IncrementalCampaignDriver::ApplyUpdate(
+    uint64_t first_new_cluster, uint64_t count) {
+  return ToResult(reservoir_ != nullptr
+                      ? reservoir_->ApplyUpdate(first_new_cluster, count)
+                      : stratified_->ApplyUpdate(first_new_cluster, count));
+}
+
+Estimate IncrementalCampaignDriver::CurrentEstimate() const {
+  return reservoir_ != nullptr ? reservoir_->CurrentEstimate()
+                               : stratified_->CurrentEstimate();
+}
+
+}  // namespace kgacc

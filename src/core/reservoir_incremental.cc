@@ -53,11 +53,14 @@ double ReservoirIncrementalEvaluator::AnnotatedClusterAccuracy(uint64_t cluster)
          static_cast<double>(it->second.second);
 }
 
-IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate() {
+IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate(
+    const char* campaign_label) {
   IncrementalUpdateReport report;
   const StoppingPolicy policy(options_);
   const AnnotationLedger start_ledger = annotator_->ledger();
   const double start_seconds = annotator_->ElapsedSeconds();
+  TelemetrySink* telemetry = options_.telemetry;
+  if (telemetry != nullptr) telemetry->BeginCampaign("RS", campaign_label);
 
   while (true) {
     WallTimer machine;
@@ -79,6 +82,13 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate() {
     report.estimate.num_units = stats.Count();
     report.moe = policy.MarginOfError(report.estimate);
     report.sample_units = capacity_;
+    ++report.rounds;
+    if (telemetry != nullptr) {
+      telemetry->OnRound(MakeCampaignRound(
+          report.rounds, report.estimate, report.moe,
+          policy.Interval(report.estimate), *annotator_, start_ledger,
+          start_seconds));
+    }
 
     // The reservoir exhausts when the whole population is sampled.
     const StopDecision decision = policy.Check(
@@ -94,6 +104,7 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate() {
                                    capacity_ + options_.batch_units);
   }
 
+  if (telemetry != nullptr) telemetry->EndCampaign(report.converged);
   report.newly_annotated_entities =
       annotator_->ledger().entities_identified - start_ledger.entities_identified;
   report.newly_annotated_triples =
@@ -195,7 +206,7 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Initialize() {
   }
   capacity_ = std::min<uint64_t>(n, std::max<uint64_t>(options_.min_units,
                                                        options_.batch_units));
-  return Reevaluate();
+  return Reevaluate("initialize");
 }
 
 IncrementalUpdateReport ReservoirIncrementalEvaluator::ApplyUpdate(
@@ -207,7 +218,11 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::ApplyUpdate(
   for (uint64_t c = first_new_cluster; c < first_new_cluster + count; ++c) {
     entries_.push_back(KeyedCluster{MakeKey(c), c});
   }
-  return Reevaluate();
+  ++update_counter_;
+  return Reevaluate(
+      StrFormat("update-%llu",
+                static_cast<unsigned long long>(update_counter_))
+          .c_str());
 }
 
 }  // namespace kgacc

@@ -94,7 +94,9 @@ class ReservoirIncrementalEvaluator {
 
   /// Rebuilds the top-`capacity_` sample, annotates entrants, recomputes the
   /// estimate; grows capacity until the MoE target (or a budget) is hit.
-  IncrementalUpdateReport Reevaluate();
+  /// `campaign_label` tags the step's telemetry campaign (see
+  /// EvaluationOptions::telemetry).
+  IncrementalUpdateReport Reevaluate(const char* campaign_label);
 
   const KgView* population_;
   Annotator* annotator_;
@@ -104,6 +106,7 @@ class ReservoirIncrementalEvaluator {
 
   std::vector<KeyedCluster> entries_;  ///< every cluster ever offered.
   uint64_t capacity_ = 0;              ///< reservoir size |R|.
+  uint64_t update_counter_ = 0;        ///< ApplyUpdate calls (telemetry labels).
 
   /// Per-cluster sampled accuracy (correct, sampled), filled lazily.
   std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> sampled_accuracy_;

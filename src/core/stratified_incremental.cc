@@ -127,6 +127,14 @@ IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
   const AnnotationLedger start_ledger = annotator_->ledger();
   const double start_seconds = annotator_->ElapsedSeconds();
   WallTimer machine;
+  TelemetrySink* telemetry = options_.telemetry;
+  if (telemetry != nullptr) {
+    telemetry->BeginCampaign(
+        "SS", strata_.size() == 1
+                  ? std::string("initialize")
+                  : StrFormat("update-%llu", static_cast<unsigned long long>(
+                                                 strata_.size() - 1)));
+  }
 
   // The newest stratum needs a minimal number of draws for a trustworthy
   // variance before the combined MoE can be believed.
@@ -142,6 +150,12 @@ IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
     report.estimate = estimate;
     report.moe = policy.MarginOfError(estimate);
     report.sample_units = estimate.num_units;
+    ++report.rounds;
+    if (telemetry != nullptr) {
+      telemetry->OnRound(MakeCampaignRound(
+          report.rounds, estimate, report.moe, policy.Interval(estimate),
+          *annotator_, start_ledger, start_seconds));
+    }
 
     // The newest-stratum TWCS sampler draws with replacement: never exhausts.
     const StopDecision decision = policy.Check(
@@ -170,6 +184,7 @@ IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
     SampleStratum(target, options_.batch_units);
   }
 
+  if (telemetry != nullptr) telemetry->EndCampaign(report.converged);
   report.machine_seconds = machine.ElapsedSeconds();
   report.newly_annotated_entities =
       annotator_->ledger().entities_identified - start_ledger.entities_identified;

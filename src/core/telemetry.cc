@@ -1,0 +1,208 @@
+#include "core/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace kgacc {
+
+void TraceRecorder::BeginCampaign(const std::string& design,
+                                  const std::string& label) {
+  CampaignTrace trace;
+  trace.design = design;
+  trace.label = label_prefix_ + label;
+  campaigns_.push_back(std::move(trace));
+  open_ = true;
+}
+
+void TraceRecorder::OnRound(const CampaignRound& round) {
+  // Tolerate emitters that skip BeginCampaign (bare engine loops in tests):
+  // open an anonymous campaign rather than dropping rounds.
+  if (!open_) BeginCampaign("", "");
+  campaigns_.back().rounds.push_back(round);
+}
+
+void TraceRecorder::EndCampaign(bool converged) {
+  if (!open_) return;
+  campaigns_.back().converged = converged;
+  open_ = false;
+}
+
+Status ValidateTrace(const CampaignTrace& trace) {
+  const std::string who = StrFormat(
+      "trace %s/%s", trace.design.c_str(), trace.label.c_str());
+  if (trace.rounds.empty()) {
+    return Status::FailedPrecondition(who + ": no rounds");
+  }
+  const CampaignRound* prev = nullptr;
+  for (const CampaignRound& round : trace.rounds) {
+    const std::string at =
+        StrFormat("%s round %llu", who.c_str(),
+                  static_cast<unsigned long long>(round.round));
+    if (prev != nullptr && round.round <= prev->round) {
+      return Status::FailedPrecondition(at + ": round index not increasing");
+    }
+    if (prev != nullptr && round.cost_seconds < prev->cost_seconds) {
+      return Status::FailedPrecondition(
+          at + ": cumulative cost_seconds decreased");
+    }
+    if (prev != nullptr && (round.units < prev->units ||
+                            round.triples_annotated < prev->triples_annotated ||
+                            round.entities_identified <
+                                prev->entities_identified)) {
+      return Status::FailedPrecondition(
+          at + ": cumulative units/annotations decreased");
+    }
+    if (!(round.ci_lower <= round.estimate + 1e-12 &&
+          round.estimate <= round.ci_upper + 1e-12)) {
+      return Status::FailedPrecondition(
+          at + StrFormat(": CI [%g, %g] does not bracket estimate %g",
+                         round.ci_lower, round.ci_upper, round.estimate));
+    }
+    if (round.moe < 0.0) {
+      return Status::FailedPrecondition(at + ": negative margin of error");
+    }
+    prev = &round;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr const char* kSchema = "kgacc-trace-v1";
+
+void AppendRound(const CampaignRound& round, std::string* out) {
+  *out += StrFormat(
+      "{\"round\": %llu, \"cost_seconds\": %.17g, \"units\": %llu, "
+      "\"estimate\": %.17g, \"ci_lower\": %.17g, \"ci_upper\": %.17g, "
+      "\"moe\": %.17g, \"triples_annotated\": %llu, "
+      "\"entities_identified\": %llu}",
+      static_cast<unsigned long long>(round.round), round.cost_seconds,
+      static_cast<unsigned long long>(round.units), round.estimate,
+      round.ci_lower, round.ci_upper, round.moe,
+      static_cast<unsigned long long>(round.triples_annotated),
+      static_cast<unsigned long long>(round.entities_identified));
+}
+
+/// A count field must be a non-negative integer small enough to cast without
+/// undefined behavior (doubles hold integers exactly up to 2^53); externally
+/// supplied documents get a validation error, never a wrapping cast.
+Result<uint64_t> GetCount(const JsonValue& value, const char* key) {
+  KGACC_ASSIGN_OR_RETURN(const double number, value.GetNumber(key));
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53.
+  if (!(number >= 0.0) || number > kMaxExact ||
+      number != std::floor(number)) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' is not a valid count: %g", key, number));
+  }
+  return static_cast<uint64_t>(number);
+}
+
+Result<CampaignRound> ParseRound(const JsonValue& value) {
+  CampaignRound round;
+  KGACC_ASSIGN_OR_RETURN(round.round, GetCount(value, "round"));
+  KGACC_ASSIGN_OR_RETURN(round.cost_seconds, value.GetNumber("cost_seconds"));
+  KGACC_ASSIGN_OR_RETURN(round.units, GetCount(value, "units"));
+  KGACC_ASSIGN_OR_RETURN(round.estimate, value.GetNumber("estimate"));
+  KGACC_ASSIGN_OR_RETURN(round.ci_lower, value.GetNumber("ci_lower"));
+  KGACC_ASSIGN_OR_RETURN(round.ci_upper, value.GetNumber("ci_upper"));
+  KGACC_ASSIGN_OR_RETURN(round.moe, value.GetNumber("moe"));
+  KGACC_ASSIGN_OR_RETURN(round.triples_annotated,
+                         GetCount(value, "triples_annotated"));
+  KGACC_ASSIGN_OR_RETURN(round.entities_identified,
+                         GetCount(value, "entities_identified"));
+  return round;
+}
+
+}  // namespace
+
+Status WriteTraceJson(
+    const std::string& path, const std::vector<CampaignTrace>& campaigns,
+    const std::vector<std::pair<std::string, double>>& metadata) {
+  std::string out;
+  out += StrFormat("{\"schema\": \"%s\",\n \"metadata\": {", kSchema);
+  for (size_t i = 0; i < metadata.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("\"%s\": %.17g", JsonEscape(metadata[i].first).c_str(),
+                     metadata[i].second);
+  }
+  out += "},\n \"campaigns\": [";
+  for (size_t c = 0; c < campaigns.size(); ++c) {
+    const CampaignTrace& trace = campaigns[c];
+    if (c > 0) out += ",";
+    out += StrFormat("\n  {\"design\": \"%s\", \"label\": \"%s\", "
+                     "\"converged\": %s,\n   \"rounds\": [",
+                     JsonEscape(trace.design).c_str(),
+                     JsonEscape(trace.label).c_str(),
+                     trace.converged ? "true" : "false");
+    for (size_t r = 0; r < trace.rounds.size(); ++r) {
+      if (r > 0) out += ",\n    ";
+      AppendRound(trace.rounds[r], &out);
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::IOError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  file << out;
+  file.flush();
+  if (!file) {
+    return Status::IOError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<CampaignTrace>> ReadTraceJson(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  KGACC_ASSIGN_OR_RETURN(const JsonValue document, JsonValue::Parse(text));
+  KGACC_ASSIGN_OR_RETURN(const std::string schema,
+                         document.GetString("schema"));
+  if (schema != kSchema) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': unsupported schema '%s' (want %s)", path.c_str(),
+                  schema.c_str(), kSchema));
+  }
+  const JsonValue* campaigns = document.Find("campaigns");
+  if (campaigns == nullptr || !campaigns->is_array()) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': missing campaigns array", path.c_str()));
+  }
+  std::vector<CampaignTrace> traces;
+  traces.reserve(campaigns->AsArray().size());
+  for (const JsonValue& entry : campaigns->AsArray()) {
+    CampaignTrace trace;
+    KGACC_ASSIGN_OR_RETURN(trace.design, entry.GetString("design"));
+    KGACC_ASSIGN_OR_RETURN(trace.label, entry.GetString("label"));
+    KGACC_ASSIGN_OR_RETURN(trace.converged, entry.GetBool("converged"));
+    const JsonValue* rounds = entry.Find("rounds");
+    if (rounds == nullptr || !rounds->is_array()) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': campaign '%s' missing rounds array", path.c_str(),
+                    trace.design.c_str()));
+    }
+    trace.rounds.reserve(rounds->AsArray().size());
+    for (const JsonValue& row : rounds->AsArray()) {
+      KGACC_ASSIGN_OR_RETURN(const CampaignRound round, ParseRound(row));
+      trace.rounds.push_back(round);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kgacc {
+
+/// One row of a campaign's estimate trajectory: the state of the evaluation
+/// after one sample→annotate→estimate round. All cost/effort fields are
+/// cumulative *within the campaign* (they start at zero each campaign), so a
+/// valid trace is non-decreasing in cost, units and annotations — the
+/// property the CI bench-smoke gate checks.
+struct CampaignRound {
+  uint64_t round = 0;              ///< 1-based round index within the campaign.
+  double cost_seconds = 0.0;       ///< cumulative simulated annotation cost.
+  uint64_t units = 0;              ///< sampling units behind the estimate.
+  double estimate = 0.0;           ///< point estimate of accuracy.
+  double ci_lower = 0.0;           ///< CI bounds: Wilson for SRS+Wilson,
+  double ci_upper = 1.0;           ///<   unclamped Wald otherwise (early
+                                   ///<   cluster-design rounds may overshoot
+                                   ///<   [0, 1]; bounds always bracket).
+  double moe = 1.0;                ///< margin of error the stopping rule saw.
+  uint64_t triples_annotated = 0;  ///< cumulative triples annotated.
+  uint64_t entities_identified = 0;  ///< cumulative clusters identified.
+};
+
+/// The full per-round trajectory of one evaluation campaign (one engine Run,
+/// or one Initialize/ApplyUpdate step of an incremental evaluator).
+struct CampaignTrace {
+  std::string design;  ///< design label ("TWCS", "RS", ...).
+  std::string label;   ///< campaign label ("", "initialize", "update-3", ...).
+  bool converged = false;
+  std::vector<CampaignRound> rounds;
+};
+
+/// Receiver of campaign telemetry. The engine and the incremental evaluators
+/// report through this interface instead of printing; sinks turn rounds into
+/// in-memory traces (TraceRecorder), JSON artifacts, dashboards, ...
+///
+/// Contract: BeginCampaign, then OnRound once per round (round indices
+/// strictly increasing from 1), then EndCampaign. Emission must never
+/// influence the evaluation itself — a campaign run with and without a sink
+/// produces bit-identical results.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  virtual void BeginCampaign(const std::string& design,
+                             const std::string& label) {
+    (void)design;
+    (void)label;
+  }
+  virtual void OnRound(const CampaignRound& round) { (void)round; }
+  virtual void EndCampaign(bool converged) { (void)converged; }
+};
+
+/// TelemetrySink that records every campaign as a CampaignTrace, in order.
+/// Not thread-safe: one recorder per evaluation thread.
+class TraceRecorder : public TelemetrySink {
+ public:
+  void BeginCampaign(const std::string& design,
+                     const std::string& label) override;
+  void OnRound(const CampaignRound& round) override;
+  void EndCampaign(bool converged) override;
+
+  /// Prefix prepended to the labels of subsequently begun campaigns, so
+  /// callers multiplexing several scenarios into one recorder (benches) can
+  /// tell the traces apart ("update130K/initialize", ...).
+  void SetLabelPrefix(std::string prefix) { label_prefix_ = std::move(prefix); }
+
+  const std::vector<CampaignTrace>& campaigns() const { return campaigns_; }
+  bool empty() const { return campaigns_.empty(); }
+
+ private:
+  std::string label_prefix_;
+  std::vector<CampaignTrace> campaigns_;
+  bool open_ = false;  ///< a BeginCampaign without matching EndCampaign.
+};
+
+/// Structural validity of one trace: at least one round, strictly increasing
+/// round indices, non-decreasing cumulative cost/units/annotations, CI
+/// bounds bracketing the estimate. This is the invariant the CI bench-smoke
+/// step gates on.
+Status ValidateTrace(const CampaignTrace& trace);
+
+/// Writes campaigns (plus optional scalar metadata, e.g. ground truth per
+/// update batch) as a `kgacc-trace-v1` JSON document:
+///
+///   {"schema": "kgacc-trace-v1",
+///    "metadata": {"truth": 0.9, ...},
+///    "campaigns": [
+///      {"design": "RS", "label": "initialize", "converged": true,
+///       "rounds": [{"round": 1, "cost_seconds": 123.0, "units": 30,
+///                   "estimate": 0.9, "ci_lower": 0.86, "ci_upper": 0.94,
+///                   "moe": 0.04, "triples_annotated": 150,
+///                   "entities_identified": 30}, ...]}, ...]}
+///
+/// Doubles are written with %.17g, so ReadTraceJson round-trips bit-exactly.
+Status WriteTraceJson(
+    const std::string& path, const std::vector<CampaignTrace>& campaigns,
+    const std::vector<std::pair<std::string, double>>& metadata = {});
+
+/// Parses a kgacc-trace-v1 document back into traces. Validates the schema
+/// marker and field presence, not the trajectory invariants — run
+/// ValidateTrace on each returned trace for those.
+Result<std::vector<CampaignTrace>> ReadTraceJson(const std::string& path);
+
+}  // namespace kgacc

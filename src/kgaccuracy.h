@@ -14,6 +14,7 @@
 ///   // r.estimate.mean, r.moe, r.AnnotationHours(), ...
 
 // Utilities.
+#include "util/json.h"        // IWYU pragma: export
 #include "util/logging.h"     // IWYU pragma: export
 #include "util/result.h"      // IWYU pragma: export
 #include "util/rng.h"         // IWYU pragma: export
@@ -71,6 +72,7 @@
 #include "core/evaluation.h"             // IWYU pragma: export
 #include "core/grouped_evaluator.h"      // IWYU pragma: export
 #include "core/incremental.h"            // IWYU pragma: export
+#include "core/incremental_driver.h"     // IWYU pragma: export
 #include "core/kgeval/coupling_graph.h"  // IWYU pragma: export
 #include "core/kgeval/kgeval_baseline.h" // IWYU pragma: export
 #include "core/optimal_m.h"              // IWYU pragma: export
@@ -81,6 +83,7 @@
 #include "core/stratified_evaluator.h"   // IWYU pragma: export
 #include "core/stratified_source.h"      // IWYU pragma: export
 #include "core/stratified_incremental.h" // IWYU pragma: export
+#include "core/telemetry.h"              // IWYU pragma: export
 
 // Benchmark datasets (paper Table 3 reconstructions).
 #include "datasets/datasets.h" // IWYU pragma: export

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace kgacc {
+
+/// A parsed JSON document node. Minimal by design: just enough to read back
+/// the machine-readable artifacts this library writes itself (campaign
+/// traces, bench outputs) — objects, arrays, strings, finite numbers, bools
+/// and null. Not a general-purpose JSON library: no streaming, no comments,
+/// no \uXXXX surrogate pairs (escapes decode to '?'), numbers parse as
+/// double.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps keys ordered; duplicate keys keep the last value.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the value must hold the matching type (aborts in debug
+  /// builds otherwise, like Result::value()).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience typed lookups returning errors instead of aborting, for
+  /// validating externally supplied documents.
+  Result<double> GetNumber(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;    // shared to keep JsonValue copyable/cheap.
+  std::shared_ptr<Object> object_;
+};
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace kgacc

@@ -17,13 +17,14 @@ constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
 
 TEST(DesignRegistryTest, BuiltinsAreRegistered) {
   const DesignRegistry& registry = DesignRegistry::Global();
-  for (const char* name : {"srs", "rcs", "wcs", "twcs", "twcs+strat"}) {
+  for (const char* name : {"srs", "rcs", "wcs", "twcs", "twcs+strat",
+                           "twcs+pilot", "rs", "ss", "kgeval"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
     EXPECT_FALSE(registry.Description(name).empty()) << name;
   }
   const std::vector<std::string> names = registry.Names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_GE(names.size(), 5u);
+  EXPECT_GE(names.size(), 9u);
 }
 
 TEST(DesignRegistryTest, EveryBuiltinRunsAndConverges) {
@@ -38,7 +39,10 @@ TEST(DesignRegistryTest, EveryBuiltinRunsAndConverges) {
                 {"rcs", "RCS"},
                 {"wcs", "WCS"},
                 {"twcs", "TWCS"},
-                {"twcs+strat", "TWCS+strat"}};
+                {"twcs+strat", "TWCS+strat"},
+                {"twcs+pilot", "TWCS+pilot"},
+                {"rs", "RS"},
+                {"ss", "SS"}};
   for (const auto& test_case : kCases) {
     SCOPED_TRACE(test_case.name);
     SimulatedAnnotator annotator(&pop.oracle, kCost);

@@ -1,0 +1,249 @@
+#include "core/incremental_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/design_registry.h"
+#include "core/telemetry.h"
+#include "kg/cluster_population.h"
+#include "labels/synthetic_oracle.h"
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+/// An evolving synthetic KG with deterministic sizes/labels, rebuildable
+/// bit-identically from the same seeds — the substrate of the golden-parity
+/// checks below.
+struct EvolvingKg {
+  ClusterPopulation population;
+  PerClusterBernoulliOracle oracle{0xabcdef};
+
+  std::pair<uint64_t, uint64_t> ApplyBatch(uint64_t num_clusters,
+                                           uint32_t max_size, double accuracy,
+                                           double spread, Rng& rng) {
+    const uint64_t first = population.NumClusters();
+    for (uint64_t i = 0; i < num_clusters; ++i) {
+      population.Append(1 + static_cast<uint32_t>(rng.UniformIndex(max_size)));
+      double p = accuracy + spread * (rng.UniformDouble() - 0.5) * 2.0;
+      oracle.Append(p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p));
+    }
+    return {first, num_clusters};
+  }
+};
+
+EvaluationOptions DefaultOptions(uint64_t seed) {
+  EvaluationOptions options;
+  options.seed = seed;
+  return options;
+}
+
+/// The driver result must be bit-for-bit what the wrapped evaluator's report
+/// says — same estimate, same ledger, same cost.
+void ExpectParity(const EvaluationResult& result,
+                  const IncrementalUpdateReport& report,
+                  const char* design_label) {
+  EXPECT_EQ(result.design, design_label);
+  EXPECT_EQ(result.estimate.mean, report.estimate.mean);
+  EXPECT_EQ(result.estimate.variance_of_mean, report.estimate.variance_of_mean);
+  EXPECT_EQ(result.estimate.num_units, report.estimate.num_units);
+  EXPECT_EQ(result.moe, report.moe);
+  EXPECT_EQ(result.converged, report.converged);
+  EXPECT_EQ(result.rounds, report.rounds);
+  EXPECT_EQ(result.ledger.entities_identified, report.newly_annotated_entities);
+  EXPECT_EQ(result.ledger.triples_annotated, report.newly_annotated_triples);
+  EXPECT_EQ(result.annotation_seconds, report.step_cost_seconds);
+}
+
+class GoldenParityTest : public ::testing::TestWithParam<IncrementalMethod> {};
+
+TEST_P(GoldenParityTest, DriverMatchesLegacyLoopAcrossUpdates) {
+  const IncrementalMethod method = GetParam();
+  // Two bit-identical evolving KGs: one for the legacy evaluator, one for
+  // the driver. Same graph seeds, same evaluation seed.
+  EvolvingKg legacy_kg, driver_kg;
+  Rng legacy_rng(2718), driver_rng(2718);
+  legacy_kg.ApplyBatch(1200, 12, 0.9, 0.15, legacy_rng);
+  driver_kg.ApplyBatch(1200, 12, 0.9, 0.15, driver_rng);
+
+  SimulatedAnnotator legacy_annotator(&legacy_kg.oracle, kCost);
+  SimulatedAnnotator driver_annotator(&driver_kg.oracle, kCost);
+  const EvaluationOptions options = DefaultOptions(77);
+
+  ReservoirIncrementalEvaluator legacy_rs(&legacy_kg.population,
+                                          &legacy_annotator, options);
+  StratifiedIncrementalEvaluator legacy_ss(&legacy_kg.population,
+                                           &legacy_annotator, options);
+  IncrementalCampaignDriver driver(method, &driver_kg.population,
+                                   &driver_annotator, options);
+  const char* label = IncrementalCampaignDriver::DesignLabel(method);
+
+  const IncrementalUpdateReport init_report =
+      method == IncrementalMethod::kReservoir ? legacy_rs.Initialize()
+                                              : legacy_ss.Initialize();
+  ExpectParity(driver.Initialize(), init_report, label);
+
+  for (int batch = 0; batch < 3; ++batch) {
+    const auto [first, count] =
+        legacy_kg.ApplyBatch(250, 12, 0.7 + 0.05 * batch, 0.2, legacy_rng);
+    driver_kg.ApplyBatch(250, 12, 0.7 + 0.05 * batch, 0.2, driver_rng);
+    const IncrementalUpdateReport update_report =
+        method == IncrementalMethod::kReservoir
+            ? legacy_rs.ApplyUpdate(first, count)
+            : legacy_ss.ApplyUpdate(first, count);
+    ExpectParity(driver.ApplyUpdate(first, count), update_report, label);
+  }
+
+  // Same draws -> same total annotation bill.
+  EXPECT_EQ(legacy_annotator.ledger().triples_annotated,
+            driver_annotator.ledger().triples_annotated);
+  EXPECT_EQ(legacy_annotator.ledger().entities_identified,
+            driver_annotator.ledger().entities_identified);
+
+  // The read path agrees with the last campaign's estimate.
+  EXPECT_EQ(driver.CurrentEstimate().num_units,
+            method == IncrementalMethod::kReservoir
+                ? legacy_rs.CurrentEstimate().num_units
+                : legacy_ss.CurrentEstimate().num_units);
+}
+
+TEST_P(GoldenParityTest, TelemetryDoesNotPerturbTheEvaluation) {
+  const IncrementalMethod method = GetParam();
+  EvolvingKg plain_kg, traced_kg;
+  Rng plain_rng(31415), traced_rng(31415);
+  plain_kg.ApplyBatch(900, 10, 0.85, 0.2, plain_rng);
+  traced_kg.ApplyBatch(900, 10, 0.85, 0.2, traced_rng);
+
+  SimulatedAnnotator plain_annotator(&plain_kg.oracle, kCost);
+  SimulatedAnnotator traced_annotator(&traced_kg.oracle, kCost);
+  const EvaluationOptions plain_options = DefaultOptions(5);
+  EvaluationOptions traced_options = plain_options;
+  TraceRecorder recorder;
+  traced_options.telemetry = &recorder;
+
+  IncrementalCampaignDriver plain(method, &plain_kg.population,
+                                  &plain_annotator, plain_options);
+  IncrementalCampaignDriver traced(method, &traced_kg.population,
+                                   &traced_annotator, traced_options);
+
+  const EvaluationResult plain_init = plain.Initialize();
+  const EvaluationResult traced_init = traced.Initialize();
+  EXPECT_EQ(plain_init.estimate.mean, traced_init.estimate.mean);
+  EXPECT_EQ(plain_init.ledger.triples_annotated,
+            traced_init.ledger.triples_annotated);
+
+  const auto [first, count] = plain_kg.ApplyBatch(200, 10, 0.6, 0.1, plain_rng);
+  traced_kg.ApplyBatch(200, 10, 0.6, 0.1, traced_rng);
+  const EvaluationResult plain_update = plain.ApplyUpdate(first, count);
+  const EvaluationResult traced_update = traced.ApplyUpdate(first, count);
+  EXPECT_EQ(plain_update.estimate.mean, traced_update.estimate.mean);
+  EXPECT_EQ(plain_update.ledger.triples_annotated,
+            traced_update.ledger.triples_annotated);
+
+  // And the campaigns were in fact recorded, one per step.
+  ASSERT_EQ(recorder.campaigns().size(), 2u);
+  EXPECT_EQ(recorder.campaigns()[0].label, "initialize");
+  EXPECT_EQ(recorder.campaigns()[1].label, "update-1");
+  EXPECT_EQ(recorder.campaigns()[0].rounds.size(), traced_init.rounds);
+  EXPECT_EQ(recorder.campaigns()[1].rounds.size(), traced_update.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, GoldenParityTest,
+                         ::testing::Values(IncrementalMethod::kReservoir,
+                                           IncrementalMethod::kStratified),
+                         [](const auto& info) {
+                           return info.param == IncrementalMethod::kReservoir
+                                      ? "Reservoir"
+                                      : "Stratified";
+                         });
+
+TEST(IncrementalDriverTest, RegistryRsSsMatchDirectDriver) {
+  for (const char* name : {"rs", "ss"}) {
+    SCOPED_TRACE(name);
+    EvolvingKg registry_kg, direct_kg;
+    Rng registry_rng(999), direct_rng(999);
+    registry_kg.ApplyBatch(1000, 12, 0.9, 0.15, registry_rng);
+    direct_kg.ApplyBatch(1000, 12, 0.9, 0.15, direct_rng);
+
+    const EvaluationOptions options = DefaultOptions(123);
+    SimulatedAnnotator registry_annotator(&registry_kg.oracle, kCost);
+    SimulatedAnnotator direct_annotator(&direct_kg.oracle, kCost);
+
+    const Result<EvaluationResult> via_registry = DesignRegistry::Global().Run(
+        name, registry_kg.population, &registry_annotator, options);
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+
+    const Result<IncrementalMethod> method =
+        IncrementalCampaignDriver::ParseMethod(name);
+    ASSERT_TRUE(method.ok());
+    IncrementalCampaignDriver driver(*method, &direct_kg.population,
+                                     &direct_annotator, options);
+    const EvaluationResult direct = driver.Initialize();
+
+    EXPECT_EQ(via_registry->estimate.mean, direct.estimate.mean);
+    EXPECT_EQ(via_registry->estimate.num_units, direct.estimate.num_units);
+    EXPECT_EQ(via_registry->ledger.triples_annotated,
+              direct.ledger.triples_annotated);
+    EXPECT_EQ(via_registry->design, direct.design);
+    EXPECT_TRUE(via_registry->converged);
+  }
+}
+
+TEST(IncrementalDriverTest, ParseMethodAndLabels) {
+  EXPECT_TRUE(IncrementalCampaignDriver::ParseMethod("rs").ok());
+  EXPECT_TRUE(IncrementalCampaignDriver::ParseMethod("ss").ok());
+  EXPECT_FALSE(IncrementalCampaignDriver::ParseMethod("twcs").ok());
+  EXPECT_STREQ(
+      IncrementalCampaignDriver::DesignLabel(IncrementalMethod::kReservoir),
+      "RS");
+  EXPECT_STREQ(
+      IncrementalCampaignDriver::DesignLabel(IncrementalMethod::kStratified),
+      "SS");
+}
+
+TEST(IncrementalDriverTest, UnknownDesignErrorNamesIncrementalDesigns) {
+  EvolvingKg kg;
+  Rng rng(5);
+  kg.ApplyBatch(50, 5, 0.8, 0.1, rng);
+  SimulatedAnnotator annotator(&kg.oracle, kCost);
+  const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      "no-such-design", kg.population, &annotator, EvaluationOptions{});
+  ASSERT_FALSE(run.ok());
+  // The "silently unavailable" fix: the incremental designs appear among the
+  // known names of the error message.
+  EXPECT_NE(run.status().message().find("rs"), std::string::npos);
+  EXPECT_NE(run.status().message().find("ss"), std::string::npos);
+  EXPECT_NE(run.status().message().find("kgeval"), std::string::npos);
+}
+
+TEST(IncrementalDriverTest, KgEvalRequiresMaterializedGraph) {
+  EvolvingKg kg;
+  Rng rng(6);
+  kg.ApplyBatch(50, 5, 0.8, 0.1, rng);
+  SimulatedAnnotator annotator(&kg.oracle, kCost);
+  const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      "kgeval", kg.population, &annotator, EvaluationOptions{});
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("materialized"), std::string::npos);
+}
+
+TEST(IncrementalDriverTest, TwcsPilotRunsThroughRegistry) {
+  EvolvingKg kg;
+  Rng rng(7);
+  kg.ApplyBatch(800, 12, 0.85, 0.15, rng);
+  SimulatedAnnotator annotator(&kg.oracle, kCost);
+  const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      "twcs+pilot", kg.population, &annotator, DefaultOptions(11));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->design, "TWCS+pilot");
+  EXPECT_TRUE(run->converged);
+  // The result's bill covers pilot + campaign: it matches the annotator's
+  // whole-session ledger.
+  EXPECT_EQ(run->ledger.triples_annotated,
+            annotator.ledger().triples_annotated);
+  EXPECT_GT(run->ledger.triples_annotated, 0u);
+}
+
+}  // namespace
+}  // namespace kgacc

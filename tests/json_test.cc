@@ -1,0 +1,78 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace kgacc {
+namespace {
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  const Result<JsonValue> parsed = JsonValue::Parse(
+      R"({"name": "trace", "ok": true, "none": null,
+          "pi": 3.25, "neg": -2e-3,
+          "rows": [1, 2.5, "x", false, {"k": []}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = *parsed;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.GetString("name").value(), "trace");
+  EXPECT_TRUE(doc.GetBool("ok").value());
+  EXPECT_TRUE(doc.Find("none")->is_null());
+  EXPECT_DOUBLE_EQ(doc.GetNumber("pi").value(), 3.25);
+  EXPECT_DOUBLE_EQ(doc.GetNumber("neg").value(), -2e-3);
+  const JsonValue::Array& rows = doc.Find("rows")->AsArray();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_DOUBLE_EQ(rows[0].AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].AsNumber(), 2.5);
+  EXPECT_EQ(rows[2].AsString(), "x");
+  EXPECT_FALSE(rows[3].AsBool());
+  EXPECT_TRUE(rows[4].Find("k")->is_array());
+  EXPECT_TRUE(rows[4].Find("k")->AsArray().empty());
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  const Result<JsonValue> parsed =
+      JsonValue::Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\": }", "{\"a\": 1} trailing", "nul",
+        "\"unterminated", "{\"a\" 1}", "[01a]", "\"bad\\escape\"",
+        "\"ctrl\x01char\""}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(JsonValue::Parse(bad).ok());
+  }
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, TypedLookupsFailSoftly) {
+  const Result<JsonValue> parsed = JsonValue::Parse(R"({"n": "text"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetNumber("n").ok());      // wrong type.
+  EXPECT_FALSE(parsed->GetNumber("absent").ok()); // missing.
+  EXPECT_EQ(parsed->Find("absent"), nullptr);
+}
+
+TEST(JsonTest, EscapeProducesParseableStrings) {
+  const std::string hostile = "quote\" backslash\\ newline\n tab\t ctrl\x02";
+  const std::string doc = "\"" + JsonEscape(hostile) + "\"";
+  const Result<JsonValue> parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), hostile);
+}
+
+TEST(JsonTest, LastDuplicateKeyWins) {
+  const Result<JsonValue> parsed =
+      JsonValue::Parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("k").value(), 2.0);
+}
+
+}  // namespace
+}  // namespace kgacc

@@ -35,8 +35,8 @@ Modes (choose one input):
 
 Evaluation:
   --design D          any registered design name        [twcs]
-                      (srs | rcs | wcs | twcs | twcs+strat | ...;
-                       see --list-designs)
+                      (srs | rcs | wcs | twcs | twcs+strat | twcs+pilot |
+                       rs | ss | kgeval | ...; see --list-designs)
   --strata H          stratum count for twcs+strat; passing H > 1
                       selects twcs+strat (conflicts with any other
                       explicit --design)                   [4]
@@ -46,6 +46,8 @@ Evaluation:
   --m N               TWCS second-stage size            [auto]
   --min-units N       CLT floor on sampling units       [30]
   --wilson            Wilson CI in the SRS stopping rule
+  --trace FILE.json   write the per-round campaign trace (estimate, CI
+                      bounds, cumulative cost) as kgacc-trace-v1 JSON
 
 Annotation:
   --annotators K          majority vote of K annotators     [1]
@@ -107,6 +109,10 @@ int RunEval(const FlagParser& flags) {
   options.min_units = flags.GetUint64("min-units", 30).ValueOr(30);
   options.seed = seed;
   if (flags.GetBool("wilson", false)) options.srs_ci = CiMethod::kWilson;
+
+  const std::string trace_path = flags.GetString("trace", "");
+  TraceRecorder recorder;
+  if (!trace_path.empty()) options.telemetry = &recorder;
 
   CostModel cost;
   cost.c1_seconds = flags.GetDouble("c1", 45.0).ValueOr(45.0);
@@ -172,6 +178,16 @@ int RunEval(const FlagParser& flags) {
     }
     std::printf("total annotation bill: %s\n",
                 FormatDuration(annotator->ElapsedSeconds()).c_str());
+    if (!trace_path.empty()) {
+      const Status written = WriteTraceJson(trace_path, recorder.campaigns());
+      if (!written.ok()) {
+        std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: %s (%llu campaigns, one per predicate)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(recorder.campaigns().size()));
+    }
     return 0;
   }
 
@@ -198,6 +214,22 @@ int RunEval(const FlagParser& flags) {
     return 1;
   }
   const EvaluationResult result = std::move(run).value();
+
+  if (!trace_path.empty()) {
+    const Status written = WriteTraceJson(trace_path, recorder.campaigns());
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    uint64_t rounds = 0;
+    for (const CampaignTrace& trace : recorder.campaigns()) {
+      rounds += trace.rounds.size();
+    }
+    std::printf("trace: %s (%llu campaigns, %llu rounds)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(recorder.campaigns().size()),
+                static_cast<unsigned long long>(rounds));
+  }
 
   std::printf("design: %s%s\n", result.design.c_str(),
               annotators > 1
@@ -235,9 +267,9 @@ int main(int argc, char** argv) {
   const FlagParser& flags = *parsed;
   const Status valid = flags.Validate(
       {"dataset", "input", "design", "strata", "per-predicate", "moe",
-       "confidence", "m", "min-units", "wilson", "annotators", "noise",
-       "annotation-threads", "annotation_threads", "c1", "c2", "seed",
-       "list-datasets", "list-designs", "help"});
+       "confidence", "m", "min-units", "wilson", "trace", "annotators",
+       "noise", "annotation-threads", "annotation_threads", "c1", "c2",
+       "seed", "list-datasets", "list-designs", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s (see --help)\n", valid.message().c_str());
     return 1;

@@ -1,0 +1,57 @@
+// kgacc_trace_check — CI gate over kgacc-trace-v1 JSON artifacts.
+//
+//   kgacc_trace_check BENCH_trace_twcs.json [more.json ...]
+//
+// Exits non-zero (with a diagnostic on stderr) unless every file parses as a
+// kgacc-trace-v1 document with at least one campaign, and every campaign
+// passes ValidateTrace: non-empty rounds, strictly increasing round indices,
+// non-decreasing cumulative cost/units/annotations, and CI bounds that
+// bracket the estimate. This is what the bench-smoke CI job gates on, so a
+// regression that silences telemetry or breaks cost accounting fails the
+// build instead of shipping an empty dashboard.
+
+#include <cstdio>
+
+#include "core/telemetry.h"
+
+int main(int argc, char** argv) {
+  using namespace kgacc;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: kgacc_trace_check TRACE.json [...]\n");
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* path = argv[i];
+    const Result<std::vector<CampaignTrace>> traces = ReadTraceJson(path);
+    if (!traces.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path,
+                   traces.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (traces->empty()) {
+      std::fprintf(stderr, "%s: no campaigns in trace\n", path);
+      ++failures;
+      continue;
+    }
+    uint64_t rounds = 0;
+    bool file_ok = true;
+    for (const CampaignTrace& trace : *traces) {
+      const Status valid = ValidateTrace(trace);
+      if (!valid.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path, valid.ToString().c_str());
+        file_ok = false;
+      }
+      rounds += trace.rounds.size();
+    }
+    if (!file_ok) {
+      ++failures;
+      continue;
+    }
+    std::printf("%s: OK (%llu campaigns, %llu rounds)\n", path,
+                static_cast<unsigned long long>(traces->size()),
+                static_cast<unsigned long long>(rounds));
+  }
+  return failures == 0 ? 0 : 1;
+}
