@@ -6,12 +6,26 @@
 // The batched path must be at least as fast as the per-triple path (it does
 // strictly less hashing per triple); the sharded path pays thread hand-off
 // and only wins with spare cores and large batches.
+//
+// BM_AnnotateBatchSweep is the crowd-scale sweep (batch size × thread
+// count): it measures pure AnnotateBatch throughput with manual timing (the
+// per-iteration cache Reset is excluded) and, when any sweep configuration
+// ran, writes a `kgacc-annotate-bench-v1` JSON artifact
+// (BENCH_annotate_sweep.json, into $KGACC_BENCH_JSON_DIR when set) with
+// items/sec and the speedup of every thread count against the same batch's
+// single-thread run. `kgacc_trace_check` validates the artifact; CI's
+// bench-smoke job uploads it.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <map>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/design_registry.h"
 #include "core/telemetry.h"
 #include "kg/cluster_population.h"
@@ -19,6 +33,7 @@
 #include "labels/annotator.h"
 #include "labels/synthetic_oracle.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace kgacc {
 namespace {
@@ -99,6 +114,81 @@ BENCHMARK(BM_AnnotateBatchSharded)
     ->Args({65536, 4})
     ->Args({262144, 4});
 
+/// One sweep cell's measured throughput, keyed by (batch, threads).
+std::map<std::pair<int64_t, int64_t>, double>& SweepRates() {
+  static auto* rates = new std::map<std::pair<int64_t, int64_t>, double>();
+  return *rates;
+}
+
+void BM_AnnotateBatchSweep(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const int64_t threads = state.range(1);
+  const Workload workload = MakeWorkload(batch);
+  SimulatedAnnotator annotator(
+      &workload.oracle, kCost,
+      {.annotation_threads = static_cast<int>(threads)});
+  std::vector<uint8_t> labels(workload.refs.size());
+  double annotate_seconds = 0.0;
+  uint64_t items = 0;
+  for (auto _ : state) {
+    annotator.Reset();
+    WallTimer timer;
+    annotator.AnnotateBatch(std::span<const TripleRef>(workload.refs),
+                            labels.data());
+    const double elapsed = timer.ElapsedSeconds();
+    state.SetIterationTime(elapsed);
+    annotate_seconds += elapsed;
+    items += workload.refs.size();
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+  if (annotate_seconds > 0.0) {
+    SweepRates()[{batch, threads}] =
+        static_cast<double>(items) / annotate_seconds;
+  }
+}
+BENCHMARK(BM_AnnotateBatchSweep)
+    ->ArgsProduct({{16384, 100000, 262144}, {1, 2, 4, 8}})
+    ->UseManualTime();
+
+}  // namespace
+
+/// Writes the kgacc-annotate-bench-v1 artifact from the sweep cells that
+/// ran (a --benchmark_filter selecting none of them writes nothing).
+void WriteSweepArtifact() {
+  const auto& rates = SweepRates();
+  if (rates.empty()) return;
+  const std::string path =
+      bench::ArtifactPath("BENCH_annotate_sweep.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"kgacc-annotate-bench-v1\",\n");
+  std::fprintf(f, "  \"sweep\": [\n");
+  bool first = true;
+  for (const auto& [key, rate] : rates) {
+    const auto& [batch, threads] = key;
+    const auto single = rates.find({batch, int64_t{1}});
+    const double speedup =
+        single != rates.end() && single->second > 0.0 ? rate / single->second
+                                                      : 0.0;
+    std::fprintf(f,
+                 "%s    {\"batch\": %lld, \"threads\": %lld, "
+                 "\"items_per_second\": %.17g, \"speedup_vs_1\": %.17g}",
+                 first ? "" : ",\n", static_cast<long long>(batch),
+                 static_cast<long long>(threads), rate, speedup);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("sweep artifact: %s (%zu configurations)\n", path.c_str(),
+              rates.size());
+}
+
+namespace {
+
 void BM_EngineCampaign(benchmark::State& state) {
   // One full TWCS campaign per iteration, end to end through the registry.
   const Workload workload = MakeWorkload(1);
@@ -141,4 +231,11 @@ BENCHMARK(BM_EngineCampaignTraced);
 }  // namespace
 }  // namespace kgacc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  kgacc::WriteSweepArtifact();
+  return 0;
+}

@@ -67,7 +67,9 @@ Result<EvaluationResult> RunTwcsWithPilot(const KgView& view,
   EvaluationOptions pinned = options;
   pinned.telemetry = nullptr;  // re-attached below, with the pilot's bill.
   if (pinned.m == 0) {
-    const uint64_t pilot_clusters = std::max<uint64_t>(options.min_units, 30);
+    const uint64_t pilot_clusters =
+        options.pilot_size > 0 ? options.pilot_size
+                               : std::max<uint64_t>(options.min_units, 30);
     KGACC_ASSIGN_OR_RETURN(
         const OptimalMResult pilot,
         PilotOptimalM(view, annotator, options.Alpha(), options.moe_target,

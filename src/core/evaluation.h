@@ -64,6 +64,11 @@ struct EvaluationOptions {
   /// pass explicit Strata instead.
   uint64_t num_strata = 4;
 
+  /// Clusters annotated by the "twcs+pilot" design's pilot before the Eq 12
+  /// search; 0 selects max(min_units, 30). The pilot's annotations stay
+  /// cached, so a larger pilot trades upfront cost for a better-informed m.
+  uint64_t pilot_size = 0;
+
   /// Borrowed per-round telemetry receiver (see core/telemetry.h); null
   /// disables emission. Carried inside the options so campaign telemetry
   /// flows through the DesignRegistry and the CLI without widening every

@@ -1,6 +1,7 @@
 #include "core/optimal_m.h"
 
 #include <algorithm>
+#include <span>
 
 #include "sampling/cluster_sampler.h"
 #include "util/logging.h"
@@ -75,15 +76,26 @@ Result<OptimalMResult> PilotOptimalM(const KgView& view,
   TwcsSampler sampler(view, m_max);
   const std::vector<ClusterDraw> draws = sampler.NextBatch(pilot_clusters, rng);
 
+  // The whole pilot is one annotation batch, so the annotator's concurrent
+  // path applies (labels are order-independent; identical to per-triple).
+  std::vector<TripleRef> refs;
+  for (const ClusterDraw& draw : draws) {
+    KGACC_CHECK(!draw.offsets.empty());
+    for (uint64_t offset : draw.offsets) {
+      refs.push_back(TripleRef{draw.cluster, offset});
+    }
+  }
+  std::vector<uint8_t> labels(refs.size());
+  annotator->AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
+
   ClusterPopulationStats pilot;
   pilot.sizes.reserve(draws.size());
   pilot.accuracies.reserve(draws.size());
+  const uint8_t* cursor = labels.data();
   for (const ClusterDraw& draw : draws) {
     uint64_t correct = 0;
-    for (uint64_t offset : draw.offsets) {
-      if (annotator->Annotate(TripleRef{draw.cluster, offset})) ++correct;
-    }
-    KGACC_CHECK(!draw.offsets.empty());
+    for (size_t j = 0; j < draw.offsets.size(); ++j) correct += cursor[j];
+    cursor += draw.offsets.size();
     pilot.sizes.push_back(view.ClusterSize(draw.cluster));
     pilot.accuracies.push_back(static_cast<double>(correct) /
                                static_cast<double>(draw.offsets.size()));

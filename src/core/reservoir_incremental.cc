@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <span>
 
 #include "core/engine.h"
 #include "core/optimal_m.h"
@@ -33,15 +34,17 @@ double ReservoirIncrementalEvaluator::MakeKey(uint64_t cluster) {
   return std::pow(rng_.UniformDoublePositive(), 1.0 / weight);
 }
 
+std::vector<uint64_t> ReservoirIncrementalEvaluator::SecondStageOffsets(
+    uint64_t cluster) const {
+  Rng second_stage(HashCombine(options_.seed, cluster, 0x2e2dULL));
+  return SampleIndicesWithoutReplacement(population_->ClusterSize(cluster),
+                                         m_, second_stage);
+}
+
 double ReservoirIncrementalEvaluator::AnnotatedClusterAccuracy(uint64_t cluster) {
   auto it = sampled_accuracy_.find(cluster);
   if (it == sampled_accuracy_.end()) {
-    const uint64_t size = population_->ClusterSize(cluster);
-    // Deterministic per-cluster second-stage offsets, so re-entering clusters
-    // always reuse their cached annotations.
-    Rng second_stage(HashCombine(options_.seed, cluster, 0x2e2dULL));
-    const std::vector<uint64_t> offsets =
-        SampleIndicesWithoutReplacement(size, m_, second_stage);
+    const std::vector<uint64_t> offsets = SecondStageOffsets(cluster);
     uint64_t correct = 0;
     for (uint64_t offset : offsets) {
       if (annotator_->Annotate(TripleRef{cluster, offset})) ++correct;
@@ -51,6 +54,30 @@ double ReservoirIncrementalEvaluator::AnnotatedClusterAccuracy(uint64_t cluster)
   }
   return static_cast<double>(it->second.first) /
          static_cast<double>(it->second.second);
+}
+
+void ReservoirIncrementalEvaluator::AnnotateReservoirEntrants(uint64_t count) {
+  // Reservoir clusters are distinct, so entrants need no dedup.
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> entrants;
+  std::vector<TripleRef> refs;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t cluster = entries_[i].cluster;
+    if (sampled_accuracy_.find(cluster) != sampled_accuracy_.end()) continue;
+    std::vector<uint64_t> offsets = SecondStageOffsets(cluster);
+    for (uint64_t offset : offsets) refs.push_back(TripleRef{cluster, offset});
+    entrants.emplace_back(cluster, std::move(offsets));
+  }
+  if (entrants.empty()) return;
+  std::vector<uint8_t> labels(refs.size());
+  annotator_->AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
+  const uint8_t* cursor = labels.data();
+  for (const auto& [cluster, offsets] : entrants) {
+    uint64_t correct = 0;
+    for (size_t j = 0; j < offsets.size(); ++j) correct += cursor[j];
+    cursor += offsets.size();
+    sampled_accuracy_.emplace(cluster,
+                              std::make_pair(correct, offsets.size()));
+  }
 }
 
 IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate(
@@ -73,6 +100,9 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate(
                      });
     report.machine_seconds += machine.ElapsedSeconds();
 
+    // One crowd-scale batch for all entrants, then the stats pass below
+    // finds every accuracy cached.
+    AnnotateReservoirEntrants(capacity_);
     RunningStats stats;
     for (uint64_t i = 0; i < capacity_; ++i) {
       stats.Add(AnnotatedClusterAccuracy(entries_[i].cluster));

@@ -88,9 +88,23 @@ class ReservoirIncrementalEvaluator {
   /// Generates the A-Res key for a cluster (deterministic per cluster).
   double MakeKey(uint64_t cluster);
 
+  /// The cluster's second-stage sample: min(size, m) offsets from a
+  /// deterministic per-cluster stream, so re-entering clusters always
+  /// re-draw the same triples and reuse their cached annotations. The one
+  /// derivation shared by the lazy and batch annotation paths (which is
+  /// what keeps them bit-identical).
+  std::vector<uint64_t> SecondStageOffsets(uint64_t cluster) const;
+
   /// Annotates min(size, m) triples of `cluster` if not already annotated;
   /// returns its sampled accuracy.
   double AnnotatedClusterAccuracy(uint64_t cluster);
+
+  /// Batch-annotates every not-yet-annotated cluster among the current
+  /// top-`count` reservoir entries in one AnnotateBatch call, so the
+  /// annotator's concurrent path sees crowd-scale batches instead of m
+  /// triples at a time. Labels are order-independent, so this is
+  /// bit-identical to annotating lazily per cluster.
+  void AnnotateReservoirEntrants(uint64_t count);
 
   /// Rebuilds the top-`capacity_` sample, annotates entrants, recomputes the
   /// estimate; grows capacity until the MoE target (or a budget) is hit.

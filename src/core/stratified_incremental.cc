@@ -1,6 +1,7 @@
 #include "core/stratified_incremental.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/engine.h"
 #include "core/optimal_m.h"
@@ -97,12 +98,23 @@ Status StratifiedIncrementalEvaluator::Restore(
 void StratifiedIncrementalEvaluator::SampleStratum(size_t h, uint64_t units) {
   StratumState& state = strata_[h];
   const std::vector<ClusterDraw> batch = state.sampler->NextBatch(units, rng_);
+  // One AnnotateBatch for the whole stratum batch (labels are
+  // order-independent, so this matches per-triple annotation bit for bit)
+  // lets the annotator's concurrent path amortize across draws.
+  std::vector<TripleRef> refs;
+  for (const ClusterDraw& draw : batch) {
+    const uint64_t parent = state.view->ToParent(draw.cluster);
+    for (uint64_t offset : draw.offsets) {
+      refs.push_back(TripleRef{parent, offset});
+    }
+  }
+  std::vector<uint8_t> labels(refs.size());
+  annotator_->AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
+  const uint8_t* cursor = labels.data();
   for (const ClusterDraw& draw : batch) {
     uint64_t correct = 0;
-    for (uint64_t offset : draw.offsets) {
-      const TripleRef global{state.view->ToParent(draw.cluster), offset};
-      if (annotator_->Annotate(global)) ++correct;
-    }
+    for (size_t j = 0; j < draw.offsets.size(); ++j) correct += cursor[j];
+    cursor += draw.offsets.size();
     state.stats.Add(static_cast<double>(correct) /
                     static_cast<double>(draw.offsets.size()));
   }

@@ -170,17 +170,22 @@ Result<std::vector<CampaignTrace>> ReadTraceJson(const std::string& path) {
   const std::string text = buffer.str();
 
   KGACC_ASSIGN_OR_RETURN(const JsonValue document, JsonValue::Parse(text));
+  return ParseTraceJson(document, path);
+}
+
+Result<std::vector<CampaignTrace>> ParseTraceJson(const JsonValue& document,
+                                                  const std::string& context) {
   KGACC_ASSIGN_OR_RETURN(const std::string schema,
                          document.GetString("schema"));
   if (schema != kSchema) {
     return Status::InvalidArgument(
-        StrFormat("'%s': unsupported schema '%s' (want %s)", path.c_str(),
+        StrFormat("'%s': unsupported schema '%s' (want %s)", context.c_str(),
                   schema.c_str(), kSchema));
   }
   const JsonValue* campaigns = document.Find("campaigns");
   if (campaigns == nullptr || !campaigns->is_array()) {
     return Status::InvalidArgument(
-        StrFormat("'%s': missing campaigns array", path.c_str()));
+        StrFormat("'%s': missing campaigns array", context.c_str()));
   }
   std::vector<CampaignTrace> traces;
   traces.reserve(campaigns->AsArray().size());
@@ -192,8 +197,8 @@ Result<std::vector<CampaignTrace>> ReadTraceJson(const std::string& path) {
     const JsonValue* rounds = entry.Find("rounds");
     if (rounds == nullptr || !rounds->is_array()) {
       return Status::InvalidArgument(
-          StrFormat("'%s': campaign '%s' missing rounds array", path.c_str(),
-                    trace.design.c_str()));
+          StrFormat("'%s': campaign '%s' missing rounds array",
+                    context.c_str(), trace.design.c_str()));
     }
     trace.rounds.reserve(rounds->AsArray().size());
     for (const JsonValue& row : rounds->AsArray()) {

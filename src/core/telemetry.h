@@ -110,4 +110,12 @@ Status WriteTraceJson(
 /// ValidateTrace on each returned trace for those.
 Result<std::vector<CampaignTrace>> ReadTraceJson(const std::string& path);
 
+class JsonValue;  // util/json.h
+
+/// Same, over an already-parsed JSON document (callers that dispatch on the
+/// "schema" field can parse once and hand the document over; `context`
+/// labels error messages, typically the file path).
+Result<std::vector<CampaignTrace>> ParseTraceJson(const JsonValue& document,
+                                                  const std::string& context);
+
 }  // namespace kgacc

@@ -1,6 +1,7 @@
 #include "labels/annotator.h"
 
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace kgacc {
 
@@ -9,6 +10,11 @@ namespace {
 /// Batches below this size are cheaper to label sequentially than to shard
 /// across the pool.
 constexpr size_t kParallelBatchThreshold = 1024;
+
+/// Stream salt separating the annotator's noise hash from every other
+/// consumer of HashCombine on (cluster, offset) — in particular the
+/// synthetic oracles, which hash the same coordinates under the user's seed.
+constexpr uint64_t kNoiseStream = 0x6e6f697365ULL;  // "noise"
 
 }  // namespace
 
@@ -39,26 +45,48 @@ SimulatedAnnotator::SimulatedAnnotator(const TruthOracle* oracle,
     : oracle_(oracle),
       cost_model_(cost_model),
       options_(options),
-      rng_(options.seed) {
+      noise_seed_(Mix64(options.seed ^ kNoiseStream)),
+      cache_(options.annotation_shards > 0
+                 ? static_cast<size_t>(options.annotation_shards)
+                 : ShardedAnnotationCache::kDefaultShards) {
   KGACC_CHECK(oracle_ != nullptr);
   KGACC_CHECK(options_.noise_rate >= 0.0 && options_.noise_rate <= 1.0);
 }
 
-bool SimulatedAnnotator::Annotate(const TripleRef& ref) {
-  auto cached = cached_labels_.find(ref);
-  if (cached != cached_labels_.end()) return cached->second != 0;
+bool SimulatedAnnotator::NoiseFlip(const TripleRef& ref) const {
+  return ToUnitDouble(HashCombine(noise_seed_, ref.cluster, ref.offset)) <
+         options_.noise_rate;
+}
 
-  if (identified_clusters_.insert(ref.cluster).second) {
-    ++ledger_.entities_identified;
-  }
-  ++ledger_.triples_annotated;
-
+uint8_t SimulatedAnnotator::AnnotateInShard(
+    ShardedAnnotationCache::Shard& shard, const TripleRef& ref) {
+  const auto [it, inserted] = shard.labels.try_emplace(ref, uint8_t{0});
+  if (!inserted) return it->second;
+  if (shard.clusters.insert(ref.cluster).second) ++shard.entities_identified;
+  ++shard.triples_annotated;
   bool label = oracle_->IsCorrect(ref);
-  if (options_.noise_rate > 0.0 && rng_.Bernoulli(options_.noise_rate)) {
-    label = !label;
+  if (options_.noise_rate > 0.0 && NoiseFlip(ref)) label = !label;
+  it->second = label ? 1 : 0;
+  return it->second;
+}
+
+bool SimulatedAnnotator::Annotate(const TripleRef& ref) {
+  ShardedAnnotationCache::Shard& shard = cache_.ShardFor(ref.cluster);
+  const uint64_t entities_before = shard.entities_identified;
+  const uint64_t triples_before = shard.triples_annotated;
+  const uint8_t label = AnnotateInShard(shard, ref);
+  // Keep the session ledger exact without an O(shards) reduce per triple.
+  ledger_.entities_identified += shard.entities_identified - entities_before;
+  ledger_.triples_annotated += shard.triples_annotated - triples_before;
+  return label != 0;
+}
+
+ThreadPool* SimulatedAnnotator::PoolForBatch() {
+  if (external_pool_ != nullptr) return external_pool_;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.annotation_threads);
   }
-  cached_labels_.emplace(ref, label ? 1 : 0);
-  return label;
+  return pool_.get();
 }
 
 void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
@@ -66,58 +94,51 @@ void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
   const size_t n = refs.size();
   if (n == 0) return;
 
-  // Sharded pass: precompute oracle labels for cache misses in parallel.
-  // Safe because the cache is only read here, the oracle is a pure function
-  // of the ref, and noise (which consumes the sequential rng stream) is
-  // applied later, in the bookkeeping pass.
-  std::vector<uint8_t> precomputed;
   if (options_.annotation_threads > 1 && n >= kParallelBatchThreshold) {
-    if (pool_ == nullptr) {
-      pool_ = std::make_unique<ThreadPool>(options_.annotation_threads);
-    }
-    precomputed.resize(n);
-    const size_t shards = static_cast<size_t>(pool_->size());
-    // Contiguous block per shard: disjoint cache lines of `precomputed` and
-    // sequential reads of `refs` (interleaved striding would false-share).
-    pool_->ParallelFor(static_cast<int>(shards), [&](int shard) {
-      const size_t begin = n * static_cast<size_t>(shard) / shards;
-      const size_t end = n * (static_cast<size_t>(shard) + 1) / shards;
+    ThreadPool* pool = PoolForBatch();
+    const size_t workers = static_cast<size_t>(options_.annotation_threads);
+
+    // Phase 1 (block-partitioned): precompute shard routes so phase 2's
+    // ownership filter is a cheap sequential scan of one word per ref.
+    shard_ids_.resize(n);
+    pool->ParallelFor(static_cast<int>(workers), [&](int w) {
+      const size_t begin = n * static_cast<size_t>(w) / workers;
+      const size_t end = n * (static_cast<size_t>(w) + 1) / workers;
       for (size_t i = begin; i < end; ++i) {
-        if (cached_labels_.find(refs[i]) == cached_labels_.end()) {
-          precomputed[i] = oracle_->IsCorrect(refs[i]) ? 1 : 0;
-        }
+        shard_ids_[i] = static_cast<uint32_t>(cache_.ShardOf(refs[i].cluster));
       }
     });
+
+    // Phase 2 (shard-partitioned): worker w handles exactly the shards with
+    // index ≡ w (mod workers), scanning the whole batch and claiming its own
+    // refs. Each shard — its label map, cluster set and accumulators — is
+    // touched by one worker, so the entire lookup/bookkeeping pass runs
+    // without locks or a serial merge; order within a shard doesn't matter
+    // because labels are order-independent (pure oracle + per-triple noise)
+    // and the books count set cardinalities.
+    pool->ParallelFor(static_cast<int>(workers), [&](int w) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t s = shard_ids_[i];
+        if (s % workers != static_cast<size_t>(w)) continue;
+        out[i] = AnnotateInShard(cache_.shard(s), refs[i]);
+      }
+    });
+
+    // Per-shard accumulators reduced once per batch.
+    ledger_ = cache_.Totals();
+    return;
   }
 
-  // Bookkeeping pass, in batch order: one try_emplace probe per triple
-  // (Annotate pays a find plus an emplace), ledger charges and noise flips in
-  // exactly the per-triple order.
-  cached_labels_.reserve(cached_labels_.size() + n);
+  // Sequential fast path: one try_emplace probe per triple (Annotate pays a
+  // delta computation per call on top).
   for (size_t i = 0; i < n; ++i) {
-    const TripleRef& ref = refs[i];
-    const auto [it, inserted] = cached_labels_.try_emplace(ref, uint8_t{0});
-    if (!inserted) {
-      out[i] = it->second;
-      continue;
-    }
-    if (identified_clusters_.insert(ref.cluster).second) {
-      ++ledger_.entities_identified;
-    }
-    ++ledger_.triples_annotated;
-    bool label = precomputed.empty() ? oracle_->IsCorrect(ref)
-                                     : precomputed[i] != 0;
-    if (options_.noise_rate > 0.0 && rng_.Bernoulli(options_.noise_rate)) {
-      label = !label;
-    }
-    it->second = label ? 1 : 0;
-    out[i] = it->second;
+    out[i] = AnnotateInShard(cache_.ShardFor(refs[i].cluster), refs[i]);
   }
+  ledger_ = cache_.Totals();
 }
 
 void SimulatedAnnotator::Reset() {
-  identified_clusters_.clear();
-  cached_labels_.clear();
+  cache_.Clear();
   ledger_ = AnnotationLedger{};
 }
 

@@ -3,14 +3,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cost/cost_model.h"
 #include "cost/task.h"
 #include "labels/truth_oracle.h"
-#include "util/rng.h"
+#include "util/sharded_cache.h"
 #include "util/thread_pool.h"
 
 namespace kgacc {
@@ -59,15 +57,20 @@ class Annotator {
 ///    re-annotating an already-annotated triple returns the cached label for
 ///    free (set semantics of G').
 ///
-/// Optional label noise flips each *first* annotation with probability
-/// `noise_rate`, modelling imperfect annotators; cached labels stay stable,
-/// as a human task-force would reuse its recorded answer.
+/// Optional label noise flips each annotation with probability `noise_rate`.
+/// The flip is a **deterministic per-triple stream** — a pure hash of
+/// (seed, cluster, offset) — not a draw from a sequential generator, so a
+/// triple's label depends only on the triple and the seed, never on how many
+/// triples were annotated before it (a human task-force likewise records one
+/// answer per fact, not per visit).
 ///
-/// AnnotateBatch is specialized: one hash probe per triple instead of two,
-/// and — when `annotation_threads` > 1 — a sharded thread-pooled pass that
-/// precomputes oracle labels for cache misses in parallel before the
-/// sequential bookkeeping pass. Both paths are bit-identical to the
-/// per-triple path (same labels, ledger, and noise stream).
+/// That order-independence is the annotator's determinism contract: labels,
+/// ledger and cost are pure functions of the *set* of triples annotated so
+/// far. It is what makes the concurrent batch path exact — state lives in a
+/// ShardedAnnotationCache keyed by cluster, each worker owns a disjoint set
+/// of shards (no locks, no serial merge), per-shard effort accumulators are
+/// reduced once per batch, and results are bit-identical for every value of
+/// `annotation_threads`.
 class SimulatedAnnotator : public Annotator {
  public:
   struct Options {
@@ -77,6 +80,11 @@ class SimulatedAnnotator : public Annotator {
     /// Worker threads for the sharded batch path; <= 1 disables it. Only
     /// large batches use the pool (small ones are faster sequentially).
     int annotation_threads = 0;
+
+    /// Shard count of the annotation cache (rounded up to a power of two);
+    /// 0 selects ShardedAnnotationCache::kDefaultShards. Never affects
+    /// results, only how the concurrent batch path partitions work.
+    int annotation_shards = 0;
   };
 
   SimulatedAnnotator(const TruthOracle* oracle, const CostModel& cost_model);
@@ -92,15 +100,33 @@ class SimulatedAnnotator : public Annotator {
   /// annotation campaign, e.g. the from-scratch baseline on an evolved KG).
   void Reset();
 
+  /// Borrows an external worker pool for the parallel batch path instead of
+  /// lazily creating one (an AnnotatorPool shares one pool across members).
+  /// Pass nullptr to return to the owned pool. The pool must outlive all
+  /// AnnotateBatch calls and must have been created with >= 1 threads.
+  void UseThreadPool(ThreadPool* pool) { external_pool_ = pool; }
+
  private:
+  /// The one lookup/bookkeeping step, shared by every path. Touches only
+  /// `shard` (the ref's own shard), so concurrent calls on distinct shards
+  /// are race-free by construction.
+  uint8_t AnnotateInShard(ShardedAnnotationCache::Shard& shard,
+                          const TripleRef& ref);
+
+  /// The deterministic per-triple noise stream.
+  bool NoiseFlip(const TripleRef& ref) const;
+
+  ThreadPool* PoolForBatch();
+
   const TruthOracle* oracle_;
   CostModel cost_model_;
   Options options_;
-  Rng rng_;
-  std::unordered_set<uint64_t> identified_clusters_;
-  std::unordered_map<TripleRef, uint8_t, TripleRefHash> cached_labels_;
+  uint64_t noise_seed_;
+  ShardedAnnotationCache cache_;
   AnnotationLedger ledger_;
+  std::vector<uint32_t> shard_ids_;   // batch scratch, reused across batches.
   std::unique_ptr<ThreadPool> pool_;  // lazily created.
+  ThreadPool* external_pool_ = nullptr;
 };
 
 }  // namespace kgacc

@@ -3,8 +3,16 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace kgacc {
+
+namespace {
+
+/// Vote batches below this size are cheaper to count sequentially.
+constexpr size_t kParallelVoteThreshold = 1024;
+
+}  // namespace
 
 AnnotatorPool::AnnotatorPool(const TruthOracle* oracle,
                              const CostModel& cost_model, Options options)
@@ -12,32 +20,71 @@ AnnotatorPool::AnnotatorPool(const TruthOracle* oracle,
   KGACC_CHECK(options_.num_annotators >= 1);
   KGACC_CHECK(options_.num_annotators % 2 == 1)
       << "use an odd number of annotators so majority votes cannot tie";
+  if (options_.annotation_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.annotation_threads);
+  }
   members_.reserve(options_.num_annotators);
   for (uint64_t i = 0; i < options_.num_annotators; ++i) {
     members_.push_back(std::make_unique<SimulatedAnnotator>(
         oracle, cost_model,
         SimulatedAnnotator::Options{
             .noise_rate = options_.noise_rate,
-            .seed = HashCombine(options_.seed, i, 0xabcdULL)}));
+            .seed = HashCombine(options_.seed, i, 0xabcdULL),
+            .annotation_threads = options_.annotation_threads}));
+    // One worker pool serves every member's sharded batch path (members
+    // annotate one after another; each is internally parallel).
+    if (pool_ != nullptr) members_.back()->UseThreadPool(pool_.get());
   }
+  member_labels_.resize(members_.size());
+}
+
+void AnnotatorPool::RefreshLedger() {
+  ledger_ = AnnotationLedger{};
+  for (const auto& member : members_) ledger_ += member->ledger();
 }
 
 bool AnnotatorPool::Annotate(const TripleRef& ref) {
-  auto cached = majority_cache_.find(ref);
-  if (cached != majority_cache_.end()) return cached->second != 0;
-
+  // No majority cache needed: members cache internally (re-asking them is
+  // free and stable), and the vote over their deterministic labels is itself
+  // a pure function of the triple.
   uint64_t votes_true = 0;
   for (const auto& member : members_) {
     if (member->Annotate(ref)) ++votes_true;
   }
-  const bool majority = votes_true * 2 > members_.size();
+  RefreshLedger();
+  return votes_true * 2 > members_.size();
+}
 
-  // Aggregate the pool ledger from the members (they dedupe internally).
-  ledger_ = AnnotationLedger{};
-  for (const auto& member : members_) ledger_ += member->ledger();
+void AnnotatorPool::AnnotateBatch(std::span<const TripleRef> refs,
+                                  uint8_t* out) {
+  const size_t n = refs.size();
+  if (n == 0) return;
 
-  majority_cache_.emplace(ref, majority ? 1 : 0);
-  return majority;
+  for (size_t k = 0; k < members_.size(); ++k) {
+    member_labels_[k].resize(n);
+    members_[k]->AnnotateBatch(refs, member_labels_[k].data());
+  }
+
+  // Vote pass: independent per triple, so a contiguous block per worker.
+  const size_t majority = members_.size() / 2 + 1;
+  const auto vote_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      size_t votes_true = 0;
+      for (const auto& labels : member_labels_) votes_true += labels[i];
+      out[i] = votes_true >= majority ? 1 : 0;
+    }
+  };
+  if (pool_ != nullptr && n >= kParallelVoteThreshold) {
+    const size_t workers = static_cast<size_t>(options_.annotation_threads);
+    pool_->ParallelFor(static_cast<int>(workers), [&](int w) {
+      vote_range(n * static_cast<size_t>(w) / workers,
+                 n * (static_cast<size_t>(w) + 1) / workers);
+    });
+  } else {
+    vote_range(0, n);
+  }
+
+  RefreshLedger();  // member ledgers reduced once per batch.
 }
 
 double AnnotatorPool::EffectiveNoiseRate() const {

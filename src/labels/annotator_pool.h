@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "labels/annotator.h"
@@ -19,18 +20,32 @@ namespace kgacc {
 /// flip rate of the majority of k annotators with individual noise p is
 ///   sum_{j > k/2} C(k,j) p^j (1-p)^(k-j),
 /// e.g. three annotators at 10% noise -> 2.8% effective noise.
+///
+/// Each member draws its noise from its own deterministic per-triple stream
+/// (seeded per member), so a member's vote on a triple — and therefore the
+/// majority — depends only on the triple, never on annotation order or
+/// concurrency. AnnotateBatch fans the work across a shared worker pool:
+/// members annotate through their sharded concurrent path one after another,
+/// then the vote pass runs block-parallel over the batch; the pool ledger is
+/// reduced from the members once per batch. Results are bit-identical for
+/// every value of `annotation_threads`.
 class AnnotatorPool : public Annotator {
  public:
   struct Options {
     uint64_t num_annotators = 3;  ///< must be odd (no tie-breaking needed).
     double noise_rate = 0.1;      ///< each member's individual flip rate.
     uint64_t seed = 0xc0ffee;
+
+    /// Worker threads shared by the members' sharded batch paths and the
+    /// majority-vote pass; <= 1 keeps everything sequential.
+    int annotation_threads = 0;
   };
 
   AnnotatorPool(const TruthOracle* oracle, const CostModel& cost_model,
                 Options options);
 
   bool Annotate(const TripleRef& ref) override;
+  void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out) override;
   const AnnotationLedger& ledger() const override { return ledger_; }
   const CostModel& cost_model() const override { return cost_model_; }
 
@@ -40,10 +55,15 @@ class AnnotatorPool : public Annotator {
   uint64_t num_annotators() const { return members_.size(); }
 
  private:
+  /// Re-derives the pool ledger from the members (they dedupe internally);
+  /// called once per Annotate/AnnotateBatch, not per triple.
+  void RefreshLedger();
+
   CostModel cost_model_;
   Options options_;
   std::vector<std::unique_ptr<SimulatedAnnotator>> members_;
-  std::unordered_map<TripleRef, uint8_t, TripleRefHash> majority_cache_;
+  std::vector<std::vector<uint8_t>> member_labels_;  // batch scratch.
+  std::unique_ptr<ThreadPool> pool_;  // shared across members; lazily created.
   AnnotationLedger ledger_;
 };
 

@@ -1,0 +1,53 @@
+#include "util/sharded_cache.h"
+
+#include "util/rng.h"
+
+namespace kgacc {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedAnnotationCache::ShardedAnnotationCache(size_t num_shards) {
+  const size_t n = RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards);
+  shards_.resize(n);
+  mask_ = n - 1;
+}
+
+size_t ShardedAnnotationCache::ShardOf(uint64_t cluster) const {
+  // Mix so that dense cluster-id ranges (the common case: ids 0..N-1) spread
+  // across shards instead of striping.
+  return static_cast<size_t>(Mix64(cluster) & mask_);
+}
+
+AnnotationLedger ShardedAnnotationCache::Totals() const {
+  AnnotationLedger totals;
+  for (const Shard& shard : shards_) {
+    totals.entities_identified += shard.entities_identified;
+    totals.triples_annotated += shard.triples_annotated;
+  }
+  return totals;
+}
+
+uint64_t ShardedAnnotationCache::NumCachedLabels() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) n += shard.labels.size();
+  return n;
+}
+
+void ShardedAnnotationCache::Clear() {
+  for (Shard& shard : shards_) {
+    shard.labels.clear();
+    shard.clusters.clear();
+    shard.entities_identified = 0;
+    shard.triples_annotated = 0;
+  }
+}
+
+}  // namespace kgacc

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "kg/triple.h"
+
+namespace kgacc {
+
+/// Label cache + cost books of an annotation session, sharded **by cluster
+/// id** so the whole lookup/bookkeeping pass of a batch parallelizes with no
+/// serial merge:
+///
+///  - every triple of a cluster routes to the same shard, so a shard's
+///    cluster set is exact on its own: distinct-entity counting (the c1 term
+///    of Eq 4) never needs cross-shard reconciliation;
+///  - each shard carries its own effort accumulators; a batch reduces them
+///    once (O(num_shards), not O(batch)) to refresh the session ledger.
+///
+/// Concurrency contract: the cache itself holds no locks. During a parallel
+/// batch each shard must be touched by exactly one worker — shard ownership
+/// is a pure function of the cluster id (ShardOf), so workers partition the
+/// shard space and skip refs outside their partition. Between batches any
+/// thread may read.
+class ShardedAnnotationCache {
+ public:
+  /// Enough shards that typical thread counts (<= 16) divide the work
+  /// evenly, few enough that the per-batch ledger reduce stays negligible.
+  static constexpr size_t kDefaultShards = 64;
+
+  struct Shard {
+    std::unordered_map<TripleRef, uint8_t, TripleRefHash> labels;
+    std::unordered_set<uint64_t> clusters;
+    /// Per-shard effort accumulators (the shard's slice of Eq 4's sets).
+    uint64_t entities_identified = 0;
+    uint64_t triples_annotated = 0;
+  };
+
+  /// `num_shards` is rounded up to a power of two (>= 1).
+  explicit ShardedAnnotationCache(size_t num_shards = kDefaultShards);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard every triple of `cluster` routes to. Pure function, so
+  /// concurrent workers agree on ownership without communicating.
+  size_t ShardOf(uint64_t cluster) const;
+
+  Shard& shard(size_t index) { return shards_[index]; }
+  const Shard& shard(size_t index) const { return shards_[index]; }
+  Shard& ShardFor(uint64_t cluster) { return shards_[ShardOf(cluster)]; }
+
+  /// Reduces the per-shard accumulators into one ledger — the once-per-batch
+  /// merge that replaces per-triple serial bookkeeping.
+  AnnotationLedger Totals() const;
+
+  /// Total cached labels across shards (distinct triples annotated).
+  uint64_t NumCachedLabels() const;
+
+  /// Forgets all labels, identifications and accumulated effort.
+  void Clear();
+
+ private:
+  uint64_t mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace kgacc

@@ -1,0 +1,178 @@
+// The annotation subsystem's determinism contract: evaluation results and
+// telemetry traces are bit-identical for every --annotation_threads value.
+// Labels, ledger and cost are pure functions of the set of triples annotated
+// (stateless per-triple noise, shard-partitioned caches with exact per-shard
+// books), so threading the batch path must never change a campaign's output.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/design_registry.h"
+#include "core/telemetry.h"
+#include "labels/annotator.h"
+#include "labels/annotator_pool.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+using kgacc::testing::MakeTestPopulation;
+using kgacc::testing::TestPopulation;
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+struct CampaignOutput {
+  EvaluationResult result;
+  std::vector<CampaignTrace> traces;
+};
+
+CampaignOutput RunCampaign(const TestPopulation& pop,
+                           const std::string& design, int threads) {
+  EvaluationOptions options;
+  options.seed = 1234;
+  // Large rounds so every campaign's batches clear the parallel threshold
+  // and the concurrent sharded path actually runs when threads > 1.
+  options.batch_units = 2000;
+  options.moe_target = 0.03;
+  TraceRecorder recorder;
+  options.telemetry = &recorder;
+  SimulatedAnnotator annotator(
+      &pop.oracle, kCost,
+      {.noise_rate = 0.1, .seed = 0xfeed, .annotation_threads = threads});
+  CampaignOutput out;
+  const Result<EvaluationResult> run =
+      DesignRegistry::Global().Run(design, pop.population, &annotator, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  out.result = *run;
+  out.traces = recorder.campaigns();
+  return out;
+}
+
+void ExpectBitIdentical(const CampaignOutput& a, const CampaignOutput& b,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  // machine_seconds is wall time and legitimately varies; everything the
+  // evaluation *computed* must match exactly.
+  EXPECT_EQ(a.result.estimate.mean, b.result.estimate.mean);
+  EXPECT_EQ(a.result.estimate.variance_of_mean,
+            b.result.estimate.variance_of_mean);
+  EXPECT_EQ(a.result.estimate.num_units, b.result.estimate.num_units);
+  EXPECT_EQ(a.result.moe, b.result.moe);
+  EXPECT_EQ(a.result.converged, b.result.converged);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.ledger.entities_identified,
+            b.result.ledger.entities_identified);
+  EXPECT_EQ(a.result.ledger.triples_annotated,
+            b.result.ledger.triples_annotated);
+  EXPECT_EQ(a.result.annotation_seconds, b.result.annotation_seconds);
+
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (size_t t = 0; t < a.traces.size(); ++t) {
+    EXPECT_EQ(a.traces[t].design, b.traces[t].design);
+    EXPECT_EQ(a.traces[t].label, b.traces[t].label);
+    EXPECT_EQ(a.traces[t].converged, b.traces[t].converged);
+    ASSERT_EQ(a.traces[t].rounds.size(), b.traces[t].rounds.size());
+    for (size_t r = 0; r < a.traces[t].rounds.size(); ++r) {
+      const CampaignRound& x = a.traces[t].rounds[r];
+      const CampaignRound& y = b.traces[t].rounds[r];
+      EXPECT_EQ(x.round, y.round);
+      EXPECT_EQ(x.cost_seconds, y.cost_seconds);
+      EXPECT_EQ(x.units, y.units);
+      EXPECT_EQ(x.estimate, y.estimate);
+      EXPECT_EQ(x.ci_lower, y.ci_lower);
+      EXPECT_EQ(x.ci_upper, y.ci_upper);
+      EXPECT_EQ(x.moe, y.moe);
+      EXPECT_EQ(x.triples_annotated, y.triples_annotated);
+      EXPECT_EQ(x.entities_identified, y.entities_identified);
+    }
+  }
+}
+
+class DesignDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DesignDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  const TestPopulation pop = MakeTestPopulation(20000, 12, 0.85, 0.2, 31);
+  const CampaignOutput single = RunCampaign(pop, GetParam(), 1);
+  // Sanity: the campaign really did crowd-scale batches.
+  ASSERT_GT(single.result.ledger.triples_annotated, 1024u);
+  for (int threads : {4, 8}) {
+    const CampaignOutput threaded = RunCampaign(pop, GetParam(), threads);
+    ExpectBitIdentical(single, threaded,
+                       std::string(GetParam()) + " threads=" +
+                           std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, DesignDeterminismTest,
+                         ::testing::Values("srs", "twcs", "twcs+strat", "rs",
+                                           "ss"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(AnnotationDeterminismTest, PoolBatchBitIdenticalAcrossThreadCounts) {
+  const TestPopulation pop = MakeTestPopulation(3000, 10, 0.8, 0.2, 32);
+  Rng rng(77);
+  std::vector<TripleRef> refs;
+  for (uint64_t i = 0; i < 30000; ++i) {
+    const uint64_t cluster = rng.UniformIndex(pop.population.NumClusters());
+    refs.push_back(
+        TripleRef{cluster, rng.UniformIndex(pop.population.ClusterSize(cluster))});
+  }
+  const AnnotatorPool::Options base{.num_annotators = 3,
+                                    .noise_rate = 0.2,
+                                    .seed = 0x9001ULL};
+  AnnotatorPool sequential(&pop.oracle, kCost, base);
+  std::vector<uint8_t> expected(refs.size());
+  sequential.AnnotateBatch(std::span<const TripleRef>(refs), expected.data());
+  for (int threads : {4, 8}) {
+    AnnotatorPool::Options options = base;
+    options.annotation_threads = threads;
+    AnnotatorPool threaded(&pop.oracle, kCost, options);
+    std::vector<uint8_t> actual(refs.size());
+    threaded.AnnotateBatch(std::span<const TripleRef>(refs), actual.data());
+    EXPECT_EQ(expected, actual) << "threads=" << threads;
+    EXPECT_EQ(sequential.ledger().entities_identified,
+              threaded.ledger().entities_identified);
+    EXPECT_EQ(sequential.ledger().triples_annotated,
+              threaded.ledger().triples_annotated);
+    EXPECT_EQ(sequential.ElapsedSeconds(), threaded.ElapsedSeconds());
+  }
+}
+
+TEST(AnnotationDeterminismTest, LabelsAreAnnotationOrderIndependent) {
+  // The contract behind everything else: a triple's label depends only on
+  // the triple and the seed, not on what was annotated before it.
+  const TestPopulation pop = MakeTestPopulation(500, 10, 0.8, 0.3, 33);
+  SimulatedAnnotator forward(&pop.oracle, kCost,
+                             {.noise_rate = 0.25, .seed = 42});
+  SimulatedAnnotator backward(&pop.oracle, kCost,
+                              {.noise_rate = 0.25, .seed = 42});
+  std::vector<TripleRef> refs;
+  Rng rng(5);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const uint64_t cluster = rng.UniformIndex(pop.population.NumClusters());
+    refs.push_back(
+        TripleRef{cluster, rng.UniformIndex(pop.population.ClusterSize(cluster))});
+  }
+  std::vector<uint8_t> fwd(refs.size());
+  forward.AnnotateBatch(std::span<const TripleRef>(refs), fwd.data());
+  for (auto it = refs.rbegin(); it != refs.rend(); ++it) backward.Annotate(*it);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    ASSERT_EQ(backward.Annotate(refs[i]), fwd[i] != 0) << "ref " << i;
+  }
+  EXPECT_EQ(forward.ledger().entities_identified,
+            backward.ledger().entities_identified);
+  EXPECT_EQ(forward.ledger().triples_annotated,
+            backward.ledger().triples_annotated);
+}
+
+}  // namespace
+}  // namespace kgacc

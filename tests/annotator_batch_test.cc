@@ -78,8 +78,9 @@ TEST(AnnotateBatchTest, ShardedPathMatchesSequential) {
 }
 
 TEST(AnnotateBatchTest, ShardedPathMatchesSequentialWithNoise) {
-  // The sharded pass precomputes pure oracle labels only; noise flips stay
-  // on the sequential bookkeeping pass, so determinism survives threading.
+  // Noise is a deterministic per-triple stream (pure hash of seed and
+  // triple), so the concurrent sharded pass reproduces the per-triple path
+  // exactly — flips depend on the triple, never on annotation order.
   TestPopulation pop = MakeTestPopulation(2000, 8, 0.8, 0.2, 14);
   ExpectSameAsSequential(
       pop, {.noise_rate = 0.2, .seed = 0xdef, .annotation_threads = 4},
@@ -108,9 +109,10 @@ TEST(AnnotateBatchTest, EmptyBatchIsANoOp) {
   EXPECT_EQ(annotator.ledger().triples_annotated, 0u);
 }
 
-TEST(AnnotateBatchTest, BaseClassFallbackLoopsOverAnnotate) {
-  // AnnotatorPool does not override AnnotateBatch: the default must produce
-  // the same labels and ledger as per-triple calls.
+TEST(AnnotateBatchTest, PoolBatchMatchesPerTripleAnnotate) {
+  // AnnotatorPool's batched vote path must produce the same labels and
+  // ledger as per-triple calls (member labels are order-independent, so the
+  // majority is too).
   TestPopulation pop = MakeTestPopulation(200, 6, 0.8, 0.1, 17);
   const AnnotatorPool::Options pool_options{.num_annotators = 3,
                                             .noise_rate = 0.1,

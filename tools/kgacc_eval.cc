@@ -44,6 +44,8 @@ Evaluation:
   --moe E             margin-of-error target            [0.05]
   --confidence C      confidence level                  [0.95]
   --m N               TWCS second-stage size            [auto]
+  --pilot-size N      twcs+pilot: clusters annotated by the pilot
+                      before the Eq 12 search           [max(min-units, 30)]
   --min-units N       CLT floor on sampling units       [30]
   --wilson            Wilson CI in the SRS stopping rule
   --trace FILE.json   write the per-round campaign trace (estimate, CI
@@ -53,7 +55,9 @@ Annotation:
   --annotators K          majority vote of K annotators     [1]
   --noise P               per-annotator label flip rate     [0]
   --annotation-threads N  sharded batch-annotation threads  [0]
-                          (--annotation_threads also accepted)
+                          (--annotation_threads also accepted; applies to
+                           the single annotator and to --annotators pools;
+                           results are bit-identical for every N)
   --c1 SECONDS            entity identification cost        [45]
   --c2 SECONDS            relationship validation cost      [25]
 
@@ -107,6 +111,11 @@ int RunEval(const FlagParser& flags) {
   options.confidence = flags.GetDouble("confidence", 0.95).ValueOr(0.95);
   options.m = flags.GetUint64("m", 0).ValueOr(0);
   options.min_units = flags.GetUint64("min-units", 30).ValueOr(30);
+  // --pilot-size follows the tool's hyphenated convention; the underscore
+  // spelling is accepted as an alias.
+  options.pilot_size = flags.Has("pilot-size")
+                           ? flags.GetUint64("pilot-size", 0).ValueOr(0)
+                           : flags.GetUint64("pilot_size", 0).ValueOr(0);
   options.seed = seed;
   if (flags.GetBool("wilson", false)) options.srs_ci = CiMethod::kWilson;
 
@@ -128,16 +137,13 @@ int RunEval(const FlagParser& flags) {
           : flags.GetUint64("annotation_threads", 0).ValueOr(0);
   std::unique_ptr<Annotator> annotator;
   if (annotators > 1) {
-    if (annotation_threads > 1) {
-      std::fprintf(stderr,
-                   "warning: --annotation_threads is ignored with "
-                   "--annotators > 1 (the pool annotates sequentially)\n");
-    }
     annotator = std::make_unique<AnnotatorPool>(
         dataset.oracle.get(), cost,
-        AnnotatorPool::Options{.num_annotators = annotators,
-                               .noise_rate = noise,
-                               .seed = seed});
+        AnnotatorPool::Options{
+            .num_annotators = annotators,
+            .noise_rate = noise,
+            .seed = seed,
+            .annotation_threads = static_cast<int>(annotation_threads)});
   } else {
     annotator = std::make_unique<SimulatedAnnotator>(
         dataset.oracle.get(), cost,
@@ -267,9 +273,10 @@ int main(int argc, char** argv) {
   const FlagParser& flags = *parsed;
   const Status valid = flags.Validate(
       {"dataset", "input", "design", "strata", "per-predicate", "moe",
-       "confidence", "m", "min-units", "wilson", "trace", "annotators",
-       "noise", "annotation-threads", "annotation_threads", "c1", "c2",
-       "seed", "list-datasets", "list-designs", "help"});
+       "confidence", "m", "pilot-size", "pilot_size", "min-units", "wilson",
+       "trace", "annotators", "noise", "annotation-threads",
+       "annotation_threads", "c1", "c2", "seed", "list-datasets",
+       "list-designs", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s (see --help)\n", valid.message().c_str());
     return 1;

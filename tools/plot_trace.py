@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Render kgacc-trace-v1 JSON campaign traces to SVG.
+
+Each input file becomes one SVG with a panel per campaign: the accuracy
+estimate (line) with its confidence band, against cumulative annotation
+cost in hours. Standard library only, so the CI bench-smoke job can render
+artifacts without installing anything:
+
+    tools/plot_trace.py BENCH_trace_*.json -o bench-artifacts/
+
+writes BENCH_trace_<design>.svg next to the JSON (or into -o DIR).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Panel geometry.
+WIDTH = 640
+PANEL_H = 220
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 16, 34, 40
+
+# Neutral, colorblind-safe placeholder palette (dark-on-light).
+COLOR_LINE = "#2563eb"   # estimate trajectory.
+COLOR_BAND = "#2563eb"   # CI band (drawn at low opacity).
+COLOR_GRID = "#d4d4d8"
+COLOR_TEXT = "#3f3f46"
+COLOR_FAIL = "#dc2626"   # non-converged marker.
+
+
+def nice_ticks(lo, hi, n=5):
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n)
+    mag = 10 ** int(f"{raw:e}".split("e")[1])
+    for m in (1, 2, 2.5, 5, 10):
+        if raw <= m * mag:
+            step = m * mag
+            break
+    first = step * int(lo / step)
+    ticks = []
+    t = first
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            ticks.append(t)
+        t += step
+    return ticks or [lo, hi]
+
+
+def fmt(value):
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def panel_svg(campaign, index):
+    """SVG fragment for one campaign, translated to its vertical slot."""
+    rounds = campaign.get("rounds", [])
+    if not rounds:
+        return ""
+    xs = [r["cost_seconds"] / 3600.0 for r in rounds]
+    est = [r["estimate"] for r in rounds]
+    lo = [r["ci_lower"] for r in rounds]
+    hi = [r["ci_upper"] for r in rounds]
+
+    x_min, x_max = 0.0, max(xs) or 1.0
+    y_min = min(min(lo), min(est))
+    y_max = max(max(hi), max(est))
+    pad = 0.05 * (y_max - y_min or 1.0)
+    y_min, y_max = y_min - pad, y_max + pad
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = PANEL_H - MARGIN_T - MARGIN_B
+    y0 = index * PANEL_H
+
+    def sx(x):
+        return MARGIN_L + plot_w * (x - x_min) / (x_max - x_min or 1.0)
+
+    def sy(y):
+        return y0 + MARGIN_T + plot_h * (1.0 - (y - y_min) / (y_max - y_min))
+
+    parts = []
+    title = campaign.get("design", "?")
+    label = campaign.get("label", "")
+    if label:
+        title += f" · {label}"
+    converged = campaign.get("converged", False)
+    status = "converged" if converged else "did not converge"
+    status_color = COLOR_TEXT if converged else COLOR_FAIL
+    parts.append(
+        f'<text x="{MARGIN_L}" y="{y0 + 20}" fill="{COLOR_TEXT}" '
+        f'font-size="14" font-weight="600">{title}</text>'
+        f'<text x="{WIDTH - MARGIN_R}" y="{y0 + 20}" fill="{status_color}" '
+        f'font-size="11" text-anchor="end">{status} · '
+        f'{len(rounds)} rounds</text>'
+    )
+
+    # Grid + axis labels.
+    for t in nice_ticks(y_min, y_max, 4):
+        y = sy(t)
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" x2="{WIDTH - MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="{COLOR_GRID}" stroke-width="1"/>'
+            f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" fill="{COLOR_TEXT}" '
+            f'font-size="11" text-anchor="end">{fmt(t)}</text>'
+        )
+    for t in nice_ticks(x_min, x_max, 6):
+        x = sx(t)
+        yb = y0 + MARGIN_T + plot_h
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{yb}" x2="{x:.1f}" y2="{yb + 4}" '
+            f'stroke="{COLOR_TEXT}" stroke-width="1"/>'
+            f'<text x="{x:.1f}" y="{yb + 16}" fill="{COLOR_TEXT}" '
+            f'font-size="11" text-anchor="middle">{fmt(t)}</text>'
+        )
+    parts.append(
+        f'<text x="{MARGIN_L + plot_w / 2}" y="{y0 + PANEL_H - 8}" '
+        f'fill="{COLOR_TEXT}" font-size="11" text-anchor="middle">'
+        f'cumulative annotation cost (hours)</text>'
+    )
+
+    # CI band, then the estimate on top.
+    band = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, hi))
+    band += " " + " ".join(
+        f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(reversed(xs), reversed(lo))
+    )
+    parts.append(
+        f'<polygon points="{band}" fill="{COLOR_BAND}" fill-opacity="0.15"/>'
+    )
+    line = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, est))
+    parts.append(
+        f'<polyline points="{line}" fill="none" stroke="{COLOR_LINE}" '
+        f'stroke-width="2"/>'
+    )
+    # Terminal estimate dot.
+    parts.append(
+        f'<circle cx="{sx(xs[-1]):.1f}" cy="{sy(est[-1]):.1f}" r="3.5" '
+        f'fill="{COLOR_LINE}"/>'
+    )
+    return "".join(parts)
+
+
+def render(doc):
+    campaigns = [c for c in doc.get("campaigns", []) if c.get("rounds")]
+    if not campaigns:
+        return None
+    height = PANEL_H * len(campaigns)
+    body = "".join(panel_svg(c, i) for i, c in enumerate(campaigns))
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}" '
+        f'font-family="system-ui, sans-serif">'
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>'
+        f"{body}</svg>\n"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="kgacc-trace-v1 JSON files")
+    parser.add_argument("-o", "--outdir", default=None,
+                        help="output directory (default: next to each input)")
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.traces:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            failures += 1
+            continue
+        if doc.get("schema") != "kgacc-trace-v1":
+            print(f"{path}: not a kgacc-trace-v1 document, skipping")
+            continue
+        svg = render(doc)
+        if svg is None:
+            print(f"{path}: no campaigns with rounds", file=sys.stderr)
+            failures += 1
+            continue
+        base = os.path.splitext(os.path.basename(path))[0] + ".svg"
+        out = os.path.join(args.outdir or os.path.dirname(path) or ".", base)
+        with open(out, "w") as f:
+            f.write(svg)
+        print(f"{out}: {svg.count('<polyline')} campaigns rendered")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
