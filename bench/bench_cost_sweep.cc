@@ -1,0 +1,162 @@
+// Cost-budget sweep: how estimate quality degrades as the annotation budget
+// shrinks. Runs the same TWCS campaign under a sweep of `max_cost_seconds`
+// budgets (the paper's Section 6 "evaluation under a time budget" framing)
+// and reports, per budget: the cost actually spent, achieved MoE, the
+// estimate, and convergence.
+//
+// Each sweep row is annotated with per-phase machine timings
+// (sample/annotate/estimate/stopping-check) taken as metrics-registry
+// snapshot deltas around the run — the obs subsystem's striped histograms,
+// not extra stopwatches, so the timed path is exactly the production path.
+//
+// Writes BENCH_cost_sweep.json (kgacc-cost-sweep-v1, into
+// $KGACC_BENCH_JSON_DIR when set):
+//
+//   {"schema": "kgacc-cost-sweep-v1",
+//    "design": "twcs",
+//    "sweep": [{"budget_seconds": ..., "cost_seconds": ...,
+//               "estimate": ..., "moe": ..., "units": ..., "rounds": ...,
+//               "converged": true|false,
+//               "phase_seconds": {"sample": ..., "annotate": ...,
+//                                  "estimate": ..., "stopping_check": ...}},
+//              ...]}
+//
+// Invariants the artifact exhibits (and the companion test pins on a small
+// instance): spent cost never exceeds budget by more than one round, and is
+// non-decreasing in the budget; achieved MoE is non-increasing in the
+// budget (more annotation never hurts precision, trial-for-trial).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/design_registry.h"
+#include "kg/cluster_population.h"
+#include "kg/generator.h"
+#include "labels/annotator.h"
+#include "labels/synthetic_oracle.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+struct SweepRow {
+  double budget_seconds = 0.0;
+  double cost_seconds = 0.0;
+  double estimate = 0.0;
+  double moe = 0.0;
+  uint64_t units = 0;
+  uint64_t rounds = 0;
+  bool converged = false;
+  double sample_seconds = 0.0;
+  double annotate_seconds = 0.0;
+  double estimate_seconds = 0.0;
+  double stopping_seconds = 0.0;
+};
+
+double PhaseSum(const obs::MetricsSnapshot& snapshot, const char* name) {
+  const obs::HistogramSnapshot* histogram = snapshot.FindHistogram(name);
+  return histogram != nullptr ? histogram->sum_seconds : 0.0;
+}
+
+int RunSweep() {
+  Rng rng(bench::Seed());
+  std::vector<uint32_t> sizes =
+      GenerateLogNormalSizes(100000, 1.55, 1.1, 2000, rng);
+  PerClusterBernoulliOracle oracle(0x5eed);
+  for (size_t i = 0; i < sizes.size(); ++i) oracle.Append(0.85);
+  const ClusterPopulation population(std::move(sizes));
+
+  // Budgets from starved (a couple of rounds) to unconstrained; 0 = none.
+  const std::vector<double> budgets = {25000,  50000,  100000, 200000,
+                                       400000, 800000, 0};
+
+  obs::EnableMetrics(true);
+  std::vector<SweepRow> rows;
+  bench::Banner("TWCS under an annotation-cost budget (c1=45s, c2=25s)");
+  std::printf("%12s %12s %10s %8s %7s %7s %5s %34s\n", "budget", "spent",
+              "estimate", "MoE", "units", "rounds", "conv",
+              "machine phases (sam/ann/est/stop ms)");
+  bench::Rule();
+  for (const double budget : budgets) {
+    EvaluationOptions options;
+    options.seed = bench::Seed();
+    options.moe_target = 0.01;  // tight, so the budget is what binds.
+    options.max_cost_seconds = budget;
+    SimulatedAnnotator annotator(&oracle, kCost);
+
+    obs::MetricsRegistry::Global().ResetValues();
+    const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+        "twcs", population, &annotator, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+
+    SweepRow row;
+    row.budget_seconds = budget;
+    row.cost_seconds = run->annotation_seconds;
+    row.estimate = run->estimate.mean;
+    row.moe = run->moe;
+    row.units = run->estimate.num_units;
+    row.rounds = run->rounds;
+    row.converged = run->converged;
+    row.sample_seconds = PhaseSum(snapshot, "engine.round.sample_seconds");
+    row.annotate_seconds = PhaseSum(snapshot, "engine.round.annotate_seconds");
+    row.estimate_seconds = PhaseSum(snapshot, "engine.round.estimate_seconds");
+    row.stopping_seconds =
+        PhaseSum(snapshot, "engine.round.stopping_check_seconds");
+    rows.push_back(row);
+
+    std::printf("%12s %12.0f %9.2f%% %7.2f%% %7llu %7llu %5s %10.1f/%.1f/%.1f/%.1f\n",
+                budget > 0 ? StrFormat("%.0f", budget).c_str() : "none",
+                row.cost_seconds, row.estimate * 100.0, row.moe * 100.0,
+                static_cast<unsigned long long>(row.units),
+                static_cast<unsigned long long>(row.rounds),
+                row.converged ? "yes" : "no", row.sample_seconds * 1e3,
+                row.annotate_seconds * 1e3, row.estimate_seconds * 1e3,
+                row.stopping_seconds * 1e3);
+  }
+  obs::EnableMetrics(false);
+
+  const std::string path = bench::ArtifactPath("BENCH_cost_sweep.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"kgacc-cost-sweep-v1\",\n");
+  std::fprintf(f, "  \"design\": \"twcs\",\n  \"sweep\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"budget_seconds\": %.17g, \"cost_seconds\": %.17g, "
+        "\"estimate\": %.17g, \"moe\": %.17g, \"units\": %llu, "
+        "\"rounds\": %llu, \"converged\": %s, "
+        "\"phase_seconds\": {\"sample\": %.17g, \"annotate\": %.17g, "
+        "\"estimate\": %.17g, \"stopping_check\": %.17g}}%s\n",
+        row.budget_seconds, row.cost_seconds, row.estimate, row.moe,
+        static_cast<unsigned long long>(row.units),
+        static_cast<unsigned long long>(row.rounds),
+        row.converged ? "true" : "false", row.sample_seconds,
+        row.annotate_seconds, row.estimate_seconds, row.stopping_seconds,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\ncost sweep artifact: %s (%zu budgets)\n", path.c_str(),
+              rows.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgacc
+
+int main() { return kgacc::RunSweep(); }

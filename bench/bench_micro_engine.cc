@@ -32,6 +32,7 @@
 #include "kg/generator.h"
 #include "labels/annotator.h"
 #include "labels/synthetic_oracle.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -189,22 +190,70 @@ void WriteSweepArtifact() {
 
 namespace {
 
+/// Fastest observed per-campaign time with metrics collection off/on; the
+/// minimum is robust against scheduler noise on shared runners.
+struct OverheadCells {
+  double baseline_seconds = 0.0;
+  double metrics_seconds = 0.0;
+};
+
+OverheadCells& Overhead() {
+  static auto* cells = new OverheadCells();
+  return *cells;
+}
+
 void BM_EngineCampaign(benchmark::State& state) {
   // One full TWCS campaign per iteration, end to end through the registry.
+  // Metrics collection is off (the process default), so this is also the
+  // baseline of the instrumentation-overhead artifact: the same binary, the
+  // same sites, just the disabled branch of each one.
   const Workload workload = MakeWorkload(1);
   EvaluationOptions options;
   options.seed = 7;
   uint64_t triples = 0;
+  double best = 0.0;
   for (auto _ : state) {
     SimulatedAnnotator annotator(&workload.oracle, kCost);
+    WallTimer timer;
     const Result<EvaluationResult> run = DesignRegistry::Global().Run(
         "twcs", workload.population, &annotator, options);
+    const double elapsed = timer.ElapsedSeconds();
+    if (best == 0.0 || elapsed < best) best = elapsed;
     benchmark::DoNotOptimize(run);
     triples += run->ledger.triples_annotated;
   }
   state.SetItemsProcessed(static_cast<int64_t>(triples));
+  if (best > 0.0) Overhead().baseline_seconds = best;
 }
 BENCHMARK(BM_EngineCampaign);
+
+void BM_EngineCampaignMetrics(benchmark::State& state) {
+  // The identical campaign with metrics collection enabled: every phase
+  // span records to its histogram and every counter site accumulates. The
+  // delta to BM_EngineCampaign is the live instrumentation overhead, which
+  // the kgacc-metrics-bench-v1 artifact reports and CI budgets.
+  const Workload workload = MakeWorkload(1);
+  EvaluationOptions options;
+  options.seed = 7;
+  uint64_t triples = 0;
+  double best = 0.0;
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().ResetValues();
+  for (auto _ : state) {
+    SimulatedAnnotator annotator(&workload.oracle, kCost);
+    WallTimer timer;
+    const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+        "twcs", workload.population, &annotator, options);
+    const double elapsed = timer.ElapsedSeconds();
+    if (best == 0.0 || elapsed < best) best = elapsed;
+    benchmark::DoNotOptimize(run);
+    triples += run->ledger.triples_annotated;
+  }
+  obs::EnableMetrics(false);
+  state.SetItemsProcessed(static_cast<int64_t>(triples));
+  if (best > 0.0) Overhead().metrics_seconds = best;
+}
+BENCHMARK(BM_EngineCampaignMetrics);
 
 void BM_EngineCampaignTraced(benchmark::State& state) {
   // The same campaign with a per-round TraceRecorder attached: the delta to
@@ -229,6 +278,34 @@ void BM_EngineCampaignTraced(benchmark::State& state) {
 BENCHMARK(BM_EngineCampaignTraced);
 
 }  // namespace
+
+/// Writes the kgacc-metrics-bench-v1 instrumentation-overhead artifact when
+/// both BM_EngineCampaign and BM_EngineCampaignMetrics ran (a filter
+/// selecting only one of them writes nothing). kgacc_trace_check gates
+/// `overhead_fraction` with --max-metrics-overhead.
+void WriteMetricsOverheadArtifact() {
+  const OverheadCells& cells = Overhead();
+  if (cells.baseline_seconds <= 0.0 || cells.metrics_seconds <= 0.0) return;
+  const double overhead =
+      cells.metrics_seconds / cells.baseline_seconds - 1.0;
+  const std::string path =
+      bench::ArtifactPath("BENCH_metrics_overhead.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": \"kgacc-metrics-bench-v1\",\n"
+               "  \"baseline_seconds\": %.17g,\n"
+               "  \"metrics_seconds\": %.17g,\n"
+               "  \"overhead_fraction\": %.17g\n}\n",
+               cells.baseline_seconds, cells.metrics_seconds, overhead);
+  std::fclose(f);
+  std::printf("metrics overhead artifact: %s (%.2f%%)\n", path.c_str(),
+              overhead * 100.0);
+}
+
 }  // namespace kgacc
 
 int main(int argc, char** argv) {
@@ -237,5 +314,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   kgacc::WriteSweepArtifact();
+  kgacc::WriteMetricsOverheadArtifact();
   return 0;
 }

@@ -2,11 +2,41 @@
 
 #include <span>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/confidence.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace kgacc {
+
+namespace {
+
+/// Per-phase latency histograms for the campaign round loop. Resolved once;
+/// the registry keeps the pointers valid for the process lifetime.
+struct EngineMetrics {
+  obs::Histogram* sample = obs::MetricsRegistry::Global().GetHistogram(
+      "engine.round.sample_seconds");
+  obs::Histogram* annotate = obs::MetricsRegistry::Global().GetHistogram(
+      "engine.round.annotate_seconds");
+  obs::Histogram* estimate = obs::MetricsRegistry::Global().GetHistogram(
+      "engine.round.estimate_seconds");
+  obs::Histogram* stopping = obs::MetricsRegistry::Global().GetHistogram(
+      "engine.round.stopping_check_seconds");
+  obs::Histogram* campaign = obs::MetricsRegistry::Global().GetHistogram(
+      "engine.campaign.run_seconds");
+  obs::Counter* rounds =
+      obs::MetricsRegistry::Global().GetCounter("engine.rounds");
+  obs::Counter* campaigns =
+      obs::MetricsRegistry::Global().GetCounter("engine.campaigns");
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 StoppingPolicy::StoppingPolicy(const EvaluationOptions& options)
     : options_(options) {
@@ -121,34 +151,55 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
     telemetry->BeginCampaign(config.design_name, config.telemetry_label);
   }
 
+  // The ScopedSpans below are purely observational (histograms + trace
+  // events); `sample_timer` stays the product-level source of
+  // machine_seconds so KGACC_NO_METRICS builds report identical results.
+  Metrics().campaigns->Add(1);
+  obs::ScopedSpan campaign_span("engine.campaign", Metrics().campaign);
+
   std::vector<TripleRef> refs;
   std::vector<uint8_t> labels;
   while (true) {
     ++result.rounds;
+    Metrics().rounds->Add(1);
     WallTimer sample_timer;
-    const std::vector<SampleUnit> batch =
-        config.sampler->NextBatch(options_.batch_units, rng);
+    std::vector<SampleUnit> batch;
+    {
+      obs::ScopedSpan span("engine.round.sample", Metrics().sample);
+      batch = config.sampler->NextBatch(options_.batch_units, rng);
+    }
     result.machine_seconds += sample_timer.ElapsedSeconds();
 
-    refs.clear();
-    for (const SampleUnit& unit : batch) {
-      for (uint64_t offset : unit.offsets) {
-        refs.push_back(TripleRef{unit.cluster, offset});
+    {
+      obs::ScopedSpan span("engine.round.annotate", Metrics().annotate);
+      refs.clear();
+      for (const SampleUnit& unit : batch) {
+        for (uint64_t offset : unit.offsets) {
+          refs.push_back(TripleRef{unit.cluster, offset});
+        }
       }
-    }
-    labels.resize(refs.size());
-    annotator_->AnnotateBatch(std::span<const TripleRef>(refs), labels.data());
-
-    const uint8_t* cursor = labels.data();
-    for (const SampleUnit& unit : batch) {
-      config.estimator->AddUnit(unit, cursor);
-      cursor += unit.offsets.size();
+      labels.resize(refs.size());
+      annotator_->AnnotateBatch(std::span<const TripleRef>(refs),
+                                labels.data());
     }
 
-    const Estimate estimate = config.estimator->Current();
-    const double moe = policy.MarginOfError(*config.estimator);
+    Estimate estimate;
+    double moe = 0.0;
+    {
+      obs::ScopedSpan span("engine.round.estimate", Metrics().estimate);
+      const uint8_t* cursor = labels.data();
+      for (const SampleUnit& unit : batch) {
+        config.estimator->AddUnit(unit, cursor);
+        cursor += unit.offsets.size();
+      }
+      estimate = config.estimator->Current();
+      moe = policy.MarginOfError(*config.estimator);
+    }
     result.estimate = estimate;
     result.moe = moe;
+
+    obs::ScopedSpan stopping_span("engine.round.stopping_check",
+                                  Metrics().stopping);
     if (telemetry != nullptr) {
       telemetry->OnRound(MakeCampaignRound(
           result.rounds, estimate, moe, policy.Interval(*config.estimator),
@@ -157,6 +208,7 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
     const StopDecision decision = policy.Check(
         estimate, moe, annotator_->ElapsedSeconds() - start_seconds,
         batch.empty() && config.sampler->Exhaustible());
+    stopping_span.Finish();
     if (decision.stop) {
       result.converged = decision.converged;
       break;

@@ -1,9 +1,31 @@
 #include "core/incremental_driver.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace kgacc {
+
+namespace {
+
+struct DriverMetrics {
+  obs::Histogram* initialize = obs::MetricsRegistry::Global().GetHistogram(
+      "incremental.driver.initialize_seconds");
+  obs::Histogram* apply = obs::MetricsRegistry::Global().GetHistogram(
+      "incremental.driver.apply_update_seconds");
+  obs::Counter* updates = obs::MetricsRegistry::Global().GetCounter(
+      "incremental.driver.updates_applied");
+  obs::Counter* clusters = obs::MetricsRegistry::Global().GetCounter(
+      "incremental.driver.clusters_added");
+};
+
+DriverMetrics& Metrics() {
+  static DriverMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 IncrementalCampaignDriver::IncrementalCampaignDriver(
     IncrementalMethod method, const KgView* population, Annotator* annotator,
@@ -55,12 +77,16 @@ EvaluationResult IncrementalCampaignDriver::ToResult(
 }
 
 EvaluationResult IncrementalCampaignDriver::Initialize() {
+  obs::ScopedSpan span("incremental.driver.initialize", Metrics().initialize);
   return ToResult(reservoir_ != nullptr ? reservoir_->Initialize()
                                         : stratified_->Initialize());
 }
 
 EvaluationResult IncrementalCampaignDriver::ApplyUpdate(
     uint64_t first_new_cluster, uint64_t count) {
+  obs::ScopedSpan span("incremental.driver.apply_update", Metrics().apply);
+  Metrics().updates->Add(1);
+  Metrics().clusters->Add(count);
   return ToResult(reservoir_ != nullptr
                       ? reservoir_->ApplyUpdate(first_new_cluster, count)
                       : stratified_->ApplyUpdate(first_new_cluster, count));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace kgacc {
@@ -92,6 +94,10 @@ KnowledgeGraph MaterializeGraph(const std::vector<uint32_t>& sizes,
                                 Rng& rng) {
   KGACC_CHECK(options.num_predicates >= 1);
   KGACC_CHECK(options.object_pool >= 1);
+  static obs::Histogram* const materialize_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "kg.generator.materialize_seconds");
+  obs::ScopedSpan span("kg.generator.materialize", materialize_seconds);
   KnowledgeGraph kg;
   const std::vector<double> object_cdf =
       [&] {

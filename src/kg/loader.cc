@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace kgacc {
@@ -18,6 +20,12 @@ bool LooksLikeLiteral(std::string_view text) {
 
 Status LoadTsv(std::istream& in, SymbolTable* symbols, KnowledgeGraph* kg,
                std::vector<LabeledTriple>* labels) {
+  static obs::Histogram* const load_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("kg.loader.load_tsv_seconds");
+  static obs::Counter* const triples_loaded =
+      obs::MetricsRegistry::Global().GetCounter("kg.loader.triples_loaded");
+  obs::ScopedSpan span("kg.loader.load_tsv", load_seconds);
+  const uint64_t triples_before = kg->TotalTriples();
   std::string line;
   uint64_t line_number = 0;
   while (std::getline(in, line)) {
@@ -62,6 +70,7 @@ Status LoadTsv(std::istream& in, SymbolTable* symbols, KnowledgeGraph* kg,
     }
   }
   if (in.bad()) return Status::IOError("stream error while reading TSV");
+  triples_loaded->Add(kg->TotalTriples() - triples_before);
   return Status::OK();
 }
 

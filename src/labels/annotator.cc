@@ -1,11 +1,33 @@
 #include "labels/annotator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace kgacc {
 
 namespace {
+
+struct AnnotatorMetrics {
+  obs::Counter* lookups = obs::MetricsRegistry::Global().GetCounter(
+      "annotation.cache.lookups");
+  obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("annotation.cache.hits");
+  obs::Counter* misses =
+      obs::MetricsRegistry::Global().GetCounter("annotation.cache.misses");
+  obs::Counter* parallel_batches = obs::MetricsRegistry::Global().GetCounter(
+      "annotation.batch.parallel_count");
+  obs::Counter* sequential_batches = obs::MetricsRegistry::Global().GetCounter(
+      "annotation.batch.sequential_count");
+  obs::Histogram* batch = obs::MetricsRegistry::Global().GetHistogram(
+      "annotation.batch.annotate_seconds");
+};
+
+AnnotatorMetrics& Metrics() {
+  static AnnotatorMetrics metrics;
+  return metrics;
+}
 
 /// Batches below this size are cheaper to label sequentially than to shard
 /// across the pool.
@@ -60,6 +82,7 @@ bool SimulatedAnnotator::NoiseFlip(const TripleRef& ref) const {
 
 uint8_t SimulatedAnnotator::AnnotateInShard(
     ShardedAnnotationCache::Shard& shard, const TripleRef& ref) {
+  ++shard.lookups;
   const auto [it, inserted] = shard.labels.try_emplace(ref, uint8_t{0});
   if (!inserted) return it->second;
   if (shard.clusters.insert(ref.cluster).second) ++shard.entities_identified;
@@ -89,10 +112,25 @@ ThreadPool* SimulatedAnnotator::PoolForBatch() {
   return pool_.get();
 }
 
+void SimulatedAnnotator::PublishCacheMetrics() {
+  const uint64_t lookups = cache_.TotalLookups();
+  const uint64_t misses = cache_.Totals().triples_annotated;
+  if (obs::MetricsEnabled()) {
+    Metrics().lookups->Add(lookups - published_lookups_);
+    Metrics().misses->Add(misses - published_misses_);
+    Metrics().hits->Add((lookups - published_lookups_) -
+                        (misses - published_misses_));
+  }
+  // Baselines advance either way, so deltas only cover the enabled window.
+  published_lookups_ = lookups;
+  published_misses_ = misses;
+}
+
 void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
                                        uint8_t* out) {
   const size_t n = refs.size();
   if (n == 0) return;
+  obs::ScopedSpan batch_span("annotation.batch", Metrics().batch);
 
   if (options_.annotation_threads > 1 && n >= kParallelBatchThreshold) {
     ThreadPool* pool = PoolForBatch();
@@ -126,6 +164,8 @@ void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
 
     // Per-shard accumulators reduced once per batch.
     ledger_ = cache_.Totals();
+    Metrics().parallel_batches->Add(1);
+    PublishCacheMetrics();
     return;
   }
 
@@ -135,11 +175,15 @@ void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
     out[i] = AnnotateInShard(cache_.ShardFor(refs[i].cluster), refs[i]);
   }
   ledger_ = cache_.Totals();
+  Metrics().sequential_batches->Add(1);
+  PublishCacheMetrics();
 }
 
 void SimulatedAnnotator::Reset() {
   cache_.Clear();
   ledger_ = AnnotationLedger{};
+  published_lookups_ = 0;
+  published_misses_ = 0;
 }
 
 }  // namespace kgacc

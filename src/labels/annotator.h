@@ -118,6 +118,10 @@ class SimulatedAnnotator : public Annotator {
 
   ThreadPool* PoolForBatch();
 
+  /// Pushes the cache's lookup/hit/miss totals into the global metrics
+  /// registry as deltas since the last push (no-op while metrics are off).
+  void PublishCacheMetrics();
+
   const TruthOracle* oracle_;
   CostModel cost_model_;
   Options options_;
@@ -127,6 +131,10 @@ class SimulatedAnnotator : public Annotator {
   std::vector<uint32_t> shard_ids_;   // batch scratch, reused across batches.
   std::unique_ptr<ThreadPool> pool_;  // lazily created.
   ThreadPool* external_pool_ = nullptr;
+  /// Cache totals already published to the metrics registry (so per-batch
+  /// pushes are deltas, not cumulative re-counts).
+  uint64_t published_lookups_ = 0;
+  uint64_t published_misses_ = 0;
 };
 
 }  // namespace kgacc

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -11,6 +13,22 @@ namespace {
 
 /// Vote batches below this size are cheaper to count sequentially.
 constexpr size_t kParallelVoteThreshold = 1024;
+
+struct PoolVoteMetrics {
+  obs::Histogram* member = obs::MetricsRegistry::Global().GetHistogram(
+      "annotation.pool.member_pass_seconds");
+  obs::Histogram* vote = obs::MetricsRegistry::Global().GetHistogram(
+      "annotation.pool.vote_seconds");
+  obs::Counter* vote_rounds = obs::MetricsRegistry::Global().GetCounter(
+      "annotation.pool.vote_rounds");
+  obs::Counter* votes_cast = obs::MetricsRegistry::Global().GetCounter(
+      "annotation.pool.votes_cast");
+};
+
+PoolVoteMetrics& Metrics() {
+  static PoolVoteMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -60,12 +78,18 @@ void AnnotatorPool::AnnotateBatch(std::span<const TripleRef> refs,
   const size_t n = refs.size();
   if (n == 0) return;
 
-  for (size_t k = 0; k < members_.size(); ++k) {
-    member_labels_[k].resize(n);
-    members_[k]->AnnotateBatch(refs, member_labels_[k].data());
+  {
+    obs::ScopedSpan span("annotation.pool.member_pass", Metrics().member);
+    for (size_t k = 0; k < members_.size(); ++k) {
+      member_labels_[k].resize(n);
+      members_[k]->AnnotateBatch(refs, member_labels_[k].data());
+    }
   }
 
   // Vote pass: independent per triple, so a contiguous block per worker.
+  obs::ScopedSpan vote_span("annotation.pool.vote", Metrics().vote);
+  Metrics().vote_rounds->Add(1);
+  Metrics().votes_cast->Add(static_cast<uint64_t>(n) * members_.size());
   const size_t majority = members_.size() / 2 + 1;
   const auto vote_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -83,6 +107,7 @@ void AnnotatorPool::AnnotateBatch(std::span<const TripleRef> refs,
   } else {
     vote_range(0, n);
   }
+  vote_span.Finish();
 
   RefreshLedger();  // member ledgers reduced once per batch.
 }

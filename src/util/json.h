@@ -70,4 +70,40 @@ class JsonValue {
 /// included). Control characters become \u00XX.
 std::string JsonEscape(std::string_view text);
 
+/// Streaming JSON emitter for the machine-readable artifacts this library
+/// writes (metrics snapshots, bench outputs): handles comma placement and
+/// string escaping, writes doubles as %.17g so JsonValue::Parse round-trips
+/// them bit-exactly. The caller is responsible for well-formed nesting
+/// (debug-checked); there is no pretty-printing beyond one space after ':'.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document built so far; call once, after the root value closed.
+  std::string TakeString() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true while the next element needs a
+  /// leading comma.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
 }  // namespace kgacc

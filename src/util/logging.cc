@@ -1,11 +1,19 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+
+#include "util/timer.h"
 
 namespace kgacc {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Sentinel for "not yet initialized from the environment".
+constexpr int kLevelUnset = -1;
+
+std::atomic<int> g_min_level{kLevelUnset};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,6 +30,46 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+/// The KGACC_LOG environment variable names the minimum emitted severity
+/// (debug|info|warning|error|fatal, case-insensitive); unset or unparseable
+/// values keep the kInfo default. SetMinLogLevel still wins once called.
+int LevelFromEnv() {
+  const char* env = std::getenv("KGACC_LOG");
+  if (env != nullptr) {
+    if (EqualsIgnoreCase(env, "debug")) return static_cast<int>(LogLevel::kDebug);
+    if (EqualsIgnoreCase(env, "info")) return static_cast<int>(LogLevel::kInfo);
+    if (EqualsIgnoreCase(env, "warning") || EqualsIgnoreCase(env, "warn")) {
+      return static_cast<int>(LogLevel::kWarning);
+    }
+    if (EqualsIgnoreCase(env, "error")) return static_cast<int>(LogLevel::kError);
+    if (EqualsIgnoreCase(env, "fatal")) return static_cast<int>(LogLevel::kFatal);
+    std::fprintf(
+        stderr,
+        "[WARN] unknown KGACC_LOG level '%s' "
+        "(want debug|info|warning|error|fatal)\n",
+        env);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+/// Process-relative timestamp origin, on the same MonotonicNanos() clock as
+/// every span and stopwatch in the library.
+uint64_t LogEpochNanos() {
+  static const uint64_t epoch = MonotonicNanos();
+  return epoch;
+}
+
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) {
@@ -29,13 +77,27 @@ void SetMinLogLevel(LogLevel level) {
 }
 
 LogLevel GetMinLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level == kLevelUnset) {
+    int expected = kLevelUnset;
+    // First caller wins; a concurrent SetMinLogLevel takes precedence.
+    g_min_level.compare_exchange_strong(expected, LevelFromEnv(),
+                                        std::memory_order_relaxed);
+    level = g_min_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
 }
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const double elapsed =
+      static_cast<double>(MonotonicNanos() - LogEpochNanos()) * 1e-9;
+  char timestamp[32];
+  std::snprintf(timestamp, sizeof(timestamp), "%.3f", elapsed);
+  stream_ << "[" << LevelName(level) << " " << timestamp << "s " << file << ":"
+          << line << "] ";
 }
 
 LogMessage::~LogMessage() {

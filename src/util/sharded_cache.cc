@@ -41,12 +41,19 @@ uint64_t ShardedAnnotationCache::NumCachedLabels() const {
   return n;
 }
 
+uint64_t ShardedAnnotationCache::TotalLookups() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) n += shard.lookups;
+  return n;
+}
+
 void ShardedAnnotationCache::Clear() {
   for (Shard& shard : shards_) {
     shard.labels.clear();
     shard.clusters.clear();
     shard.entities_identified = 0;
     shard.triples_annotated = 0;
+    shard.lookups = 0;
   }
 }
 

@@ -37,6 +37,11 @@ class ShardedAnnotationCache {
     /// Per-shard effort accumulators (the shard's slice of Eq 4's sets).
     uint64_t entities_identified = 0;
     uint64_t triples_annotated = 0;
+    /// Label lookups routed to this shard (observability only; cache hits =
+    /// lookups - triples_annotated). Written by the shard's owning worker
+    /// under the same contract as the accumulators above, so it needs no
+    /// atomics.
+    uint64_t lookups = 0;
   };
 
   /// `num_shards` is rounded up to a power of two (>= 1).
@@ -58,6 +63,9 @@ class ShardedAnnotationCache {
 
   /// Total cached labels across shards (distinct triples annotated).
   uint64_t NumCachedLabels() const;
+
+  /// Total label lookups across shards (observability).
+  uint64_t TotalLookups() const;
 
   /// Forgets all labels, identifications and accumulated effort.
   void Clear();

@@ -1,14 +1,44 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace kgacc {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Histogram* wait = obs::MetricsRegistry::Global().GetHistogram(
+      "pool.task.wait_seconds");
+  obs::Histogram* run = obs::MetricsRegistry::Global().GetHistogram(
+      "pool.shard.run_seconds");
+  obs::Counter* dispatches =
+      obs::MetricsRegistry::Global().GetCounter("pool.dispatch.count");
+  obs::Gauge* depth =
+      obs::MetricsRegistry::Global().GetGauge("pool.queue.depth");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      char track_name[32];
+      std::snprintf(track_name, sizeof(track_name), "pool-worker-%d", i);
+      obs::SetThreadTrackName(track_name);
+      WorkerLoop();
+    });
   }
 }
 
@@ -32,10 +62,20 @@ void ThreadPool::WorkerLoop() {
     if (shutdown_) return;
     seen_generation = generation_;
     fn = fn_;
+    // Wait latency: dispatch to first pickup by this worker. Only measured
+    // when observability was on at dispatch; purely observational.
+    if (observe_ && next_shard_ < num_shards_) {
+      const uint64_t now = MonotonicNanos();
+      Metrics().wait->RecordNanos(now > dispatch_ns_ ? now - dispatch_ns_ : 0);
+    }
     while (next_shard_ < num_shards_) {
       const int shard = next_shard_++;
+      const bool observe = observe_;
       lock.unlock();
-      (*fn)(shard);
+      {
+        obs::ScopedSpan span("pool.shard", observe ? Metrics().run : nullptr);
+        (*fn)(shard);
+      }
       lock.lock();
       if (--active_shards_ == 0) work_done_.notify_all();
     }
@@ -45,23 +85,44 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(int num_shards,
                              const std::function<void(int)>& fn) {
   if (num_shards <= 0) return;
+  const uint32_t mode = obs::ObsMode();
   std::unique_lock<std::mutex> lock(mutex_);
   fn_ = &fn;
   num_shards_ = num_shards;
   next_shard_ = 0;
   active_shards_ = num_shards;
   ++generation_;
+  observe_ = mode != 0;
+  if (observe_) {
+    dispatch_ns_ = MonotonicNanos();
+    if ((mode & obs::kModeMetrics) != 0) {
+      Metrics().dispatches->Add(1);
+      Metrics().depth->Set(static_cast<double>(num_shards));
+    }
+    if ((mode & obs::kModeTrace) != 0) {
+      obs::internal::EmitCounterEvent("pool.queue_depth",
+                                      static_cast<double>(num_shards));
+    }
+  }
   work_ready_.notify_all();
   // The calling thread helps, so a pool is useful even on small machines.
   while (next_shard_ < num_shards_) {
     const int shard = next_shard_++;
+    const bool observe = observe_;
     lock.unlock();
-    fn(shard);
+    {
+      obs::ScopedSpan span("pool.shard", observe ? Metrics().run : nullptr);
+      fn(shard);
+    }
     lock.lock();
     if (--active_shards_ == 0) work_done_.notify_all();
   }
   work_done_.wait(lock, [&] { return active_shards_ == 0; });
   fn_ = nullptr;
+  if (observe_ && (mode & obs::kModeTrace) != 0) {
+    obs::internal::EmitCounterEvent("pool.queue_depth", 0.0);
+  }
+  observe_ = false;
 }
 
 }  // namespace kgacc

@@ -45,6 +45,11 @@ class ThreadPool {
   int active_shards_ = 0;
   uint64_t generation_ = 0;
   bool shutdown_ = false;
+  /// Observability state of the current ParallelFor (guarded by mutex_):
+  /// dispatch timestamp for worker wait-latency, set only when some
+  /// observability mode was on at dispatch time.
+  uint64_t dispatch_ns_ = 0;
+  bool observe_ = false;
 };
 
 }  // namespace kgacc

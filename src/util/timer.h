@@ -1,8 +1,20 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace kgacc {
+
+/// The process-wide monotonic clock, as nanoseconds since an arbitrary epoch.
+/// Every stopwatch in the library — WallTimer, obs::ScopedSpan, the Chrome
+/// trace timestamps, and the log-line timestamps — reads this one source, so
+/// durations and timestamps from different layers are directly comparable.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch used to report "machine time" (as opposed
 /// to the simulated human annotation time from cost::CostModel).
@@ -10,18 +22,20 @@ class WallTimer {
  public:
   WallTimer() { Restart(); }
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ns_ = MonotonicNanos(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_ns_; }
 
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 }  // namespace kgacc

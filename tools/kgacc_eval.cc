@@ -20,6 +20,8 @@
 #include <memory>
 
 #include "kgaccuracy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 
 namespace kgacc {
@@ -50,6 +52,17 @@ Evaluation:
   --wilson            Wilson CI in the SRS stopping rule
   --trace FILE.json   write the per-round campaign trace (estimate, CI
                       bounds, cumulative cost) as kgacc-trace-v1 JSON
+  --batch-units N     sampling units drawn per engine round      [10]
+                      (--batch_units also accepted; larger rounds feed the
+                       parallel annotation path bigger batches — results
+                       depend on the round size, not on thread count)
+
+Observability (runtime metrics/profiling; never changes results):
+  --metrics FILE.json       write counters + latency histograms collected
+                            during the run as kgacc-metrics-v1 JSON
+  --chrome-trace FILE.json  record phase/worker spans and export them in
+                            Chrome trace_event format (load in Perfetto or
+                            chrome://tracing; --chrome_trace also accepted)
 
 Annotation:
   --annotators K          majority vote of K annotators     [1]
@@ -64,7 +77,51 @@ Annotation:
 Misc: --seed S [42], --list-datasets, --list-designs, --help
 )";
 
+/// Flushes the --metrics / --chrome-trace artifacts (if requested) and
+/// reports them on stdout. Returns 0, or 1 on a write error.
+int WriteObsArtifacts(const std::string& metrics_path,
+                      const std::string& chrome_trace_path) {
+  if (!metrics_path.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    const Status written = obs::WriteMetricsJson(metrics_path, snapshot);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s (%zu counters, %zu gauges, %zu histograms)\n",
+                metrics_path.c_str(), snapshot.counters.size(),
+                snapshot.gauges.size(), snapshot.histograms.size());
+  }
+  if (!chrome_trace_path.empty()) {
+    obs::TraceSession::Stop();
+    const Status written = obs::TraceSession::WriteJson(chrome_trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("chrome trace: %s (%llu events)\n", chrome_trace_path.c_str(),
+                static_cast<unsigned long long>(obs::TraceSession::EventCount()));
+  }
+  return 0;
+}
+
 int RunEval(const FlagParser& flags) {
+  // --- Observability (enabled before loading so KG timings are captured). ----
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string chrome_trace_path =
+      flags.Has("chrome-trace") ? flags.GetString("chrome-trace", "")
+                                : flags.GetString("chrome_trace", "");
+  if (!metrics_path.empty()) {
+    if constexpr (!obs::kMetricsCompiledIn) {
+      std::fprintf(stderr,
+                   "warning: built with KGACC_NO_METRICS; --metrics will "
+                   "report empty values\n");
+    }
+    obs::EnableMetrics(true);
+  }
+  if (!chrome_trace_path.empty()) obs::TraceSession::Start();
+
   // --- Input. ----------------------------------------------------------------
   Dataset dataset;
   std::unique_ptr<SymbolTable> symbols;
@@ -118,6 +175,18 @@ int RunEval(const FlagParser& flags) {
                            : flags.GetUint64("pilot_size", 0).ValueOr(0);
   options.seed = seed;
   if (flags.GetBool("wilson", false)) options.srs_ci = CiMethod::kWilson;
+  // --batch-units follows the tool's hyphenated convention; the underscore
+  // spelling is accepted as an alias.
+  const uint64_t batch_units =
+      flags.Has("batch-units") ? flags.GetUint64("batch-units", 0).ValueOr(0)
+                               : flags.GetUint64("batch_units", 0).ValueOr(0);
+  if (flags.Has("batch-units") || flags.Has("batch_units")) {
+    if (batch_units == 0) {
+      std::fprintf(stderr, "error: --batch-units must be >= 1\n");
+      return 1;
+    }
+    options.batch_units = batch_units;
+  }
 
   const std::string trace_path = flags.GetString("trace", "");
   TraceRecorder recorder;
@@ -194,7 +263,7 @@ int RunEval(const FlagParser& flags) {
                   trace_path.c_str(),
                   static_cast<unsigned long long>(recorder.campaigns().size()));
     }
-    return 0;
+    return WriteObsArtifacts(metrics_path, chrome_trace_path);
   }
 
   // --- Whole-graph evaluation (design resolved via the registry). ------------
@@ -257,6 +326,10 @@ int RunEval(const FlagParser& flags) {
               static_cast<unsigned long long>(result.ledger.entities_identified),
               static_cast<unsigned long long>(result.ledger.triples_annotated),
               FormatDuration(result.annotation_seconds).c_str());
+  if (const int obs_status = WriteObsArtifacts(metrics_path, chrome_trace_path);
+      obs_status != 0) {
+    return obs_status;
+  }
   return result.converged ? 0 : 2;
 }
 
@@ -274,7 +347,8 @@ int main(int argc, char** argv) {
   const Status valid = flags.Validate(
       {"dataset", "input", "design", "strata", "per-predicate", "moe",
        "confidence", "m", "pilot-size", "pilot_size", "min-units", "wilson",
-       "trace", "annotators", "noise", "annotation-threads",
+       "trace", "batch-units", "batch_units", "metrics", "chrome-trace",
+       "chrome_trace", "annotators", "noise", "annotation-threads",
        "annotation_threads", "c1", "c2", "seed", "list-datasets",
        "list-designs", "help"});
   if (!valid.ok()) {

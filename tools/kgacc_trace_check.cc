@@ -3,7 +3,7 @@
 //   kgacc_trace_check [--baseline DIR] [--tolerance 0.15]
 //                     [--min-annotate-speedup X] BENCH_*.json [...]
 //
-// Two artifact schemas are understood, dispatched on the "schema" field:
+// Several artifact schemas are understood, dispatched on the "schema" field:
 //
 //  - kgacc-trace-v1 (campaign traces): every file must parse with at least
 //    one campaign, and every campaign must pass ValidateTrace (non-empty
@@ -23,6 +23,27 @@
 //    batch size must reach that floor (CI uses a modest floor because
 //    shared runners have few cores; the ≥2x-at-8-threads target is checked
 //    on dedicated hardware).
+//
+//  - kgacc-metrics-v1 (runtime metrics snapshots from kgacc_eval --metrics):
+//    counters/gauges/histograms must be well-formed — finite values,
+//    ascending bucket bounds, bucket counts summing to the histogram count,
+//    monotone p50 <= p95 <= p99 — and the core engine/annotation metrics
+//    must be present with activity recorded.
+//
+//  - kgacc-metrics-bench-v1 (the instrumentation-overhead artifact from
+//    bench_micro_engine): with --max-metrics-overhead F, the measured
+//    overhead fraction of running with metrics collection enabled must not
+//    exceed F.
+//
+//  - kgacc-cost-sweep-v1 (the bench_cost_sweep budget sweep): budgets must
+//    ascend, spent cost must be non-decreasing and achieved MoE
+//    non-increasing in the budget.
+//
+//  - Chrome trace_event documents (kgacc_eval --chrome-trace), recognized by
+//    their "traceEvents" member: events must be well-formed complete/counter/
+//    metadata events with non-negative timestamps, and — with
+//    --min-trace-threads N — span events must cover at least N distinct
+//    threads (proof that the concurrent annotation path was exercised).
 //
 // Exits non-zero with a diagnostic on stderr on any failure, so a
 // regression that silences telemetry, breaks cost accounting, or slows the
@@ -157,11 +178,258 @@ bool CheckAnnotateBench(const std::string& path, const JsonValue& doc,
   return ok;
 }
 
+/// Validates one kgacc-metrics-v1 histogram entry.
+bool CheckHistogramEntry(const std::string& path, const JsonValue& entry) {
+  const Result<std::string> name = entry.GetString("name");
+  const Result<double> count = entry.GetNumber("count");
+  const Result<double> sum = entry.GetNumber("sum_seconds");
+  const Result<double> p50 = entry.GetNumber("p50_seconds");
+  const Result<double> p95 = entry.GetNumber("p95_seconds");
+  const Result<double> p99 = entry.GetNumber("p99_seconds");
+  const Result<double> min = entry.GetNumber("min_seconds");
+  const Result<double> max = entry.GetNumber("max_seconds");
+  if (!name.ok() || !count.ok() || !sum.ok() || !p50.ok() || !p95.ok() ||
+      !p99.ok() || !min.ok() || !max.ok()) {
+    std::fprintf(stderr, "%s: malformed histogram entry\n", path.c_str());
+    return false;
+  }
+  if (*count < 0.0 || *sum < 0.0 || *min < 0.0 || *min > *max ||
+      *p50 > *p95 || *p95 > *p99) {
+    std::fprintf(stderr,
+                 "%s: histogram '%s' has inconsistent summary stats\n",
+                 path.c_str(), name->c_str());
+    return false;
+  }
+  const JsonValue* buckets = entry.Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    std::fprintf(stderr, "%s: histogram '%s' missing buckets\n", path.c_str(),
+                 name->c_str());
+    return false;
+  }
+  double bucket_total = 0.0;
+  double prev_le = -1.0;
+  for (const JsonValue& bucket : buckets->AsArray()) {
+    const Result<double> le = bucket.GetNumber("le_seconds");
+    const Result<double> bucket_count = bucket.GetNumber("count");
+    if (!le.ok() || !bucket_count.ok() || *bucket_count <= 0.0 ||
+        *le <= prev_le) {
+      std::fprintf(stderr,
+                   "%s: histogram '%s' has malformed or non-ascending "
+                   "buckets\n",
+                   path.c_str(), name->c_str());
+      return false;
+    }
+    prev_le = *le;
+    bucket_total += *bucket_count;
+  }
+  if (bucket_total != *count) {
+    std::fprintf(stderr,
+                 "%s: histogram '%s' bucket counts sum to %.0f, count says "
+                 "%.0f\n",
+                 path.c_str(), name->c_str(), bucket_total, *count);
+    return false;
+  }
+  return true;
+}
+
+/// Validates a kgacc-metrics-v1 snapshot artifact.
+bool CheckMetrics(const std::string& path, const JsonValue& doc) {
+  const JsonValue* counters = doc.Find("counters");
+  const JsonValue* gauges = doc.Find("gauges");
+  const JsonValue* histograms = doc.Find("histograms");
+  if (counters == nullptr || !counters->is_array() || gauges == nullptr ||
+      !gauges->is_array() || histograms == nullptr ||
+      !histograms->is_array()) {
+    std::fprintf(stderr,
+                 "%s: missing counters/gauges/histograms arrays\n",
+                 path.c_str());
+    return false;
+  }
+  bool ok = true;
+  uint64_t active_counters = 0;
+  bool saw_rounds = false;
+  for (const JsonValue& entry : counters->AsArray()) {
+    const Result<std::string> name = entry.GetString("name");
+    const Result<double> value = entry.GetNumber("value");
+    if (!name.ok() || !value.ok() || *value < 0.0) {
+      std::fprintf(stderr, "%s: malformed counter entry\n", path.c_str());
+      ok = false;
+      continue;
+    }
+    if (*value > 0.0) ++active_counters;
+    // Engine-loop designs count rounds; rs/ss run through the incremental
+    // driver instead, whose campaigns always annotate through the batch
+    // path. Either counter proves collection was actually enabled.
+    if ((*name == "engine.rounds" || *name == "annotation.cache.lookups") &&
+        *value > 0.0) {
+      saw_rounds = true;
+    }
+  }
+  for (const JsonValue& entry : histograms->AsArray()) {
+    if (!CheckHistogramEntry(path, entry)) ok = false;
+  }
+  // A metrics artifact from an actual evaluation must show campaign
+  // activity; an all-zero snapshot means collection was never enabled.
+  if (!saw_rounds) {
+    std::fprintf(stderr,
+                 "%s: no engine.rounds or annotation.cache.lookups activity "
+                 "recorded — was metrics collection enabled?\n",
+                 path.c_str());
+    ok = false;
+  }
+  if (ok) {
+    std::printf("%s: OK (%zu counters [%llu active], %zu histograms)\n",
+                path.c_str(), counters->AsArray().size(),
+                static_cast<unsigned long long>(active_counters),
+                histograms->AsArray().size());
+  }
+  return ok;
+}
+
+/// Validates a kgacc-metrics-bench-v1 overhead artifact and enforces the
+/// instrumentation-overhead budget when --max-metrics-overhead is given.
+bool CheckMetricsBench(const std::string& path, const JsonValue& doc,
+                       double max_overhead) {
+  const Result<double> baseline = doc.GetNumber("baseline_seconds");
+  const Result<double> with_metrics = doc.GetNumber("metrics_seconds");
+  const Result<double> overhead = doc.GetNumber("overhead_fraction");
+  if (!baseline.ok() || !with_metrics.ok() || !overhead.ok()) {
+    std::fprintf(stderr,
+                 "%s: missing baseline_seconds/metrics_seconds/"
+                 "overhead_fraction\n",
+                 path.c_str());
+    return false;
+  }
+  if (*baseline <= 0.0 || *with_metrics <= 0.0) {
+    std::fprintf(stderr, "%s: non-positive bench timings\n", path.c_str());
+    return false;
+  }
+  std::printf("%s: metrics overhead %.2f%% (off %.3fs, on %.3fs)\n",
+              path.c_str(), *overhead * 100.0, *baseline, *with_metrics);
+  if (max_overhead > 0.0 && *overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "%s: instrumentation overhead %.2f%% exceeds budget %.2f%%\n",
+                 path.c_str(), *overhead * 100.0, max_overhead * 100.0);
+    return false;
+  }
+  return true;
+}
+
+/// Validates a kgacc-cost-sweep-v1 artifact (bench_cost_sweep): rows are in
+/// ascending budget order (0 = unbounded, last), and the sweep's designed
+/// invariants hold — spent cost is non-decreasing and achieved MoE is
+/// non-increasing in the budget. The runs are seeded and the cost model is
+/// simulated, so these are exact properties, not tolerances.
+bool CheckCostSweep(const std::string& path, const JsonValue& doc) {
+  const JsonValue* sweep = doc.Find("sweep");
+  if (sweep == nullptr || !sweep->is_array() || sweep->AsArray().empty()) {
+    std::fprintf(stderr, "%s: missing or empty sweep array\n", path.c_str());
+    return false;
+  }
+  double prev_budget = 0.0;
+  double prev_cost = -1.0;
+  double prev_moe = -1.0;
+  bool saw_unbounded = false;
+  for (const JsonValue& row : sweep->AsArray()) {
+    const Result<double> budget = row.GetNumber("budget_seconds");
+    const Result<double> cost = row.GetNumber("cost_seconds");
+    const Result<double> moe = row.GetNumber("moe");
+    if (!budget.ok() || !cost.ok() || !moe.ok() ||
+        row.Find("estimate") == nullptr || row.Find("rounds") == nullptr ||
+        row.Find("phase_seconds") == nullptr) {
+      std::fprintf(stderr, "%s: malformed sweep row\n", path.c_str());
+      return false;
+    }
+    if (*budget == 0.0) {
+      saw_unbounded = true;  // unbounded row(s) must come last.
+    } else if (saw_unbounded || *budget <= prev_budget) {
+      std::fprintf(stderr, "%s: budgets not ascending\n", path.c_str());
+      return false;
+    }
+    if (*cost < prev_cost) {
+      std::fprintf(stderr,
+                   "%s: spent cost decreased as the budget grew "
+                   "(%.0fs -> %.0fs at budget %.0fs)\n",
+                   path.c_str(), prev_cost, *cost, *budget);
+      return false;
+    }
+    if (prev_moe >= 0.0 && *moe > prev_moe) {
+      std::fprintf(stderr,
+                   "%s: MoE increased as the budget grew "
+                   "(%.4f -> %.4f at budget %.0fs)\n",
+                   path.c_str(), prev_moe, *moe, *budget);
+      return false;
+    }
+    if (*budget > 0.0) prev_budget = *budget;
+    prev_cost = *cost;
+    prev_moe = *moe;
+  }
+  std::printf("%s: OK (%zu budgets, cost monotone, MoE non-increasing)\n",
+              path.c_str(), sweep->AsArray().size());
+  return true;
+}
+
+/// Validates a Chrome trace_event document (from kgacc_eval --chrome-trace).
+bool CheckChromeTrace(const std::string& path, const JsonValue& doc,
+                      uint64_t min_trace_threads) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return false;
+  }
+  uint64_t spans = 0;
+  std::map<int64_t, uint64_t> span_threads;  // tid -> span count.
+  for (const JsonValue& event : events->AsArray()) {
+    const Result<std::string> ph = event.GetString("ph");
+    const Result<double> tid = event.GetNumber("tid");
+    if (!ph.ok() || !tid.ok() || event.Find("pid") == nullptr) {
+      std::fprintf(stderr, "%s: malformed trace event\n", path.c_str());
+      return false;
+    }
+    if (*ph == "M") continue;
+    const Result<double> ts = event.GetNumber("ts");
+    if (!ts.ok() || *ts < 0.0) {
+      std::fprintf(stderr, "%s: event with missing/negative ts\n",
+                   path.c_str());
+      return false;
+    }
+    if (*ph == "X") {
+      const Result<double> dur = event.GetNumber("dur");
+      if (!dur.ok() || *dur < 0.0) {
+        std::fprintf(stderr, "%s: complete event with bad dur\n",
+                     path.c_str());
+        return false;
+      }
+      ++spans;
+      ++span_threads[static_cast<int64_t>(*tid)];
+    }
+  }
+  if (spans == 0) {
+    std::fprintf(stderr, "%s: trace has no span events\n", path.c_str());
+    return false;
+  }
+  if (span_threads.size() < min_trace_threads) {
+    std::fprintf(stderr,
+                 "%s: spans cover %zu threads, need >= %llu (parallel "
+                 "annotation path not exercised?)\n",
+                 path.c_str(), span_threads.size(),
+                 static_cast<unsigned long long>(min_trace_threads));
+    return false;
+  }
+  std::printf("%s: OK (%llu spans across %zu threads)\n", path.c_str(),
+              static_cast<unsigned long long>(spans), span_threads.size());
+  return true;
+}
+
 int Run(const FlagParser& flags) {
   const std::string baseline_dir = flags.GetString("baseline", "");
   const double tolerance = flags.GetDouble("tolerance", 0.15).ValueOr(0.15);
   const double min_speedup =
       flags.GetDouble("min-annotate-speedup", 0.0).ValueOr(0.0);
+  const double max_overhead =
+      flags.GetDouble("max-metrics-overhead", 0.0).ValueOr(0.0);
+  const uint64_t min_trace_threads =
+      flags.GetUint64("min-trace-threads", 0).ValueOr(0);
 
   int failures = 0;
   for (const std::string& path : flags.positional()) {
@@ -182,6 +450,22 @@ int Run(const FlagParser& flags) {
     const Result<std::string> schema = doc->GetString("schema");
     if (schema.ok() && *schema == "kgacc-annotate-bench-v1") {
       if (!CheckAnnotateBench(path, *doc, min_speedup)) ++failures;
+      continue;
+    }
+    if (schema.ok() && *schema == "kgacc-metrics-v1") {
+      if (!CheckMetrics(path, *doc)) ++failures;
+      continue;
+    }
+    if (schema.ok() && *schema == "kgacc-metrics-bench-v1") {
+      if (!CheckMetricsBench(path, *doc, max_overhead)) ++failures;
+      continue;
+    }
+    if (schema.ok() && *schema == "kgacc-cost-sweep-v1") {
+      if (!CheckCostSweep(path, *doc)) ++failures;
+      continue;
+    }
+    if (doc->Find("traceEvents") != nullptr) {
+      if (!CheckChromeTrace(path, *doc, min_trace_threads)) ++failures;
       continue;
     }
     // Everything else goes through the trace parser, whose diagnostics
@@ -236,7 +520,8 @@ int main(int argc, char** argv) {
   }
   const FlagParser& flags = *parsed;
   const Status valid = flags.Validate(
-      {"baseline", "tolerance", "min-annotate-speedup", "help"});
+      {"baseline", "tolerance", "min-annotate-speedup",
+       "max-metrics-overhead", "min-trace-threads", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.message().c_str());
     return 1;
@@ -245,6 +530,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: kgacc_trace_check [--baseline DIR] "
                  "[--tolerance 0.15] [--min-annotate-speedup X] "
+                 "[--max-metrics-overhead F] [--min-trace-threads N] "
                  "TRACE.json [...]\n");
     return flags.GetBool("help", false) ? 0 : 1;
   }

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Render kgacc-metrics-v1 JSON snapshots to SVG.
+
+Each input file becomes one SVG with two kinds of panels:
+
+ - a phase-breakdown bar chart of total machine seconds per duration
+   histogram (`*_seconds`), sorted by share — where the run spent its time;
+ - one latency-distribution panel per histogram with enough samples:
+   log-bucket counts as bars, with the p50/p95/p99 markers.
+
+Standard library only, so the CI bench-smoke job can render artifacts
+without installing anything:
+
+    tools/plot_metrics.py BENCH_metrics_*.json -o bench-artifacts/
+
+writes <name>.svg next to the JSON (or into -o DIR).
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+WIDTH = 640
+PANEL_H = 200
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 16, 34, 40
+
+COLOR_BAR = "#2563eb"
+COLOR_P50 = "#16a34a"
+COLOR_P95 = "#d97706"
+COLOR_P99 = "#dc2626"
+COLOR_GRID = "#d4d4d8"
+COLOR_TEXT = "#3f3f46"
+
+# Histograms with fewer samples than this get a row in the breakdown but no
+# distribution panel of their own (a 3-bucket bar chart is noise).
+MIN_SAMPLES_FOR_PANEL = 8
+
+
+def fmt_seconds(value):
+    """Human duration for axis labels: 1.2µs, 3.4ms, 5.6s."""
+    if value <= 0:
+        return "0"
+    for scale, suffix in ((1.0, "s"), (1e-3, "ms"), (1e-6, "µs"), (1e-9, "ns")):
+        if value >= scale:
+            return f"{value / scale:.3g}{suffix}"
+    return f"{value:.2e}s"
+
+
+def breakdown_panel(histograms, index):
+    """Horizontal bars of sum_seconds per histogram (the phase breakdown)."""
+    rows = sorted(
+        (h for h in histograms if h.get("count", 0) > 0),
+        key=lambda h: -h.get("sum_seconds", 0.0),
+    )
+    if not rows:
+        return "", 0
+    row_h = 22
+    height = MARGIN_T + row_h * len(rows) + 16
+    y0 = index
+    total = sum(h["sum_seconds"] for h in rows) or 1.0
+    max_sum = rows[0]["sum_seconds"] or 1.0
+    plot_w = WIDTH - 240 - MARGIN_R
+    parts = [
+        f'<text x="{MARGIN_L}" y="{y0 + 20}" fill="{COLOR_TEXT}" '
+        f'font-size="14" font-weight="600">machine-time breakdown '
+        f"(total {fmt_seconds(total)})</text>"
+    ]
+    for i, h in enumerate(rows):
+        y = y0 + MARGIN_T + i * row_h
+        w = plot_w * h["sum_seconds"] / max_sum
+        share = 100.0 * h["sum_seconds"] / total
+        parts.append(
+            f'<text x="{228}" y="{y + 14}" fill="{COLOR_TEXT}" font-size="11" '
+            f'text-anchor="end">{h["name"]}</text>'
+            f'<rect x="{240}" y="{y + 4}" width="{max(w, 1):.1f}" '
+            f'height="{row_h - 8}" fill="{COLOR_BAR}" fill-opacity="0.8"/>'
+            f'<text x="{240 + max(w, 1) + 6:.1f}" y="{y + 14}" '
+            f'fill="{COLOR_TEXT}" font-size="11">'
+            f'{fmt_seconds(h["sum_seconds"])} · {share:.1f}% · '
+            f'n={h["count"]}</text>'
+        )
+    return "".join(parts), height
+
+
+def histogram_panel(h, y0):
+    """Log-bucket latency distribution with percentile markers."""
+    buckets = h.get("buckets", [])
+    if not buckets:
+        return "", 0
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = PANEL_H - MARGIN_T - MARGIN_B
+    los = [b["le_seconds"] for b in buckets]
+    x_min = math.log10(max(min(los) / 2.0, 1e-9))
+    x_max = math.log10(max(los))
+    max_count = max(b["count"] for b in buckets)
+
+    def sx(seconds):
+        lx = math.log10(max(seconds, 1e-9))
+        return MARGIN_L + plot_w * (lx - x_min) / ((x_max - x_min) or 1.0)
+
+    parts = [
+        f'<text x="{MARGIN_L}" y="{y0 + 20}" fill="{COLOR_TEXT}" '
+        f'font-size="14" font-weight="600">{h["name"]}</text>'
+        f'<text x="{WIDTH - MARGIN_R}" y="{y0 + 20}" fill="{COLOR_TEXT}" '
+        f'font-size="11" text-anchor="end">n={h["count"]} · '
+        f'min {fmt_seconds(h["min_seconds"])} · '
+        f'max {fmt_seconds(h["max_seconds"])}</text>'
+    ]
+    baseline = y0 + MARGIN_T + plot_h
+    prev_le = min(los) / 2.0
+    for b in buckets:
+        x1 = sx(prev_le)
+        x2 = sx(b["le_seconds"])
+        prev_le = b["le_seconds"]
+        bar_h = plot_h * b["count"] / max_count
+        parts.append(
+            f'<rect x="{x1:.1f}" y="{baseline - bar_h:.1f}" '
+            f'width="{max(x2 - x1, 0.8):.1f}" height="{bar_h:.1f}" '
+            f'fill="{COLOR_BAR}" fill-opacity="0.75"/>'
+        )
+    for key, color, label in (
+        ("p50_seconds", COLOR_P50, "p50"),
+        ("p95_seconds", COLOR_P95, "p95"),
+        ("p99_seconds", COLOR_P99, "p99"),
+    ):
+        value = h.get(key, 0.0)
+        if value <= 0.0:
+            continue
+        x = sx(value)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y0 + MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{baseline}" stroke="{color}" stroke-width="1.5" '
+            f'stroke-dasharray="4,3"/>'
+            f'<text x="{x + 3:.1f}" y="{y0 + MARGIN_T + 12}" fill="{color}" '
+            f'font-size="10">{label} {fmt_seconds(value)}</text>'
+        )
+    # Log-scale x ticks at decades.
+    decade = math.ceil(x_min)
+    while decade <= x_max:
+        x = MARGIN_L + plot_w * (decade - x_min) / ((x_max - x_min) or 1.0)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{baseline}" x2="{x:.1f}" '
+            f'y2="{baseline + 4}" stroke="{COLOR_TEXT}" stroke-width="1"/>'
+            f'<text x="{x:.1f}" y="{baseline + 16}" fill="{COLOR_TEXT}" '
+            f'font-size="11" text-anchor="middle">'
+            f"{fmt_seconds(10 ** decade)}</text>"
+        )
+        decade += 1
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{baseline}" x2="{WIDTH - MARGIN_R}" '
+        f'y2="{baseline}" stroke="{COLOR_GRID}" stroke-width="1"/>'
+    )
+    return "".join(parts), PANEL_H
+
+
+def render(doc):
+    histograms = doc.get("histograms", [])
+    body_parts = []
+    offset = 0
+    breakdown, h = breakdown_panel(histograms, offset)
+    if breakdown:
+        body_parts.append(breakdown)
+        offset += h
+    for histogram in histograms:
+        if histogram.get("count", 0) < MIN_SAMPLES_FOR_PANEL:
+            continue
+        panel, panel_h = histogram_panel(histogram, offset)
+        if panel:
+            body_parts.append(panel)
+            offset += panel_h
+    if not body_parts:
+        return None
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{offset}" viewBox="0 0 {WIDTH} {offset}" '
+        f'font-family="system-ui, sans-serif">'
+        f'<rect width="{WIDTH}" height="{offset}" fill="white"/>'
+        f"{''.join(body_parts)}</svg>\n"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", nargs="+",
+                        help="kgacc-metrics-v1 JSON files")
+    parser.add_argument("-o", "--outdir", default=None,
+                        help="output directory (default: next to each input)")
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.metrics:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            failures += 1
+            continue
+        if doc.get("schema") != "kgacc-metrics-v1":
+            print(f"{path}: not a kgacc-metrics-v1 document, skipping")
+            continue
+        svg = render(doc)
+        if svg is None:
+            print(f"{path}: no histogram activity to plot", file=sys.stderr)
+            failures += 1
+            continue
+        base = os.path.splitext(os.path.basename(path))[0] + ".svg"
+        out = os.path.join(args.outdir or os.path.dirname(path) or ".", base)
+        with open(out, "w") as f:
+            f.write(svg)
+        print(f"{out}: {svg.count('font-weight=')} panels rendered")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
