@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kgacc {
+
+/// Round-granularity control of a running campaign: the hook that turns the
+/// run-to-completion evaluation loops into suspendable sessions (the
+/// kgacc_serve daemon's step/suspend/resume verbs).
+///
+/// Every campaign loop — the EvaluationEngine, both incremental update
+/// loops, and the KGEval baseline's control loop — consults the control
+/// *before* starting each round. The control may block (a step-gated serve
+/// session parks here between `step` requests) or answer kSuspend, upon
+/// which the loop unwinds immediately and returns its partial result with
+/// `suspended = true` and `rounds` equal to the rounds actually completed.
+///
+/// Contract: the control never influences *what* a campaign computes, only
+/// how far it runs before handing control back. A campaign that is
+/// suspended after k rounds and later re-run from scratch with the same
+/// options/seed under a control that auto-proceeds through its first k
+/// rounds (deterministic replay) produces results and telemetry
+/// bit-identical to an uninterrupted run — the property the serve
+/// determinism suite pins.
+class CampaignControl {
+ public:
+  enum class Action {
+    kProceed,  ///< run the round.
+    kSuspend,  ///< unwind now; the campaign reports `suspended = true`.
+  };
+
+  virtual ~CampaignControl() = default;
+
+  /// Consulted before round `next_round` (1-based) begins. May block.
+  virtual Action BeforeRound(uint64_t next_round) = 0;
+};
+
+}  // namespace kgacc

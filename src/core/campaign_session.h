@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/evaluation.h"
+
+namespace kgacc {
+
+/// How a campaign session's annotation side is configured. The serve layer
+/// reconstructs annotators from this spec on resume, so it captures exactly
+/// the knobs that kgacc_eval exposes: a single SimulatedAnnotator when
+/// `annotators == 1`, a majority-voting AnnotatorPool otherwise.
+struct AnnotatorSpec {
+  uint64_t annotators = 1;        ///< pool size; 1 = single annotator.
+  double noise_rate = 0.0;        ///< per-annotator label flip rate.
+  uint64_t seed = 0x5eed;         ///< noise-stream seed.
+  int annotation_threads = 0;     ///< sharded batch-annotation threads.
+  int annotation_shards = 0;      ///< annotation cache shards (0 = default).
+  double c1_seconds = 45.0;       ///< entity identification cost (Eq 4).
+  double c2_seconds = 25.0;       ///< relationship validation cost (Eq 4).
+};
+
+/// The complete serializable identity of a (possibly suspended) campaign
+/// session: everything needed to re-create the campaign from scratch and
+/// replay it to the suspension point.
+///
+/// Deliberately *not* a dump of sampler/estimator internals. The whole
+/// pipeline is deterministic given (graph, design, options, annotator spec):
+/// samplers draw from seeded Rngs, and annotation labels/cost are pure
+/// functions of the set of annotated triples (the annotator's determinism
+/// contract, independent of thread count). So resuming = constructing fresh
+/// components and re-running the first `rounds_completed` rounds under a
+/// control that auto-proceeds through them — bit-identical to the original
+/// run, for every registry design, without nine design-specific snapshot
+/// formats. The rounds replayed cost no *simulated* annotation effort beyond
+/// the original (set semantics), only machine time.
+///
+/// EvaluationOptions' borrowed pointers (telemetry, control) are runtime
+/// wiring, not state: Save writes only the value fields and Restore leaves
+/// the pointers null.
+struct CampaignSessionState {
+  std::string design;           ///< registry design name ("twcs", "rs", ...).
+  std::string graph;            ///< graph name in the serve GraphStore.
+  uint64_t rounds_completed = 0;  ///< rounds finished before suspension.
+  EvaluationOptions options;    ///< value fields only (see above).
+  AnnotatorSpec annotator;
+};
+
+}  // namespace kgacc

@@ -106,17 +106,18 @@ Result<EvaluationResult> RunKgEval(const KgView& view, Annotator* annotator,
         "(nell/yago/movie or --input), not a sizes-only population");
   }
   KgEvalBaseline baseline(*graph, KgEvalBaseline::Options{});
-  const KgEvalBaseline::Result run = baseline.Run(annotator);
+  const KgEvalBaseline::Result run = baseline.Run(annotator, options.control);
 
   EvaluationResult result;
   result.design = "KGEval";
   result.estimate.mean = run.estimated_accuracy;
   result.estimate.num_units = run.triples_annotated;
   result.rounds = run.triples_annotated;  // one control-loop pick per triple.
+  result.suspended = run.suspended;
   result.ledger = run.ledger;
   result.annotation_seconds = run.annotation_seconds;
   result.machine_seconds = run.machine_seconds;
-  if (options.telemetry != nullptr) {
+  if (options.telemetry != nullptr && !run.suspended) {
     // KGEval has no per-round estimate trajectory; report the terminal state
     // as a single round so traces stay uniformly consumable.
     options.telemetry->BeginCampaign("KGEval", "");
@@ -234,15 +235,7 @@ Result<EvaluationResult> DesignRegistry::Run(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(name);
-    if (it == entries_.end()) {
-      std::string known;
-      for (const auto& [key, entry] : entries_) {
-        if (!known.empty()) known += ", ";
-        known += key;
-      }
-      return Status::NotFound(StrFormat("unknown design '%s' (known: %s)",
-                                        name.c_str(), known.c_str()));
-    }
+    if (it == entries_.end()) return UnknownDesignLocked(name);
     fn = it->second.fn;
   }
   // Run outside the lock: campaigns are long and may themselves consult the
@@ -253,6 +246,21 @@ Result<EvaluationResult> DesignRegistry::Run(
 bool DesignRegistry::Contains(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.find(name) != entries_.end();
+}
+
+Status DesignRegistry::UnknownDesignLocked(const std::string& name) const {
+  std::string known;
+  for (const auto& [key, entry] : entries_) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  return Status::NotFound(StrFormat("unknown design '%s' (known: %s)",
+                                    name.c_str(), known.c_str()));
+}
+
+Status DesignRegistry::UnknownDesign(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return UnknownDesignLocked(name);
 }
 
 std::vector<std::string> DesignRegistry::Names() const {

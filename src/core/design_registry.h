@@ -52,6 +52,11 @@ class DesignRegistry {
 
   bool Contains(const std::string& name) const;
 
+  /// The NotFound status reported for an unknown design name, listing the
+  /// registered designs. Shared by Run(), the kgacc_eval CLI, and the serve
+  /// start-campaign path so the listing can never drift between surfaces.
+  Status UnknownDesign(const std::string& name) const;
+
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
 
@@ -63,6 +68,8 @@ class DesignRegistry {
     std::string description;
     DesignFn fn;
   };
+
+  Status UnknownDesignLocked(const std::string& name) const;
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;

@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "core/campaign_control.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/confidence.h"
@@ -160,6 +161,15 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
   std::vector<TripleRef> refs;
   std::vector<uint8_t> labels;
   while (true) {
+    // Round-boundary control: a serve session parks the campaign here
+    // between `step` grants, and a suspend request unwinds the loop with the
+    // rounds completed so far (resume replays them deterministically).
+    if (options_.control != nullptr &&
+        options_.control->BeforeRound(result.rounds + 1) ==
+            CampaignControl::Action::kSuspend) {
+      result.suspended = true;
+      break;
+    }
     ++result.rounds;
     Metrics().rounds->Add(1);
     WallTimer sample_timer;
@@ -214,7 +224,12 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
       break;
     }
   }
-  if (telemetry != nullptr) telemetry->EndCampaign(result.converged);
+  // A suspended campaign leaves its telemetry open: the resumed run
+  // re-begins the campaign and the session-side sink merges the rounds
+  // (see core/telemetry.h on suspended campaigns).
+  if (telemetry != nullptr && !result.suspended) {
+    telemetry->EndCampaign(result.converged);
+  }
 
   result.ledger.entities_identified =
       annotator_->ledger().entities_identified - start_ledger.entities_identified;

@@ -8,7 +8,8 @@
 
 namespace kgacc {
 
-class TelemetrySink;  // core/telemetry.h
+class CampaignControl;  // core/campaign_control.h
+class TelemetrySink;    // core/telemetry.h
 
 /// How the SRS stopping rule builds its confidence interval. The paper uses
 /// the Wald (normal plug-in) interval, which degenerates when the sample
@@ -75,6 +76,13 @@ struct EvaluationOptions {
   /// design signature. Never influences the evaluation itself.
   TelemetrySink* telemetry = nullptr;
 
+  /// Borrowed round-boundary control (see core/campaign_control.h); null
+  /// runs the campaign to completion. Carried inside the options for the
+  /// same reason as `telemetry`: so suspend/resume flows through the
+  /// DesignRegistry without widening every design signature. Controls when
+  /// a campaign pauses, never what it computes.
+  CampaignControl* control = nullptr;
+
   double Alpha() const { return 1.0 - confidence; }
 };
 
@@ -85,6 +93,12 @@ struct EvaluationResult {
   double moe = 1.0;         ///< achieved margin of error at `confidence`.
   bool converged = false;   ///< true when moe <= moe_target was reached.
   uint64_t rounds = 0;      ///< framework iterations executed.
+
+  /// True when the campaign was parked by EvaluationOptions::control before
+  /// terminating: `rounds`/`estimate`/ledger cover the completed rounds
+  /// only, and the campaign can be resumed bit-identically by replaying
+  /// those rounds (see core/campaign_control.h).
+  bool suspended = false;
 
   /// Simulated human effort charged by the annotator for this campaign.
   AnnotationLedger ledger;

@@ -21,6 +21,11 @@ struct IncrementalUpdateReport {
   double machine_seconds = 0.0;          ///< sample-maintenance machine time.
   uint64_t rounds = 0;                   ///< estimate/stop iterations this step.
 
+  /// True when the step was parked by EvaluationOptions::control before
+  /// terminating (see core/campaign_control.h): all fields cover completed
+  /// rounds only.
+  bool suspended = false;
+
   double StepCostHours() const { return step_cost_seconds / 3600.0; }
 };
 

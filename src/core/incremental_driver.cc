@@ -69,6 +69,7 @@ EvaluationResult IncrementalCampaignDriver::ToResult(
   result.moe = report.moe;
   result.converged = report.converged;
   result.rounds = report.rounds;
+  result.suspended = report.suspended;
   result.ledger.entities_identified = report.newly_annotated_entities;
   result.ledger.triples_annotated = report.newly_annotated_triples;
   result.annotation_seconds = report.step_cost_seconds;

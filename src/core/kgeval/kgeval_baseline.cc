@@ -15,7 +15,8 @@ KgEvalBaseline::KgEvalBaseline(const KnowledgeGraph& kg, const Options& options)
   KGACC_CHECK(options_.max_hops >= 1);
 }
 
-KgEvalBaseline::Result KgEvalBaseline::Run(Annotator* annotator) {
+KgEvalBaseline::Result KgEvalBaseline::Run(Annotator* annotator,
+                                           CampaignControl* control) {
   KGACC_CHECK(annotator != nullptr);
   Result result;
   const uint32_t n = graph_.NumTriples();
@@ -88,6 +89,12 @@ KgEvalBaseline::Result KgEvalBaseline::Run(Annotator* annotator) {
 
   uint64_t labeled = 0;
   while (labeled < n) {
+    if (control != nullptr &&
+        control->BeforeRound(result.triples_annotated + 1) ==
+            CampaignControl::Action::kSuspend) {
+      result.suspended = true;
+      break;
+    }
     // Control mechanism: argmax coverage gain over all unlabeled triples.
     // This whole-graph scan per pick is what makes KGEval machine-expensive.
     uint32_t best = n;

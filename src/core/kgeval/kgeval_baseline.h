@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/campaign_control.h"
 #include "core/kgeval/coupling_graph.h"
 #include "cost/cost_model.h"
 #include "kg/knowledge_graph.h"
@@ -45,13 +46,19 @@ class KgEvalBaseline {
     double machine_seconds = 0.0;     ///< control + inference machine time.
     double annotation_seconds = 0.0;  ///< simulated human time (Eq 4).
     AnnotationLedger ledger;
+    /// True when `control` parked the loop early (see
+    /// core/campaign_control.h): the fields above cover the picks completed
+    /// so far and the run can be resumed bit-identically by replay.
+    bool suspended = false;
   };
 
   KgEvalBaseline(const KnowledgeGraph& kg, const Options& options);
 
   /// Runs the full control/inference loop until every triple carries a
-  /// label, charging human effort to `annotator`.
-  Result Run(Annotator* annotator);
+  /// label, charging human effort to `annotator`. One "round" of KGEval is
+  /// one annotation pick; `control` (optional, borrowed) is consulted before
+  /// each pick, like the engine consults it before each sampling round.
+  Result Run(Annotator* annotator, CampaignControl* control = nullptr);
 
  private:
   const KnowledgeGraph& kg_;

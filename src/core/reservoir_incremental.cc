@@ -5,6 +5,7 @@
 #include <functional>
 #include <span>
 
+#include "core/campaign_control.h"
 #include "core/engine.h"
 #include "core/optimal_m.h"
 #include "sampling/srs.h"
@@ -90,6 +91,12 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate(
   if (telemetry != nullptr) telemetry->BeginCampaign("RS", campaign_label);
 
   while (true) {
+    if (options_.control != nullptr &&
+        options_.control->BeforeRound(report.rounds + 1) ==
+            CampaignControl::Action::kSuspend) {
+      report.suspended = true;
+      break;
+    }
     WallTimer machine;
     capacity_ = std::min<uint64_t>(capacity_, entries_.size());
     // The top-capacity_ keys are the current A-Res reservoir.
@@ -134,7 +141,9 @@ IncrementalUpdateReport ReservoirIncrementalEvaluator::Reevaluate(
                                    capacity_ + options_.batch_units);
   }
 
-  if (telemetry != nullptr) telemetry->EndCampaign(report.converged);
+  if (telemetry != nullptr && !report.suspended) {
+    telemetry->EndCampaign(report.converged);
+  }
   report.newly_annotated_entities =
       annotator_->ledger().entities_identified - start_ledger.entities_identified;
   report.newly_annotated_triples =

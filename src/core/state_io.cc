@@ -10,6 +10,7 @@ namespace {
 
 constexpr const char* kSsHeader = "kgacc-ss-state v1";
 constexpr const char* kRsHeader = "kgacc-rs-state v1";
+constexpr const char* kSessionHeader = "kgacc-campaign-session v1";
 
 Status ExpectHeader(std::istream& in, const char* expected) {
   std::string line;
@@ -137,6 +138,144 @@ Status RestoreReservoirState(std::istream& in,
     return Status::InvalidArgument("missing 'end' marker");
   }
   return evaluator->Restore(snapshot);
+}
+
+namespace {
+
+/// Reads a `keyword <rest-of-line>` record into a string (design and graph
+/// names may contain spaces — e.g. a .tsv path).
+Status ReadNamed(std::istream& in, const char* keyword, std::string* out) {
+  std::string word;
+  if (!(in >> word) || word != keyword) {
+    return Status::InvalidArgument(
+        StrFormat("expected '%s <value>' record", keyword));
+  }
+  std::getline(in, *out);
+  *out = StripWhitespace(*out);
+  if (out->empty()) {
+    return Status::InvalidArgument(
+        StrFormat("empty value for '%s'", keyword));
+  }
+  return Status::OK();
+}
+
+Status ReadDouble(std::istream& in, const char* keyword, double* out) {
+  std::string word;
+  if (!(in >> word) || word != keyword || !(in >> *out)) {
+    return Status::InvalidArgument(
+        StrFormat("expected '%s <value>' record", keyword));
+  }
+  return Status::OK();
+}
+
+Status ReadInt(std::istream& in, const char* keyword, int* out) {
+  std::string word;
+  if (!(in >> word) || word != keyword || !(in >> *out)) {
+    return Status::InvalidArgument(
+        StrFormat("expected '%s <value>' record", keyword));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCampaignSession(const CampaignSessionState& state,
+                           std::ostream& out) {
+  if (state.design.empty() || state.graph.empty()) {
+    return Status::FailedPrecondition("session has no design/graph to save");
+  }
+  const EvaluationOptions& options = state.options;
+  out << kSessionHeader << '\n';
+  out << "design " << state.design << '\n';
+  out << "graph " << state.graph << '\n';
+  out << "rounds " << state.rounds_completed << '\n';
+  out << StrFormat("moe_target %.17g\n", options.moe_target);
+  out << StrFormat("confidence %.17g\n", options.confidence);
+  out << "min_units " << options.min_units << '\n';
+  out << "batch_units " << options.batch_units << '\n';
+  out << "m " << options.m << '\n';
+  out << StrFormat("max_cost_seconds %.17g\n", options.max_cost_seconds);
+  out << "max_units " << options.max_units << '\n';
+  out << "seed " << options.seed << '\n';
+  out << "min_stratum_units " << options.min_stratum_units << '\n';
+  out << "srs_ci " << (options.srs_ci == CiMethod::kWilson ? "wilson" : "wald")
+      << '\n';
+  out << "num_strata " << options.num_strata << '\n';
+  out << "pilot_size " << options.pilot_size << '\n';
+  const AnnotatorSpec& annotator = state.annotator;
+  out << "annotators " << annotator.annotators << '\n';
+  out << StrFormat("noise_rate %.17g\n", annotator.noise_rate);
+  out << "annotator_seed " << annotator.seed << '\n';
+  out << "annotation_threads " << annotator.annotation_threads << '\n';
+  out << "annotation_shards " << annotator.annotation_shards << '\n';
+  out << StrFormat("c1_seconds %.17g\n", annotator.c1_seconds);
+  out << StrFormat("c2_seconds %.17g\n", annotator.c2_seconds);
+  out << "end\n";
+  if (!out.good()) return Status::IOError("stream error while saving state");
+  return Status::OK();
+}
+
+Result<CampaignSessionState> RestoreCampaignSession(std::istream& in) {
+  KGACC_RETURN_IF_ERROR(ExpectHeader(in, kSessionHeader));
+  CampaignSessionState state;
+  EvaluationOptions& options = state.options;
+  KGACC_RETURN_IF_ERROR(ReadNamed(in, "design", &state.design));
+  KGACC_RETURN_IF_ERROR(ReadNamed(in, "graph", &state.graph));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "rounds", &state.rounds_completed));
+  KGACC_RETURN_IF_ERROR(ReadDouble(in, "moe_target", &options.moe_target));
+  KGACC_RETURN_IF_ERROR(ReadDouble(in, "confidence", &options.confidence));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "min_units", &options.min_units));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "batch_units", &options.batch_units));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "m", &options.m));
+  KGACC_RETURN_IF_ERROR(
+      ReadDouble(in, "max_cost_seconds", &options.max_cost_seconds));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "max_units", &options.max_units));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "seed", &options.seed));
+  KGACC_RETURN_IF_ERROR(
+      ReadCount(in, "min_stratum_units", &options.min_stratum_units));
+  std::string ci;
+  KGACC_RETURN_IF_ERROR(ReadNamed(in, "srs_ci", &ci));
+  if (ci == "wilson") {
+    options.srs_ci = CiMethod::kWilson;
+  } else if (ci == "wald") {
+    options.srs_ci = CiMethod::kWald;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown srs_ci '%s' (want wald or wilson)", ci.c_str()));
+  }
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "num_strata", &options.num_strata));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "pilot_size", &options.pilot_size));
+  AnnotatorSpec& annotator = state.annotator;
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "annotators", &annotator.annotators));
+  KGACC_RETURN_IF_ERROR(ReadDouble(in, "noise_rate", &annotator.noise_rate));
+  KGACC_RETURN_IF_ERROR(ReadCount(in, "annotator_seed", &annotator.seed));
+  KGACC_RETURN_IF_ERROR(
+      ReadInt(in, "annotation_threads", &annotator.annotation_threads));
+  KGACC_RETURN_IF_ERROR(
+      ReadInt(in, "annotation_shards", &annotator.annotation_shards));
+  KGACC_RETURN_IF_ERROR(ReadDouble(in, "c1_seconds", &annotator.c1_seconds));
+  KGACC_RETURN_IF_ERROR(ReadDouble(in, "c2_seconds", &annotator.c2_seconds));
+  std::string word;
+  if (!(in >> word) || word != "end") {
+    return Status::InvalidArgument("missing 'end' marker");
+  }
+  if (!(options.moe_target > 0.0) || !(options.confidence > 0.0) ||
+      !(options.confidence < 1.0)) {
+    return Status::InvalidArgument("moe_target/confidence out of range");
+  }
+  if (options.batch_units == 0) {
+    return Status::InvalidArgument("batch_units must be >= 1");
+  }
+  if (annotator.annotators == 0) {
+    return Status::InvalidArgument("annotators must be >= 1");
+  }
+  if (!(annotator.noise_rate >= 0.0 && annotator.noise_rate <= 1.0)) {
+    return Status::InvalidArgument("noise_rate outside [0, 1]");
+  }
+  if (annotator.annotation_threads < 0 || annotator.annotation_shards < 0) {
+    return Status::InvalidArgument("negative annotation threads/shards");
+  }
+  return state;
 }
 
 }  // namespace kgacc

@@ -3,8 +3,10 @@
 #include <istream>
 #include <ostream>
 
+#include "core/campaign_session.h"
 #include "core/reservoir_incremental.h"
 #include "core/stratified_incremental.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace kgacc {
@@ -39,5 +41,17 @@ Status SaveReservoirState(const ReservoirIncrementalEvaluator& evaluator,
 /// Restores state into a freshly constructed (never initialized) evaluator.
 Status RestoreReservoirState(std::istream& in,
                              ReservoirIncrementalEvaluator* evaluator);
+
+/// Writes a suspended campaign session (`kgacc-campaign-session v1`): the
+/// design-agnostic replay state the serve daemon persists on `suspend`, in
+/// the same line-based text family as the evaluator states above. Doubles
+/// use %.17g so a restored session replays bit-identically.
+Status SaveCampaignSession(const CampaignSessionState& state,
+                           std::ostream& out);
+
+/// Parses a campaign session back. Validates structure and value ranges;
+/// graph/design existence is the caller's to check (the serve session
+/// manager resolves both against its stores).
+Result<CampaignSessionState> RestoreCampaignSession(std::istream& in);
 
 }  // namespace kgacc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 
+#include "core/campaign_control.h"
 #include "core/engine.h"
 #include "core/optimal_m.h"
 #include "util/logging.h"
@@ -158,6 +159,12 @@ IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
 
   const StoppingPolicy policy(options_);
   while (true) {
+    if (options_.control != nullptr &&
+        options_.control->BeforeRound(report.rounds + 1) ==
+            CampaignControl::Action::kSuspend) {
+      report.suspended = true;
+      break;
+    }
     const Estimate estimate = Combined();
     report.estimate = estimate;
     report.moe = policy.MarginOfError(estimate);
@@ -196,7 +203,9 @@ IncrementalUpdateReport StratifiedIncrementalEvaluator::DriveToTarget(
     SampleStratum(target, options_.batch_units);
   }
 
-  if (telemetry != nullptr) telemetry->EndCampaign(report.converged);
+  if (telemetry != nullptr && !report.suspended) {
+    telemetry->EndCampaign(report.converged);
+  }
   report.machine_seconds = machine.ElapsedSeconds();
   report.newly_annotated_entities =
       annotator_->ledger().entities_identified - start_ledger.entities_identified;

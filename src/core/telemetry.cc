@@ -75,19 +75,6 @@ namespace {
 
 constexpr const char* kSchema = "kgacc-trace-v1";
 
-void AppendRound(const CampaignRound& round, std::string* out) {
-  *out += StrFormat(
-      "{\"round\": %llu, \"cost_seconds\": %.17g, \"units\": %llu, "
-      "\"estimate\": %.17g, \"ci_lower\": %.17g, \"ci_upper\": %.17g, "
-      "\"moe\": %.17g, \"triples_annotated\": %llu, "
-      "\"entities_identified\": %llu}",
-      static_cast<unsigned long long>(round.round), round.cost_seconds,
-      static_cast<unsigned long long>(round.units), round.estimate,
-      round.ci_lower, round.ci_upper, round.moe,
-      static_cast<unsigned long long>(round.triples_annotated),
-      static_cast<unsigned long long>(round.entities_identified));
-}
-
 /// A count field must be a non-negative integer small enough to cast without
 /// undefined behavior (doubles hold integers exactly up to 2^53); externally
 /// supplied documents get a validation error, never a wrapping cast.
@@ -120,6 +107,19 @@ Result<CampaignRound> ParseRound(const JsonValue& value) {
 
 }  // namespace
 
+std::string RoundToJson(const CampaignRound& round) {
+  return StrFormat(
+      "{\"round\": %llu, \"cost_seconds\": %.17g, \"units\": %llu, "
+      "\"estimate\": %.17g, \"ci_lower\": %.17g, \"ci_upper\": %.17g, "
+      "\"moe\": %.17g, \"triples_annotated\": %llu, "
+      "\"entities_identified\": %llu}",
+      static_cast<unsigned long long>(round.round), round.cost_seconds,
+      static_cast<unsigned long long>(round.units), round.estimate,
+      round.ci_lower, round.ci_upper, round.moe,
+      static_cast<unsigned long long>(round.triples_annotated),
+      static_cast<unsigned long long>(round.entities_identified));
+}
+
 Status WriteTraceJson(
     const std::string& path, const std::vector<CampaignTrace>& campaigns,
     const std::vector<std::pair<std::string, double>>& metadata) {
@@ -141,7 +141,7 @@ Status WriteTraceJson(
                      trace.converged ? "true" : "false");
     for (size_t r = 0; r < trace.rounds.size(); ++r) {
       if (r > 0) out += ",\n    ";
-      AppendRound(trace.rounds[r], &out);
+      out += RoundToJson(trace.rounds[r]);
     }
     out += "]}";
   }

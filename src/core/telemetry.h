@@ -46,6 +46,14 @@ struct CampaignTrace {
 /// strictly increasing from 1), then EndCampaign. Emission must never
 /// influence the evaluation itself — a campaign run with and without a sink
 /// produces bit-identical results.
+///
+/// Suspended campaigns (core/campaign_control.h) leave their telemetry open:
+/// the loop skips EndCampaign, and the later resumed run calls BeginCampaign
+/// again and re-emits rounds 1..k while replaying. Sinks that feed a
+/// suspendable session (serve) must therefore tolerate a repeated
+/// BeginCampaign and duplicate round indices by merging — the plain
+/// TraceRecorder intentionally does not, so one recorder sees one
+/// uninterrupted campaign.
 class TelemetrySink {
  public:
   virtual ~TelemetrySink() = default;
@@ -81,6 +89,12 @@ class TraceRecorder : public TelemetrySink {
   std::vector<CampaignTrace> campaigns_;
   bool open_ = false;  ///< a BeginCampaign without matching EndCampaign.
 };
+
+/// One round as a single-line JSON object — the row format of
+/// WriteTraceJson's "rounds" arrays (%.17g doubles, bit-exact round-trip).
+/// Shared with the serve `stream-trace` op, which streams these rows
+/// verbatim so streamed and file traces byte-compare equal.
+std::string RoundToJson(const CampaignRound& round);
 
 /// Structural validity of one trace: at least one round, strictly increasing
 /// round indices, non-decreasing cumulative cost/units/annotations, CI

@@ -1,0 +1,93 @@
+#include "serve/graph_store.h"
+
+#include <utility>
+
+#include "datasets/registry.h"
+#include "kg/loader.h"
+#include "kg/symbol_table.h"
+#include "labels/gold_labels.h"
+#include "util/string_util.h"
+
+namespace kgacc::serve {
+
+namespace {
+
+bool IsTsvPath(const std::string& name) {
+  return name.size() > 4 && name.compare(name.size() - 4, 4, ".tsv") == 0;
+}
+
+Result<Dataset> LoadTsvDataset(const std::string& path) {
+  SymbolTable symbols;
+  auto graph = std::make_unique<KnowledgeGraph>();
+  std::vector<LabeledTriple> labels;
+  KGACC_RETURN_IF_ERROR(LoadTsvFile(path, &symbols, graph.get(), &labels));
+  if (labels.size() != graph->TotalTriples()) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s' needs a 0/1 gold label on every line (%llu labels for %llu "
+        "triples)",
+        path.c_str(), static_cast<unsigned long long>(labels.size()),
+        static_cast<unsigned long long>(graph->TotalTriples())));
+  }
+  auto gold = std::make_unique<GoldLabelStore>(graph->ClusterSizes());
+  for (const LabeledTriple& lt : labels) gold->Set(lt.ref, lt.correct);
+  Dataset dataset;
+  dataset.name = path;
+  dataset.graph = std::move(graph);
+  dataset.oracle = std::move(gold);
+  return dataset;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Dataset>> GraphStore::Load(
+    const std::string& name, uint64_t seed) {
+  if (name.empty()) return Status::InvalidArgument("empty graph name");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = graphs_.find(name);
+    if (it != graphs_.end()) return it->second;
+  }
+  // Build outside the lock: dataset construction is the expensive part and
+  // concurrent loads of *different* graphs should not serialize. A racing
+  // duplicate load of the same name is resolved below (first one wins).
+  Result<Dataset> made = IsTsvPath(name) ? LoadTsvDataset(name)
+                                         : MakeDatasetByName(name, seed);
+  if (!made.ok()) return made.status();
+  auto built = std::make_shared<const Dataset>(std::move(made).value());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = graphs_.emplace(name, std::move(built));
+  return it->second;
+}
+
+Result<std::shared_ptr<const Dataset>> GraphStore::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    std::string known;
+    for (const auto& [key, dataset] : graphs_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound(StrFormat(
+        "graph '%s' not loaded (loaded: %s)", name.c_str(),
+        known.empty() ? "none" : known.c_str()));
+  }
+  return it->second;
+}
+
+void GraphStore::Put(const std::string& name,
+                     std::shared_ptr<const Dataset> dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  graphs_[name] = std::move(dataset);
+}
+
+std::vector<std::string> GraphStore::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, dataset] : graphs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace kgacc::serve

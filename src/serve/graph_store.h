@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "util/result.h"
+
+namespace kgacc::serve {
+
+/// The daemon's load-once graph catalog: named, immutable datasets shared by
+/// every campaign session (sessions hold shared_ptrs, so a graph stays alive
+/// while any session uses it, even after the store drops it).
+///
+/// Names resolve like kgacc_eval inputs: a path ending in ".tsv" loads a
+/// gold-labeled TSV graph; anything else is a built-in benchmark dataset
+/// (MakeDatasetByName). Loading an already-loaded name is a cheap no-op —
+/// the point of a serving daemon is paying graph construction once.
+class GraphStore {
+ public:
+  /// Loads (or returns the already-loaded) dataset under `name`. `seed`
+  /// parameterizes built-in synthetic datasets on first load only.
+  Result<std::shared_ptr<const Dataset>> Load(const std::string& name,
+                                              uint64_t seed);
+
+  /// The loaded dataset under `name`; NotFound when never loaded.
+  Result<std::shared_ptr<const Dataset>> Get(const std::string& name) const;
+
+  /// Registers a caller-built dataset (tests inject small graphs this way).
+  /// Replaces any previous dataset under the same name.
+  void Put(const std::string& name, std::shared_ptr<const Dataset> dataset);
+
+  /// Loaded names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Dataset>> graphs_;
+};
+
+}  // namespace kgacc::serve

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "core/campaign_session.h"
+#include "core/evaluation.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace kgacc::serve {
+
+/// The wire protocol version tag. One `kgacc-serve-v1` exchange is a single
+/// line of JSON in each direction (requests: `{"op": ..., ...}`; responses:
+/// `{"ok": true, ...}` or `{"ok": false, "error": ...}`), except
+/// `stream-trace`, whose response is a header line, one `kgacc-trace-v1`
+/// round object per line, and an `{"end": true}` terminator.
+inline constexpr const char* kServeProtocol = "kgacc-serve-v1";
+
+/// Applies an `options` JSON object to `out` — every EvaluationOptions value
+/// field is an optional member ({"moe_target": 0.05, "seed": 7,
+/// "srs_ci": "wilson", ...}); absent members keep their defaults. Rejects
+/// unknown members so client typos fail loudly instead of silently running
+/// a default campaign.
+Status ParseEvaluationOptions(const JsonValue& json, EvaluationOptions* out);
+
+/// Same for an `annotator` object ({"annotators": 3, "noise_rate": 0.1,
+/// "annotation_threads": 4, ...}).
+Status ParseAnnotatorSpec(const JsonValue& json, AnnotatorSpec* out);
+
+/// Request builders used by the C++ client, bench and tests — one line of
+/// JSON per request, matching what the daemon parses.
+std::string BuildLoadGraph(const std::string& graph, uint64_t seed);
+std::string BuildStartCampaign(const std::string& graph,
+                               const std::string& design,
+                               const std::string& options_json = "",
+                               const std::string& annotator_json = "");
+std::string BuildStep(const std::string& session, uint64_t rounds);
+std::string BuildQueryEstimate(const std::string& session);
+std::string BuildStreamTrace(const std::string& session, uint64_t from = 0);
+std::string BuildSuspend(const std::string& session);
+std::string BuildResumeSession(const std::string& session);
+std::string BuildResumeState(const std::string& campaign_state);
+std::string BuildStop(const std::string& session);
+std::string BuildMetrics();
+std::string BuildShutdown();
+
+}  // namespace kgacc::serve

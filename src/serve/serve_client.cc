@@ -1,0 +1,118 @@
+#include "serve/serve_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace kgacc::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+Status ServeClient::Connect(int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::Internal(
+        StrFormat("connect(port %d): %s", port, std::strerror(errno)));
+    Close();
+    return status;
+  }
+  const int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return Status::OK();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<std::string> ServeClient::ReadLine() {
+  char chunk[4096];
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received < 0) {
+      return Status::Internal(StrFormat("recv(): %s", std::strerror(errno)));
+    }
+    if (received == 0) {
+      return Status::Internal("server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<size_t>(received));
+  }
+}
+
+Result<std::string> ServeClient::Call(const std::string& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out = request;
+  out += '\n';
+  const char* data = out.data();
+  size_t size = out.size();
+  while (size > 0) {
+    const ssize_t written = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("send(): %s", std::strerror(errno)));
+    }
+    data += written;
+    size -= static_cast<size_t>(written);
+  }
+  return ReadLine();
+}
+
+Result<std::vector<std::string>> ServeClient::CallMulti(
+    const std::string& request,
+    long (*extra_lines)(const std::string& header)) {
+  KGACC_ASSIGN_OR_RETURN(std::string header, Call(request));
+  const long extra = extra_lines(header);
+  if (extra < 0) {
+    return Status::Internal(
+        StrFormat("unexpected response header: %s", header.c_str()));
+  }
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(extra) + 1);
+  lines.push_back(std::move(header));
+  for (long i = 0; i < extra; ++i) {
+    KGACC_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+long StreamTraceExtraLines(const std::string& header) {
+  Result<JsonValue> parsed = JsonValue::Parse(header);
+  if (!parsed.ok() || !parsed.value().is_object()) return -1;
+  const JsonValue* ok = parsed.value().Find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) return -1;
+  const JsonValue* rounds = parsed.value().Find("rounds");
+  if (rounds == nullptr || !rounds->is_number()) return -1;
+  const double value = rounds->AsNumber();
+  if (value < 0 || value > 1e9) return -1;
+  return static_cast<long>(value) + 1;  // round lines + end marker.
+}
+
+}  // namespace kgacc::serve

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace kgacc::serve {
+
+/// Minimal blocking client for the `kgacc-serve-v1` protocol: one TCP
+/// connection, line-in/line-out. Not thread-safe — each client thread (e.g.
+/// a bench load generator) owns its own ServeClient.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  Status Connect(int port);
+
+  /// Sends one request line and returns the single response line.
+  Result<std::string> Call(const std::string& request);
+
+  /// Sends one request line and reads `1 + extra_lines(header)` response
+  /// lines — for `stream-trace`, where the header announces how many round
+  /// lines (plus the end marker) follow. `extra_lines` receives the header
+  /// line and returns how many more lines to read, or < 0 on a header it
+  /// cannot interpret (turned into an error).
+  Result<std::vector<std::string>> CallMulti(
+      const std::string& request,
+      long (*extra_lines)(const std::string& header));
+
+  /// Closes the connection (reconnect via Connect).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// extra_lines helper for `stream-trace` responses: reads the `"rounds": K`
+/// field of the header and returns K + 1 (round lines plus end marker), or
+/// -1 if the header is an error response.
+long StreamTraceExtraLines(const std::string& header);
+
+}  // namespace kgacc::serve

@@ -1,0 +1,213 @@
+#include "serve/serve_session.h"
+
+#include <sstream>
+#include <utility>
+
+#include "core/design_registry.h"
+#include "core/state_io.h"
+#include "labels/annotator_pool.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgacc::serve {
+
+void SessionTraceSink::BeginCampaign(const std::string& design,
+                                     const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A resumed campaign begins again with the identical design/label
+  // (deterministic replay); only the first begin records them.
+  if (began_) return;
+  began_ = true;
+  trace_.design = design;
+  trace_.label = label;
+}
+
+void SessionTraceSink::OnRound(const CampaignRound& round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Replayed rounds re-arrive with indices the trace already holds; the
+  // determinism contract makes them bit-identical, so extending the
+  // trajectory by index is a merge, not a guess.
+  if (round.round == trace_.rounds.size() + 1) {
+    trace_.rounds.push_back(round);
+  }
+}
+
+void SessionTraceSink::EndCampaign(bool converged) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.converged = converged;
+}
+
+CampaignTrace SessionTraceSink::Trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::vector<CampaignRound> SessionTraceSink::RoundsAfter(uint64_t from) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CampaignRound> rounds;
+  for (const CampaignRound& round : trace_.rounds) {
+    if (round.round > from) rounds.push_back(round);
+  }
+  return rounds;
+}
+
+uint64_t SessionTraceSink::NumRounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_.rounds.size();
+}
+
+const char* ServeSession::StateName(State state) {
+  switch (state) {
+    case State::kRunning: return "running";
+    case State::kSuspended: return "suspended";
+    case State::kCompleted: return "completed";
+    case State::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Annotator> ServeSession::MakeAnnotator(
+    const AnnotatorSpec& spec, const TruthOracle* oracle) {
+  CostModel cost;
+  cost.c1_seconds = spec.c1_seconds;
+  cost.c2_seconds = spec.c2_seconds;
+  if (spec.annotators > 1) {
+    return std::make_unique<AnnotatorPool>(
+        oracle, cost,
+        AnnotatorPool::Options{.num_annotators = spec.annotators,
+                               .noise_rate = spec.noise_rate,
+                               .seed = spec.seed,
+                               .annotation_threads = spec.annotation_threads});
+  }
+  return std::make_unique<SimulatedAnnotator>(
+      oracle, cost,
+      SimulatedAnnotator::Options{.noise_rate = spec.noise_rate,
+                                  .seed = spec.seed,
+                                  .annotation_threads = spec.annotation_threads,
+                                  .annotation_shards = spec.annotation_shards});
+}
+
+ServeSession::ServeSession(Config config) : config_(std::move(config)) {
+  KGACC_CHECK(config_.dataset != nullptr);
+  KGACC_CHECK(config_.options.telemetry == nullptr &&
+              config_.options.control == nullptr)
+      << "the session wires its own telemetry/control";
+  annotator_ = MakeAnnotator(config_.annotator, config_.dataset->oracle.get());
+  gate_ = std::make_unique<StepGate>(config_.replay_rounds);
+  worker_ = std::thread(&ServeSession::WorkerMain, this);
+}
+
+ServeSession::~ServeSession() {
+  std::lock_guard<std::mutex> op(op_mutex_);
+  ParkAndJoinLocked();
+}
+
+void ServeSession::WorkerMain() {
+  EvaluationOptions options = config_.options;
+  options.telemetry = &sink_;
+  options.control = gate_.get();
+  Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      config_.design, config_.dataset->View(), annotator_.get(), options);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (run.ok()) {
+      result_ = std::move(run).value();
+      has_result_ = true;
+      state_ = result_.suspended ? State::kSuspended : State::kCompleted;
+    } else {
+      state_ = State::kStopped;
+      error_ = run.status();
+    }
+  }
+  gate_->MarkFinished();
+}
+
+void ServeSession::ParkAndJoinLocked() {
+  gate_->RequestSuspend();
+  if (worker_.joinable()) worker_.join();
+}
+
+Status ServeSession::Step(uint64_t rounds) {
+  std::lock_guard<std::mutex> op(op_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (state_ == State::kSuspended || state_ == State::kStopped) {
+      return Status::FailedPrecondition(
+          StrFormat("session %s is %s", config_.id.c_str(),
+                    StateName(state_)));
+    }
+    if (state_ == State::kCompleted) return Status::OK();  // nothing to do.
+  }
+  if (rounds == 0) {
+    gate_->RunToCompletion();
+  } else {
+    gate_->Grant(rounds);
+  }
+  gate_->WaitIdle();
+  if (gate_->finished() && worker_.joinable()) worker_.join();
+  return Status::OK();
+}
+
+Result<std::string> ServeSession::Suspend() {
+  std::lock_guard<std::mutex> op(op_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (state_ == State::kCompleted || state_ == State::kStopped) {
+      return Status::FailedPrecondition(
+          StrFormat("session %s is %s: nothing to suspend",
+                    config_.id.c_str(), StateName(state_)));
+    }
+  }
+  ParkAndJoinLocked();
+  CampaignSessionState state;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    // The suspend request can race the campaign's natural completion; a
+    // completed campaign has no future rounds to resume into.
+    if (state_ != State::kSuspended) {
+      if (!error_.ok()) return error_;
+      return Status::FailedPrecondition(
+          StrFormat("session %s completed before it could suspend",
+                    config_.id.c_str()));
+    }
+    state.rounds_completed = result_.rounds;
+  }
+  state.design = config_.design;
+  state.graph = config_.graph;
+  state.options = config_.options;
+  state.options.telemetry = nullptr;
+  state.options.control = nullptr;
+  state.annotator = config_.annotator;
+  std::ostringstream out;
+  KGACC_RETURN_IF_ERROR(SaveCampaignSession(state, out));
+  return out.str();
+}
+
+void ServeSession::WaitParked() {
+  std::lock_guard<std::mutex> op(op_mutex_);
+  gate_->WaitIdle();
+  if (gate_->finished() && worker_.joinable()) worker_.join();
+}
+
+Status ServeSession::Stop() {
+  std::lock_guard<std::mutex> op(op_mutex_);
+  ParkAndJoinLocked();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  state_ = State::kStopped;
+  return Status::OK();
+}
+
+ServeSession::Info ServeSession::GetInfo() const {
+  Info info;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    info.state = state_;
+    info.has_result = has_result_;
+    if (has_result_) info.result = result_;
+    info.error = error_;
+  }
+  info.rounds = sink_.NumRounds();
+  return info;
+}
+
+}  // namespace kgacc::serve

@@ -1,0 +1,166 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace kgacc::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out short writes and EINTR.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t written = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<size_t>(written);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeServer::ServeServer(SessionManager* manager, int port)
+    : manager_(manager), requested_port_(port) {}
+
+ServeServer::~ServeServer() {
+  Shutdown();
+  Wait();
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+Status ServeServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::Internal(
+        StrFormat("bind(port %d): %s", requested_port_, std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status status =
+        Status::Internal(StrFormat("listen(): %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = requested_port_;
+  }
+  acceptor_ = std::thread(&ServeServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void ServeServer::AcceptLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (shutdown) or fatal.
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(&ServeServer::HandleConnection, this, fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    done_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void ServeServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    const ssize_t received = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) break;  // peer closed or shutdown unblocked us.
+    buffer.append(chunk, static_cast<size_t>(received));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (StripWhitespace(line).empty()) continue;
+      const SessionManager::Response response = manager_->HandleLine(line);
+      std::string out;
+      for (const std::string& response_line : response.lines) {
+        out += response_line;
+        out += '\n';
+      }
+      if (!WriteAll(fd, out.data(), out.size())) return;
+      if (response.shutdown) {
+        Shutdown();
+        return;
+      }
+    }
+  }
+}
+
+void ServeServer::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  manager_->StopAll();
+  if (listen_fd_ >= 0) {
+    // Closing the listener unblocks accept(); shutdown() each connection
+    // unblocks its recv() without yanking fds out from under the handlers.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ServeServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    wait_cv_.wait(lock, [this] { return done_; });
+  }
+  // Acceptor is done: no new connections can appear; drain the handlers.
+  std::vector<std::thread> threads;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+    fds.swap(connection_fds_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const int fd : fds) ::close(fd);
+}
+
+}  // namespace kgacc::serve

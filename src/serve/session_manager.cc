@@ -1,0 +1,419 @@
+#include "serve/session_manager.h"
+
+#include <sstream>
+#include <utility>
+
+#include <cmath>
+
+#include "core/design_registry.h"
+#include "core/state_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/protocol.h"
+#include "util/string_util.h"
+
+namespace kgacc::serve {
+
+namespace {
+
+/// Per-request-type latency histograms plus request/error counters. Resolved
+/// once; the registry keeps the pointers valid for the process lifetime.
+struct ServeMetrics {
+  obs::Histogram* load_graph = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.load_graph_seconds");
+  obs::Histogram* start_campaign = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.start_campaign_seconds");
+  obs::Histogram* step = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.step_seconds");
+  obs::Histogram* query_estimate = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.query_estimate_seconds");
+  obs::Histogram* stream_trace = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.stream_trace_seconds");
+  obs::Histogram* suspend = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.suspend_seconds");
+  obs::Histogram* resume = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.resume_seconds");
+  obs::Histogram* stop = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.stop_seconds");
+  obs::Histogram* metrics = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.metrics_seconds");
+  obs::Histogram* shutdown = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.shutdown_seconds");
+  obs::Counter* requests =
+      obs::MetricsRegistry::Global().GetCounter("serve.requests");
+  obs::Counter* errors =
+      obs::MetricsRegistry::Global().GetCounter("serve.request_errors");
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+SessionManager::Response ErrorResponse(const Status& status) {
+  Metrics().errors->Add(1);
+  SessionManager::Response response;
+  response.lines.push_back(StrFormat("{\"ok\": false, \"error\": \"%s\"}",
+                                     JsonEscape(status.ToString()).c_str()));
+  return response;
+}
+
+SessionManager::Response OneLine(std::string line) {
+  SessionManager::Response response;
+  response.lines.push_back(std::move(line));
+  return response;
+}
+
+Result<std::string> RequireString(const JsonValue& request, const char* key) {
+  KGACC_ASSIGN_OR_RETURN(std::string value, request.GetString(key));
+  if (value.empty()) {
+    return Status::InvalidArgument(StrFormat("empty '%s'", key));
+  }
+  return value;
+}
+
+Result<uint64_t> OptionalCount(const JsonValue& request, const char* key,
+                               uint64_t fallback) {
+  if (request.Find(key) == nullptr) return fallback;
+  KGACC_ASSIGN_OR_RETURN(const double number, request.GetNumber(key));
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53.
+  if (!(number >= 0.0) || number > kMaxExact ||
+      number != std::floor(number)) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not a valid count", key));
+  }
+  return static_cast<uint64_t>(number);
+}
+
+/// Renders the common session-status object shared by step/query-estimate/
+/// start/resume responses. Live estimate fields come from the last recorded
+/// trace round; terminal fields (converged) from the result once available.
+std::string SessionStatusJson(ServeSession& session, bool verbose) {
+  const ServeSession::Info info = session.GetInfo();
+  const CampaignTrace trace = session.Trace();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  json.Key("session").String(session.id());
+  json.Key("design").String(session.design());
+  json.Key("graph").String(session.graph());
+  json.Key("state").String(ServeSession::StateName(info.state));
+  json.Key("rounds").Uint(trace.rounds.size());
+  if (!trace.rounds.empty()) {
+    const CampaignRound& last = trace.rounds.back();
+    json.Key("estimate").Number(last.estimate);
+    json.Key("moe").Number(last.moe);
+    json.Key("units").Uint(last.units);
+    if (verbose) {
+      json.Key("ci_lower").Number(last.ci_lower);
+      json.Key("ci_upper").Number(last.ci_upper);
+      json.Key("cost_seconds").Number(last.cost_seconds);
+      json.Key("triples_annotated").Uint(last.triples_annotated);
+      json.Key("entities_identified").Uint(last.entities_identified);
+    }
+  }
+  if (info.has_result && info.state == ServeSession::State::kCompleted) {
+    json.Key("converged").Bool(info.result.converged);
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(GraphStore* graphs) : graphs_(graphs) {}
+
+std::shared_ptr<ServeSession> SessionManager::FindSession(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+SessionManager::Response SessionManager::HandleLine(const std::string& line) {
+  Metrics().requests->Add(1);
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const JsonValue& request = *parsed;
+  Result<std::string> op = RequireString(request, "op");
+  if (!op.ok()) return ErrorResponse(op.status());
+
+  struct Dispatch {
+    const char* op;
+    obs::Histogram* histogram;
+    Response (SessionManager::*handler)(const JsonValue&);
+  };
+  static const Dispatch kTable[] = {
+      {"load-graph", Metrics().load_graph, &SessionManager::LoadGraph},
+      {"start-campaign", Metrics().start_campaign,
+       &SessionManager::StartCampaign},
+      {"step", Metrics().step, &SessionManager::Step},
+      {"query-estimate", Metrics().query_estimate,
+       &SessionManager::QueryEstimate},
+      {"stream-trace", Metrics().stream_trace, &SessionManager::StreamTrace},
+      {"suspend", Metrics().suspend, &SessionManager::Suspend},
+      {"resume", Metrics().resume, &SessionManager::Resume},
+      {"stop", Metrics().stop, &SessionManager::Stop},
+  };
+  for (const Dispatch& entry : kTable) {
+    if (*op == entry.op) {
+      obs::ScopedSpan span("serve.request", entry.histogram);
+      return (this->*entry.handler)(request);
+    }
+  }
+  if (*op == "metrics") {
+    obs::ScopedSpan span("serve.request", Metrics().metrics);
+    return MetricsOp();
+  }
+  if (*op == "shutdown") {
+    obs::ScopedSpan span("serve.request", Metrics().shutdown);
+    return ShutdownOp();
+  }
+  return ErrorResponse(Status::InvalidArgument(StrFormat(
+      "unknown op '%s' (known: load-graph, start-campaign, step, "
+      "query-estimate, stream-trace, suspend, resume, stop, metrics, "
+      "shutdown)",
+      op->c_str())));
+}
+
+SessionManager::Response SessionManager::LoadGraph(const JsonValue& request) {
+  Result<std::string> name = RequireString(request, "graph");
+  if (!name.ok()) return ErrorResponse(name.status());
+  Result<uint64_t> seed = OptionalCount(request, "seed", 42);
+  if (!seed.ok()) return ErrorResponse(seed.status());
+  Result<std::shared_ptr<const Dataset>> loaded = graphs_->Load(*name, *seed);
+  if (!loaded.ok()) return ErrorResponse(loaded.status());
+  const KgView& view = (*loaded)->View();
+  return OneLine(StrFormat(
+      "{\"ok\": true, \"graph\": \"%s\", \"entities\": %llu, "
+      "\"triples\": %llu}",
+      JsonEscape(*name).c_str(),
+      static_cast<unsigned long long>(view.NumClusters()),
+      static_cast<unsigned long long>(view.TotalTriples())));
+}
+
+SessionManager::Response SessionManager::StartCampaign(
+    const JsonValue& request) {
+  Result<std::string> graph = RequireString(request, "graph");
+  if (!graph.ok()) return ErrorResponse(graph.status());
+  Result<std::string> design = RequireString(request, "design");
+  if (!design.ok()) return ErrorResponse(design.status());
+  // The shared unknown-design message: same listing kgacc_eval users see.
+  if (!DesignRegistry::Global().Contains(*design)) {
+    return ErrorResponse(DesignRegistry::Global().UnknownDesign(*design));
+  }
+  Result<std::shared_ptr<const Dataset>> dataset = graphs_->Get(*graph);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+
+  ServeSession::Config config;
+  config.design = *design;
+  config.graph = *graph;
+  config.dataset = *dataset;
+  if (const JsonValue* options = request.Find("options")) {
+    const Status parsed_options =
+        ParseEvaluationOptions(*options, &config.options);
+    if (!parsed_options.ok()) return ErrorResponse(parsed_options);
+  }
+  if (const JsonValue* annotator = request.Find("annotator")) {
+    const Status parsed_spec =
+        ParseAnnotatorSpec(*annotator, &config.annotator);
+    if (!parsed_spec.ok()) return ErrorResponse(parsed_spec);
+  }
+
+  std::shared_ptr<ServeSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    config.id = StrFormat("s%llu",
+                          static_cast<unsigned long long>(next_id_++));
+    session = std::make_shared<ServeSession>(std::move(config));
+    sessions_.emplace(session->id(), session);
+  }
+  return OneLine(SessionStatusJson(*session, /*verbose=*/false));
+}
+
+SessionManager::Response SessionManager::Step(const JsonValue& request) {
+  Result<std::string> id = RequireString(request, "session");
+  if (!id.ok()) return ErrorResponse(id.status());
+  std::shared_ptr<ServeSession> session = FindSession(*id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound(StrFormat("no session '%s'", id->c_str())));
+  }
+  Result<uint64_t> rounds = OptionalCount(request, "rounds", 0);
+  if (!rounds.ok()) return ErrorResponse(rounds.status());
+  const Status stepped = session->Step(*rounds);
+  if (!stepped.ok()) return ErrorResponse(stepped);
+  const ServeSession::Info info = session->GetInfo();
+  if (!info.error.ok()) return ErrorResponse(info.error);
+  return OneLine(SessionStatusJson(*session, /*verbose=*/false));
+}
+
+SessionManager::Response SessionManager::QueryEstimate(
+    const JsonValue& request) {
+  Result<std::string> id = RequireString(request, "session");
+  if (!id.ok()) return ErrorResponse(id.status());
+  std::shared_ptr<ServeSession> session = FindSession(*id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound(StrFormat("no session '%s'", id->c_str())));
+  }
+  return OneLine(SessionStatusJson(*session, /*verbose=*/true));
+}
+
+SessionManager::Response SessionManager::StreamTrace(const JsonValue& request) {
+  Result<std::string> id = RequireString(request, "session");
+  if (!id.ok()) return ErrorResponse(id.status());
+  std::shared_ptr<ServeSession> session = FindSession(*id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound(StrFormat("no session '%s'", id->c_str())));
+  }
+  Result<uint64_t> from = OptionalCount(request, "from", 0);
+  if (!from.ok()) return ErrorResponse(from.status());
+
+  const ServeSession::Info info = session->GetInfo();
+  const CampaignTrace trace = session->Trace();
+  std::vector<CampaignRound> rounds = session->RoundsAfter(*from);
+  Response response;
+  response.lines.push_back(StrFormat(
+      "{\"ok\": true, \"session\": \"%s\", \"design\": \"%s\", "
+      "\"label\": \"%s\", \"state\": \"%s\", \"converged\": %s, "
+      "\"from\": %llu, \"rounds\": %llu}",
+      JsonEscape(session->id()).c_str(), JsonEscape(trace.design).c_str(),
+      JsonEscape(trace.label).c_str(), ServeSession::StateName(info.state),
+      trace.converged ? "true" : "false",
+      static_cast<unsigned long long>(*from),
+      static_cast<unsigned long long>(rounds.size())));
+  for (const CampaignRound& round : rounds) {
+    response.lines.push_back(RoundToJson(round));
+  }
+  response.lines.push_back(StrFormat(
+      "{\"end\": true, \"session\": \"%s\"}",
+      JsonEscape(session->id()).c_str()));
+  return response;
+}
+
+SessionManager::Response SessionManager::Suspend(const JsonValue& request) {
+  Result<std::string> id = RequireString(request, "session");
+  if (!id.ok()) return ErrorResponse(id.status());
+  std::shared_ptr<ServeSession> session = FindSession(*id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound(StrFormat("no session '%s'", id->c_str())));
+  }
+  Result<std::string> state = session->Suspend();
+  if (!state.ok()) return ErrorResponse(state.status());
+  const ServeSession::Info info = session->GetInfo();
+  return OneLine(StrFormat(
+      "{\"ok\": true, \"session\": \"%s\", \"state\": \"suspended\", "
+      "\"rounds\": %llu, \"campaign_state\": \"%s\"}",
+      JsonEscape(session->id()).c_str(),
+      static_cast<unsigned long long>(info.result.rounds),
+      JsonEscape(*state).c_str()));
+}
+
+SessionManager::Response SessionManager::Resume(const JsonValue& request) {
+  // Two paths: resume an in-memory suspended session by id, or rebuild one
+  // from a serialized `kgacc-campaign-session v1` blob (daemon restart).
+  CampaignSessionState state;
+  std::string id;
+  if (request.Find("session") != nullptr) {
+    Result<std::string> sid = RequireString(request, "session");
+    if (!sid.ok()) return ErrorResponse(sid.status());
+    std::shared_ptr<ServeSession> session = FindSession(*sid);
+    if (session == nullptr) {
+      return ErrorResponse(
+          Status::NotFound(StrFormat("no session '%s'", sid->c_str())));
+    }
+    Result<std::string> serialized = session->Suspend();
+    if (!serialized.ok()) return ErrorResponse(serialized.status());
+    std::istringstream in(*serialized);
+    Result<CampaignSessionState> restored = RestoreCampaignSession(in);
+    if (!restored.ok()) return ErrorResponse(restored.status());
+    state = std::move(restored).value();
+    id = *sid;
+  } else if (request.Find("campaign_state") != nullptr) {
+    Result<std::string> blob = RequireString(request, "campaign_state");
+    if (!blob.ok()) return ErrorResponse(blob.status());
+    std::istringstream in(*blob);
+    Result<CampaignSessionState> restored = RestoreCampaignSession(in);
+    if (!restored.ok()) return ErrorResponse(restored.status());
+    state = std::move(restored).value();
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "resume needs 'session' (in-memory) or 'campaign_state' (blob)"));
+  }
+
+  if (!DesignRegistry::Global().Contains(state.design)) {
+    return ErrorResponse(DesignRegistry::Global().UnknownDesign(state.design));
+  }
+  Result<std::shared_ptr<const Dataset>> dataset = graphs_->Get(state.graph);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+
+  ServeSession::Config config;
+  config.design = state.design;
+  config.graph = state.graph;
+  config.dataset = *dataset;
+  config.options = state.options;
+  config.annotator = state.annotator;
+  config.replay_rounds = state.rounds_completed;
+
+  std::shared_ptr<ServeSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id.empty()) {
+      id = StrFormat("s%llu", static_cast<unsigned long long>(next_id_++));
+    }
+    config.id = id;
+    session = std::make_shared<ServeSession>(std::move(config));
+    sessions_[id] = session;  // replaces the suspended shell on resume-by-id.
+  }
+  // Let the replay reach the suspension point before answering, so the
+  // response (and any immediately following query) reflects the restored
+  // position, not a half-replayed one.
+  session->WaitParked();
+  return OneLine(SessionStatusJson(*session, /*verbose=*/false));
+}
+
+SessionManager::Response SessionManager::Stop(const JsonValue& request) {
+  Result<std::string> id = RequireString(request, "session");
+  if (!id.ok()) return ErrorResponse(id.status());
+  std::shared_ptr<ServeSession> session = FindSession(*id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound(StrFormat("no session '%s'", id->c_str())));
+  }
+  const Status stopped = session->Stop();
+  if (!stopped.ok()) return ErrorResponse(stopped);
+  return OneLine(StrFormat(
+      "{\"ok\": true, \"session\": \"%s\", \"state\": \"stopped\"}",
+      JsonEscape(session->id()).c_str()));
+}
+
+SessionManager::Response SessionManager::MetricsOp() {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  return OneLine(StrFormat("{\"ok\": true, \"metrics\": %s}",
+                           obs::MetricsToJson(snapshot).c_str()));
+}
+
+SessionManager::Response SessionManager::ShutdownOp() {
+  StopAll();
+  Response response;
+  response.lines.push_back("{\"ok\": true, \"shutting_down\": true}");
+  response.shutdown = true;
+  return response;
+}
+
+void SessionManager::StopAll() {
+  std::vector<std::shared_ptr<ServeSession>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  for (const std::shared_ptr<ServeSession>& session : sessions) {
+    (void)session->Stop();
+  }
+}
+
+}  // namespace kgacc::serve

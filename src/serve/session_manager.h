@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/graph_store.h"
+#include "serve/serve_session.h"
+#include "util/json.h"
+
+namespace kgacc::serve {
+
+/// The daemon's brain: parses one `kgacc-serve-v1` request line, executes
+/// the op against the graph store / session table, and renders the response
+/// line(s). Transport-agnostic — the TCP server and the in-process tests
+/// drive the same entry point.
+///
+/// Thread-safe: concurrent HandleLine calls (one per connection handler)
+/// share the session table behind a mutex, but a long-running op (step) runs
+/// outside it, so one session stepping never blocks requests to others.
+/// Each request runs under a ScopedSpan and lands in a per-op latency
+/// histogram (`serve.request.<op>_seconds`).
+class SessionManager {
+ public:
+  struct Response {
+    std::vector<std::string> lines;  ///< >= 1 line; multi-line: stream-trace.
+    bool shutdown = false;           ///< the op asked the server to exit.
+  };
+
+  /// `graphs` is borrowed and must outlive the manager.
+  explicit SessionManager(GraphStore* graphs);
+
+  Response HandleLine(const std::string& line);
+
+  /// Parks every running session (server shutdown).
+  void StopAll();
+
+  GraphStore* graphs() { return graphs_; }
+
+ private:
+  std::shared_ptr<ServeSession> FindSession(const std::string& id);
+
+  Response LoadGraph(const JsonValue& request);
+  Response StartCampaign(const JsonValue& request);
+  Response Step(const JsonValue& request);
+  Response QueryEstimate(const JsonValue& request);
+  Response StreamTrace(const JsonValue& request);
+  Response Suspend(const JsonValue& request);
+  Response Resume(const JsonValue& request);
+  Response Stop(const JsonValue& request);
+  Response MetricsOp();
+  Response ShutdownOp();
+
+  GraphStore* graphs_;
+  std::mutex mutex_;  ///< guards sessions_ / next_id_.
+  uint64_t next_id_ = 1;
+  std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
+};
+
+}  // namespace kgacc::serve

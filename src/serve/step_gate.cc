@@ -1,0 +1,61 @@
+#include "serve/step_gate.h"
+
+namespace kgacc::serve {
+
+CampaignControl::Action StepGate::BeforeRound(uint64_t next_round) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Replay before suspend: rounds the persisted state already covers always
+  // proceed, so suspension cannot regress the session below its saved
+  // position (see class comment).
+  if (next_round <= replay_rounds_) return Action::kProceed;
+  while (true) {
+    if (suspend_) return Action::kSuspend;
+    if (run_all_) return Action::kProceed;
+    if (grants_ > 0) {
+      --grants_;
+      return Action::kProceed;
+    }
+    waiting_ = true;
+    cv_.notify_all();  // WaitIdle callers observe the parked worker.
+    cv_.wait(lock);
+    waiting_ = false;
+  }
+}
+
+void StepGate::MarkFinished() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_ = true;
+  cv_.notify_all();
+}
+
+void StepGate::Grant(uint64_t rounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  grants_ += rounds;
+  cv_.notify_all();
+}
+
+void StepGate::RunToCompletion() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  run_all_ = true;
+  cv_.notify_all();
+}
+
+void StepGate::RequestSuspend() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  suspend_ = true;
+  cv_.notify_all();
+}
+
+void StepGate::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    return finished_ || (waiting_ && grants_ == 0 && !run_all_);
+  });
+}
+
+bool StepGate::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+}  // namespace kgacc::serve

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "core/campaign_control.h"
+
+namespace kgacc::serve {
+
+/// The CampaignControl that turns a campaign loop into a serve session: the
+/// campaign worker parks inside BeforeRound until the client grants rounds
+/// (`step`), asks for the rest (`step` with rounds=0), or suspends.
+///
+/// Replay: a gate constructed with `replay_rounds = k` auto-proceeds through
+/// rounds 1..k without consuming grants — how a resumed session re-runs its
+/// already-completed rounds deterministically. The replay check precedes the
+/// suspend check on purpose: a suspend request racing with the replay can
+/// never park the session *below* its persisted round count, which would
+/// regress the saved state.
+///
+/// Threading: BeforeRound runs on the session's worker thread; every other
+/// method runs on request-handler threads. All state lives behind one mutex.
+class StepGate : public CampaignControl {
+ public:
+  explicit StepGate(uint64_t replay_rounds = 0)
+      : replay_rounds_(replay_rounds) {}
+
+  /// Worker side. Blocks until a grant, run-all, or suspend arrives.
+  Action BeforeRound(uint64_t next_round) override;
+
+  /// Worker side: the campaign returned (completed or suspended). Unblocks
+  /// WaitIdle callers.
+  void MarkFinished();
+
+  /// Allows `rounds` more rounds beyond those already granted.
+  void Grant(uint64_t rounds);
+
+  /// Removes the gate: the campaign runs to its natural stopping decision.
+  void RunToCompletion();
+
+  /// Asks the worker to unwind at the next round boundary (never below
+  /// replay_rounds). Idempotent.
+  void RequestSuspend();
+
+  /// Blocks until the worker is parked with no outstanding grants, or has
+  /// finished — the synchronous backbone of the `step` request.
+  void WaitIdle();
+
+  bool finished() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  const uint64_t replay_rounds_;
+  uint64_t grants_ = 0;
+  bool run_all_ = false;
+  bool suspend_ = false;
+  bool waiting_ = false;   ///< worker parked inside BeforeRound.
+  bool finished_ = false;  ///< campaign loop returned.
+};
+
+}  // namespace kgacc::serve

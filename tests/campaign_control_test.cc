@@ -1,0 +1,109 @@
+// CampaignControl: the suspend hook every campaign loop consults before a
+// round. A control that proceeds forever changes nothing; a control that
+// suspends at round k leaves a partial result with suspended=true and k
+// completed rounds, for every registry design.
+
+#include "core/campaign_control.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/design_registry.h"
+#include "core/telemetry.h"
+#include "labels/annotator.h"
+#include "serve_test_util.h"
+#include "test_util.h"
+
+namespace kgacc {
+namespace {
+
+constexpr CostModel kCost{.c1_seconds = 45.0, .c2_seconds = 25.0};
+
+/// Proceeds through `allow` rounds, then suspends.
+class SuspendAfter : public CampaignControl {
+ public:
+  explicit SuspendAfter(uint64_t allow) : allow_(allow) {}
+  Action BeforeRound(uint64_t next_round) override {
+    return next_round <= allow_ ? Action::kProceed : Action::kSuspend;
+  }
+
+ private:
+  const uint64_t allow_;
+};
+
+class AlwaysProceed : public CampaignControl {
+ public:
+  Action BeforeRound(uint64_t) override { return Action::kProceed; }
+};
+
+struct ControlRun {
+  EvaluationResult result;
+  std::vector<CampaignTrace> traces;
+};
+
+ControlRun RunDesign(const Dataset& dataset, const std::string& design,
+              CampaignControl* control) {
+  EvaluationOptions options;
+  options.seed = 1234;
+  options.moe_target = 0.03;
+  options.control = control;
+  TraceRecorder recorder;
+  options.telemetry = &recorder;
+  SimulatedAnnotator annotator(dataset.oracle.get(), kCost,
+                               {.noise_rate = 0.1, .seed = 0xfeed});
+  const Result<EvaluationResult> run = DesignRegistry::Global().Run(
+      design, dataset.View(), &annotator, options);
+  EXPECT_TRUE(run.ok()) << design << ": " << run.status().ToString();
+  return {*run, recorder.campaigns()};
+}
+
+class ControlSuspendTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ControlSuspendTest, ProceedingControlChangesNothing) {
+  const auto dataset = std::string(GetParam()) == "kgeval"
+                           ? testing::MakeServeGraphDataset(11)
+                           : testing::MakeServePopulationDataset(11);
+  AlwaysProceed proceed;
+  const ControlRun with = RunDesign(*dataset, GetParam(), &proceed);
+  const ControlRun without = RunDesign(*dataset, GetParam(), nullptr);
+  EXPECT_EQ(with.result.estimate.mean, without.result.estimate.mean);
+  EXPECT_EQ(with.result.rounds, without.result.rounds);
+  EXPECT_EQ(with.result.moe, without.result.moe);
+  EXPECT_EQ(with.result.converged, without.result.converged);
+  EXPECT_FALSE(with.result.suspended);
+}
+
+TEST_P(ControlSuspendTest, SuspendsAtTheRequestedRound) {
+  const auto dataset = std::string(GetParam()) == "kgeval"
+                           ? testing::MakeServeGraphDataset(11)
+                           : testing::MakeServePopulationDataset(11);
+  SuspendAfter control(3);
+  const ControlRun run = RunDesign(*dataset, GetParam(), &control);
+  EXPECT_TRUE(run.result.suspended);
+  EXPECT_FALSE(run.result.converged);
+  EXPECT_EQ(run.result.rounds, 3u);
+  // A suspended campaign must not have closed its telemetry: the trace is
+  // still open for the resumed run to extend (kgeval emits its single
+  // terminal round only at true completion, so its trace is empty here).
+  if (std::string(GetParam()) != "kgeval") {
+    ASSERT_EQ(run.traces.size(), 1u);
+    EXPECT_EQ(run.traces[0].rounds.size(), 3u);
+    EXPECT_FALSE(run.traces[0].converged);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ControlSuspendTest,
+                         ::testing::Values("srs", "rcs", "wcs", "twcs",
+                                           "twcs+strat", "twcs+pilot", "rs",
+                                           "ss", "kgeval"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace kgacc

@@ -1,0 +1,131 @@
+// CampaignSessionState persistence: the kgacc-campaign-session v1 document
+// round-trips every field bit-exactly (resume = deterministic replay, so a
+// single drifted option would silently fork the campaign).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/campaign_session.h"
+#include "core/state_io.h"
+
+namespace kgacc {
+namespace {
+
+CampaignSessionState FullState() {
+  CampaignSessionState state;
+  state.design = "twcs+strat";
+  state.graph = "data/my graph.tsv";  // spaces survive (rest-of-line field).
+  state.rounds_completed = 17;
+  state.options.moe_target = 0.0321;
+  state.options.confidence = 0.99;
+  state.options.min_units = 40;
+  state.options.batch_units = 25;
+  state.options.m = 7;
+  state.options.max_cost_seconds = 1234.5;
+  state.options.max_units = 9999;
+  state.options.seed = 0xdeadbeef;
+  state.options.min_stratum_units = 12;
+  state.options.srs_ci = CiMethod::kWilson;
+  state.options.num_strata = 6;
+  state.options.pilot_size = 55;
+  state.annotator.annotators = 5;
+  state.annotator.noise_rate = 0.125;
+  state.annotator.seed = 0x5eed5;
+  state.annotator.annotation_threads = 8;
+  state.annotator.annotation_shards = 16;
+  state.annotator.c1_seconds = 47.5;
+  state.annotator.c2_seconds = 1.0 / 3.0;  // not representable in decimal.
+  return state;
+}
+
+TEST(CampaignSessionStateTest, RoundTripsEveryField) {
+  const CampaignSessionState state = FullState();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+
+  std::istringstream in(out.str());
+  const Result<CampaignSessionState> restored = RestoreCampaignSession(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->design, state.design);
+  EXPECT_EQ(restored->graph, state.graph);
+  EXPECT_EQ(restored->rounds_completed, state.rounds_completed);
+  EXPECT_EQ(restored->options.moe_target, state.options.moe_target);
+  EXPECT_EQ(restored->options.confidence, state.options.confidence);
+  EXPECT_EQ(restored->options.min_units, state.options.min_units);
+  EXPECT_EQ(restored->options.batch_units, state.options.batch_units);
+  EXPECT_EQ(restored->options.m, state.options.m);
+  EXPECT_EQ(restored->options.max_cost_seconds,
+            state.options.max_cost_seconds);
+  EXPECT_EQ(restored->options.max_units, state.options.max_units);
+  EXPECT_EQ(restored->options.seed, state.options.seed);
+  EXPECT_EQ(restored->options.min_stratum_units,
+            state.options.min_stratum_units);
+  EXPECT_EQ(restored->options.srs_ci, state.options.srs_ci);
+  EXPECT_EQ(restored->options.num_strata, state.options.num_strata);
+  EXPECT_EQ(restored->options.pilot_size, state.options.pilot_size);
+  EXPECT_EQ(restored->annotator.annotators, state.annotator.annotators);
+  EXPECT_EQ(restored->annotator.noise_rate, state.annotator.noise_rate);
+  EXPECT_EQ(restored->annotator.seed, state.annotator.seed);
+  EXPECT_EQ(restored->annotator.annotation_threads,
+            state.annotator.annotation_threads);
+  EXPECT_EQ(restored->annotator.annotation_shards,
+            state.annotator.annotation_shards);
+  EXPECT_EQ(restored->annotator.c1_seconds, state.annotator.c1_seconds);
+  EXPECT_EQ(restored->annotator.c2_seconds, state.annotator.c2_seconds);
+
+  // The borrowed observer pointers never travel.
+  EXPECT_EQ(restored->options.telemetry, nullptr);
+  EXPECT_EQ(restored->options.control, nullptr);
+}
+
+TEST(CampaignSessionStateTest, SaveRestoreSaveIsIdentity) {
+  const CampaignSessionState state = FullState();
+  std::ostringstream first;
+  ASSERT_TRUE(SaveCampaignSession(state, first).ok());
+  std::istringstream in(first.str());
+  const Result<CampaignSessionState> restored = RestoreCampaignSession(in);
+  ASSERT_TRUE(restored.ok());
+  std::ostringstream second;
+  ASSERT_TRUE(SaveCampaignSession(*restored, second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CampaignSessionStateTest, RejectsWrongHeader) {
+  std::istringstream in("kgacc-reservoir-state v1\n");
+  EXPECT_FALSE(RestoreCampaignSession(in).ok());
+}
+
+TEST(CampaignSessionStateTest, RejectsTruncatedDocument) {
+  const CampaignSessionState state = FullState();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+  const std::string full = out.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(RestoreCampaignSession(in).ok());
+}
+
+TEST(CampaignSessionStateTest, RejectsOutOfRangeValues) {
+  CampaignSessionState state = FullState();
+  state.annotator.noise_rate = 1.5;  // a probability.
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+  std::istringstream in(out.str());
+  EXPECT_FALSE(RestoreCampaignSession(in).ok());
+}
+
+TEST(CampaignSessionStateTest, RejectsUnknownSrsCi) {
+  CampaignSessionState state = FullState();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+  std::string text = out.str();
+  const size_t pos = text.find("srs_ci wilson");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "srs_ci jeffry");
+  std::istringstream in(text);
+  EXPECT_FALSE(RestoreCampaignSession(in).ok());
+}
+
+}  // namespace
+}  // namespace kgacc

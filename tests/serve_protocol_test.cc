@@ -1,0 +1,154 @@
+// kgacc-serve-v1 protocol: request builders and option parsing, plus the
+// session manager's request dispatch edge cases (shared with kgacc_eval:
+// the unknown-design message comes from the DesignRegistry in both).
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/design_registry.h"
+#include "serve/graph_store.h"
+#include "serve/session_manager.h"
+#include "serve_test_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+JsonValue ParseOrDie(const std::string& text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return parsed.ok() ? *parsed : JsonValue();
+}
+
+TEST(ServeProtocolTest, ParsesEvaluationOptions) {
+  const JsonValue json = ParseOrDie(
+      R"({"moe_target": 0.02, "confidence": 0.9, "batch_units": 25,
+          "seed": 7, "srs_ci": "wilson", "num_strata": 6, "m": 3,
+          "pilot_size": 40, "min_units": 50, "max_units": 500,
+          "max_cost_seconds": 100.5, "min_stratum_units": 12})");
+  EvaluationOptions options;
+  ASSERT_TRUE(ParseEvaluationOptions(json, &options).ok());
+  EXPECT_EQ(options.moe_target, 0.02);
+  EXPECT_EQ(options.confidence, 0.9);
+  EXPECT_EQ(options.batch_units, 25u);
+  EXPECT_EQ(options.seed, 7u);
+  EXPECT_EQ(options.srs_ci, CiMethod::kWilson);
+  EXPECT_EQ(options.num_strata, 6u);
+  EXPECT_EQ(options.m, 3u);
+  EXPECT_EQ(options.pilot_size, 40u);
+  EXPECT_EQ(options.min_units, 50u);
+  EXPECT_EQ(options.max_units, 500u);
+  EXPECT_EQ(options.max_cost_seconds, 100.5);
+  EXPECT_EQ(options.min_stratum_units, 12u);
+}
+
+TEST(ServeProtocolTest, AbsentMembersKeepDefaults) {
+  EvaluationOptions options;
+  ASSERT_TRUE(ParseEvaluationOptions(ParseOrDie("{}"), &options).ok());
+  EXPECT_EQ(options.moe_target, EvaluationOptions().moe_target);
+  EXPECT_EQ(options.batch_units, EvaluationOptions().batch_units);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownOptionMembers) {
+  EvaluationOptions options;
+  const Status status = ParseEvaluationOptions(
+      ParseOrDie(R"({"moe_tragte": 0.02})"), &options);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("moe_tragte"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, RejectsOutOfRangeOptions) {
+  EvaluationOptions options;
+  EXPECT_FALSE(ParseEvaluationOptions(ParseOrDie(R"({"moe_target": -1})"),
+                                      &options)
+                   .ok());
+  EXPECT_FALSE(ParseEvaluationOptions(ParseOrDie(R"({"confidence": 2})"),
+                                      &options)
+                   .ok());
+  EXPECT_FALSE(ParseEvaluationOptions(ParseOrDie(R"({"batch_units": 0})"),
+                                      &options)
+                   .ok());
+  EXPECT_FALSE(ParseEvaluationOptions(
+                   ParseOrDie(R"({"seed": 0.5})"), &options)
+                   .ok());  // counts must be integers.
+}
+
+TEST(ServeProtocolTest, ParsesAnnotatorSpec) {
+  const JsonValue json = ParseOrDie(
+      R"({"annotators": 3, "noise_rate": 0.1, "seed": 99,
+          "annotation_threads": 4, "annotation_shards": 8,
+          "c1_seconds": 40, "c2_seconds": 20})");
+  AnnotatorSpec spec;
+  ASSERT_TRUE(ParseAnnotatorSpec(json, &spec).ok());
+  EXPECT_EQ(spec.annotators, 3u);
+  EXPECT_EQ(spec.noise_rate, 0.1);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.annotation_threads, 4);
+  EXPECT_EQ(spec.annotation_shards, 8);
+  EXPECT_EQ(spec.c1_seconds, 40.0);
+  EXPECT_EQ(spec.c2_seconds, 20.0);
+}
+
+TEST(ServeProtocolTest, RejectsBadAnnotatorSpec) {
+  AnnotatorSpec spec;
+  EXPECT_FALSE(
+      ParseAnnotatorSpec(ParseOrDie(R"({"annotators": 0})"), &spec).ok());
+  EXPECT_FALSE(
+      ParseAnnotatorSpec(ParseOrDie(R"({"noise_rate": 1.2})"), &spec).ok());
+  EXPECT_FALSE(
+      ParseAnnotatorSpec(ParseOrDie(R"({"noize": 0.1})"), &spec).ok());
+}
+
+TEST(ServeProtocolTest, BuildersEmitParseableRequests) {
+  for (const std::string& request :
+       {BuildLoadGraph("nell", 42), BuildStartCampaign("nell", "twcs"),
+        BuildStartCampaign("g", "srs", R"({"moe_target": 0.1})",
+                           R"({"annotators": 3})"),
+        BuildStep("s1", 5), BuildQueryEstimate("s1"), BuildStreamTrace("s1"),
+        BuildSuspend("s1"), BuildResumeSession("s1"),
+        BuildResumeState("kgacc-campaign-session v1\nend\n"),
+        BuildStop("s1"), BuildMetrics(), BuildShutdown()}) {
+    const JsonValue json = ParseOrDie(request);
+    ASSERT_TRUE(json.is_object()) << request;
+    EXPECT_NE(json.Find("op"), nullptr) << request;
+    EXPECT_EQ(request.find('\n'), std::string::npos) << request;
+  }
+}
+
+TEST(ServeProtocolTest, UnknownDesignMessageMatchesRegistry) {
+  // Satellite of the serve PR: kgacc_eval and the daemon's start-campaign
+  // report unknown designs with the same registry-sourced message, so the
+  // known-design listing can never drift between the two.
+  GraphStore graphs;
+  graphs.Put("g", kgacc::testing::MakeServePopulationDataset(1));
+  SessionManager manager(&graphs);
+  const SessionManager::Response response = manager.HandleLine(
+      R"({"op": "start-campaign", "graph": "g", "design": "twsc"})");
+  ASSERT_EQ(response.lines.size(), 1u);
+  const std::string expected =
+      DesignRegistry::Global().UnknownDesign("twsc").message();
+  EXPECT_NE(response.lines[0].find(JsonEscape(expected)), std::string::npos)
+      << response.lines[0] << "\nvs\n"
+      << expected;
+}
+
+TEST(ServeProtocolTest, MalformedRequestLinesError) {
+  GraphStore graphs;
+  SessionManager manager(&graphs);
+  for (const std::string& line :
+       {std::string("not json"), std::string("{}"),
+        std::string(R"({"op": "no-such-op"})"),
+        std::string(R"({"op": "step"})"),
+        std::string(R"({"op": "step", "session": "nope"})")}) {
+    const SessionManager::Response response = manager.HandleLine(line);
+    ASSERT_EQ(response.lines.size(), 1u) << line;
+    EXPECT_NE(response.lines[0].find("\"ok\": false"), std::string::npos)
+        << line << " -> " << response.lines[0];
+    EXPECT_FALSE(response.shutdown);
+  }
+}
+
+}  // namespace
+}  // namespace kgacc::serve

@@ -1,0 +1,192 @@
+// End-to-end kgacc-serve-v1 over real TCP: ServeServer + ServeClient on a
+// loopback ephemeral port, covering the full op set and the suspend/resume
+// byte-compare that CI's serve-smoke job replays against the daemon binary.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/graph_store.h"
+#include "serve/protocol.h"
+#include "serve/serve_client.h"
+#include "serve_test_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graphs_.Put("g", kgacc::testing::MakeServePopulationDataset(3));
+    manager_ = std::make_unique<SessionManager>(&graphs_);
+    server_ = std::make_unique<ServeServer>(manager_.get(), 0);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+    ASSERT_TRUE(client_.Connect(server_->port()).ok());
+  }
+
+  void TearDown() override {
+    server_->Shutdown();
+    server_->Wait();
+  }
+
+  /// One call; asserts transport success and returns the parsed response.
+  JsonValue Call(const std::string& request) {
+    Result<std::string> response = client_.Call(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) return JsonValue();
+    Result<JsonValue> parsed = JsonValue::Parse(*response);
+    EXPECT_TRUE(parsed.ok()) << *response;
+    return parsed.ok() ? *parsed : JsonValue();
+  }
+
+  static bool Ok(const JsonValue& response) {
+    const JsonValue* ok = response.Find("ok");
+    return ok != nullptr && ok->is_bool() && ok->AsBool();
+  }
+
+  static std::string Str(const JsonValue& response, const std::string& key) {
+    const JsonValue* value = response.Find(key);
+    return value != nullptr && value->is_string() ? value->AsString() : "";
+  }
+
+  /// Round lines of a stream-trace response (header and end marker
+  /// stripped).
+  std::vector<std::string> StreamRounds(const std::string& session) {
+    Result<std::vector<std::string>> lines =
+        client_.CallMulti(BuildStreamTrace(session), StreamTraceExtraLines);
+    EXPECT_TRUE(lines.ok()) << lines.status().ToString();
+    if (!lines.ok()) return {};
+    EXPECT_GE(lines->size(), 2u);
+    EXPECT_NE(lines->back().find("\"end\": true"), std::string::npos);
+    return {lines->begin() + 1, lines->end() - 1};
+  }
+
+  GraphStore graphs_;
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<ServeServer> server_;
+  ServeClient client_;
+};
+
+TEST_F(ServeServerTest, LoadGraphAndBadRequests) {
+  EXPECT_TRUE(Ok(Call(BuildLoadGraph("nell", 42))));
+  const JsonValue missing = Call(BuildStartCampaign("nope", "twcs"));
+  EXPECT_FALSE(Ok(missing));
+  EXPECT_NE(Str(missing, "error").find("nope"), std::string::npos);
+  EXPECT_FALSE(Ok(Call("this is not json")));
+}
+
+TEST_F(ServeServerTest, CampaignLifecycleOverTcp) {
+  const JsonValue started = Call(
+      BuildStartCampaign("g", "twcs", R"({"moe_target": 0.03, "seed": 9})"));
+  ASSERT_TRUE(Ok(started));
+  const std::string session = Str(started, "session");
+  ASSERT_FALSE(session.empty());
+
+  const JsonValue stepped = Call(BuildStep(session, 3));
+  ASSERT_TRUE(Ok(stepped));
+  EXPECT_EQ(stepped.Find("rounds")->AsNumber(), 3.0);
+
+  const JsonValue estimate = Call(BuildQueryEstimate(session));
+  ASSERT_TRUE(Ok(estimate));
+  EXPECT_NE(estimate.Find("estimate"), nullptr);
+  EXPECT_NE(estimate.Find("moe"), nullptr);
+  EXPECT_NE(estimate.Find("cost_seconds"), nullptr);
+
+  EXPECT_EQ(StreamRounds(session).size(), 3u);
+
+  // Run to the design's own stopping decision.
+  const JsonValue done = Call(BuildStep(session, 0));
+  ASSERT_TRUE(Ok(done));
+  EXPECT_EQ(Str(done, "state"), "completed");
+
+  EXPECT_TRUE(Ok(Call(BuildStop(session))));
+}
+
+TEST_F(ServeServerTest, SuspendResumeStreamsByteIdenticalTraces) {
+  const std::string campaign_options = R"({"moe_target": 0.03, "seed": 77})";
+
+  // Reference: the same campaign uninterrupted.
+  const JsonValue reference =
+      Call(BuildStartCampaign("g", "twcs", campaign_options));
+  ASSERT_TRUE(Ok(reference));
+  const std::string ref_session = Str(reference, "session");
+  ASSERT_TRUE(Ok(Call(BuildStep(ref_session, 0))));
+  const std::vector<std::string> expected = StreamRounds(ref_session);
+  ASSERT_GT(expected.size(), 4u);
+
+  // Interrupted: step 2, suspend, resume from the persisted blob, finish.
+  const JsonValue started =
+      Call(BuildStartCampaign("g", "twcs", campaign_options));
+  ASSERT_TRUE(Ok(started));
+  const std::string session = Str(started, "session");
+  ASSERT_TRUE(Ok(Call(BuildStep(session, 2))));
+  const JsonValue suspended = Call(BuildSuspend(session));
+  ASSERT_TRUE(Ok(suspended));
+  const std::string blob = Str(suspended, "campaign_state");
+  ASSERT_NE(blob.find("kgacc-campaign-session v1"), std::string::npos);
+
+  const JsonValue resumed = Call(BuildResumeState(blob));
+  ASSERT_TRUE(Ok(resumed));
+  const std::string resumed_session = Str(resumed, "session");
+  ASSERT_NE(resumed_session, session);  // a fresh session carries it on.
+  ASSERT_TRUE(Ok(Call(BuildStep(resumed_session, 0))));
+
+  // The streamed rounds — replayed and new alike — byte-compare equal.
+  EXPECT_EQ(StreamRounds(resumed_session), expected);
+}
+
+TEST_F(ServeServerTest, ResumeBySessionIdContinuesInPlace) {
+  const JsonValue started =
+      Call(BuildStartCampaign("g", "srs",
+                              R"({"moe_target": 0.02, "batch_units": 10})",
+                              R"({"noise_rate": 0.1})"));
+  ASSERT_TRUE(Ok(started));
+  const std::string session = Str(started, "session");
+  ASSERT_TRUE(Ok(Call(BuildStep(session, 2))));
+  ASSERT_TRUE(Ok(Call(BuildSuspend(session))));
+  // Suspended sessions refuse to step...
+  EXPECT_FALSE(Ok(Call(BuildStep(session, 1))));
+  // ...until resumed under the same id.
+  const JsonValue resumed = Call(BuildResumeSession(session));
+  ASSERT_TRUE(Ok(resumed));
+  EXPECT_EQ(Str(resumed, "session"), session);
+  const JsonValue stepped = Call(BuildStep(session, 2));
+  ASSERT_TRUE(Ok(stepped));
+  EXPECT_EQ(stepped.Find("rounds")->AsNumber(), 4.0);
+}
+
+TEST_F(ServeServerTest, MetricsExposeServeHistograms) {
+  ASSERT_TRUE(Ok(Call(BuildStartCampaign("g", "twcs"))));
+  Result<std::string> metrics = client_.Call(BuildMetrics());
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("kgacc-metrics-v1"), std::string::npos);
+  EXPECT_NE(metrics->find("serve.request.start_campaign_seconds"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("serve.requests"), std::string::npos);
+}
+
+TEST_F(ServeServerTest, ShutdownOpStopsTheServer) {
+  const JsonValue response = Call(BuildShutdown());
+  EXPECT_TRUE(Ok(response));
+  server_->Wait();  // returns because the op shut the server down.
+}
+
+TEST_F(ServeServerTest, SecondClientSharesTheSessionTable) {
+  const JsonValue started = Call(BuildStartCampaign("g", "twcs"));
+  ASSERT_TRUE(Ok(started));
+  const std::string session = Str(started, "session");
+  ASSERT_TRUE(Ok(Call(BuildStep(session, 2))));
+
+  ServeClient other;
+  ASSERT_TRUE(other.Connect(server_->port()).ok());
+  Result<std::string> response = other.Call(BuildQueryEstimate(session));
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"rounds\": 2"), std::string::npos) << *response;
+}
+
+}  // namespace
+}  // namespace kgacc::serve

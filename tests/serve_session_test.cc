@@ -1,0 +1,260 @@
+// The serve subsystem's headline guarantee: a campaign suspended into a
+// kgacc-campaign-session v1 blob and resumed (fresh session, fresh
+// annotator, deterministic replay of the completed rounds) finishes with an
+// EvaluationResult and telemetry trace bit-identical to the same campaign
+// run uninterrupted — for every registry design and every
+// --annotation-threads value. machine_seconds is wall time and is the one
+// excluded field.
+
+#include "serve/serve_session.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/state_io.h"
+#include "serve_test_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+using kgacc::testing::MakeServeGraphDataset;
+using kgacc::testing::MakeServePopulationDataset;
+
+struct Output {
+  EvaluationResult result;
+  CampaignTrace trace;
+};
+
+EvaluationOptions BaseOptions() {
+  EvaluationOptions options;
+  options.seed = 1234;
+  // Tight target, small rounds: even the most efficient design
+  // (twcs+strat, whose stratification slashes the units it needs) runs
+  // well past the suspension points below.
+  options.moe_target = 0.02;
+  options.batch_units = 5;
+  return options;
+}
+
+AnnotatorSpec BaseSpec(int threads) {
+  AnnotatorSpec spec;
+  spec.noise_rate = 0.1;
+  spec.seed = 0xfeed;
+  spec.annotation_threads = threads;
+  return spec;
+}
+
+std::shared_ptr<const Dataset> DatasetFor(const std::string& design) {
+  // kgeval needs real triples; everything else runs on the bigger
+  // sizes-only population so campaigns last tens of rounds.
+  static const std::shared_ptr<const Dataset> population =
+      MakeServePopulationDataset(11);
+  static const std::shared_ptr<const Dataset> graph = MakeServeGraphDataset(7);
+  return design == "kgeval" ? graph : population;
+}
+
+Output Finish(ServeSession& session) {
+  const Status status = session.Step(0);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  const ServeSession::Info info = session.GetInfo();
+  EXPECT_EQ(info.state, ServeSession::State::kCompleted)
+      << info.error.ToString();
+  EXPECT_TRUE(info.has_result);
+  return {info.result, session.Trace()};
+}
+
+Output RunUninterrupted(const std::string& design, int threads) {
+  ServeSession session({.id = "u",
+                        .design = design,
+                        .graph = "g",
+                        .dataset = DatasetFor(design),
+                        .options = BaseOptions(),
+                        .annotator = BaseSpec(threads)});
+  return Finish(session);
+}
+
+/// Runs the campaign with a suspend/serialize/restore/resume cycle after
+/// each prefix in `steps`, then to completion. Every cycle rebuilds the
+/// session from nothing but the persisted state document (plus the graph,
+/// which the daemon reloads by name).
+Output RunWithSuspensions(const std::string& design, int threads,
+                          const std::vector<uint64_t>& steps) {
+  auto session = std::make_unique<ServeSession>(
+      ServeSession::Config{.id = "i0",
+                           .design = design,
+                           .graph = "g",
+                           .dataset = DatasetFor(design),
+                           .options = BaseOptions(),
+                           .annotator = BaseSpec(threads)});
+  int generation = 0;
+  for (const uint64_t rounds : steps) {
+    EXPECT_TRUE(session->Step(rounds).ok());
+    Result<std::string> blob = session->Suspend();
+    EXPECT_TRUE(blob.ok()) << blob.status().ToString();
+    if (!blob.ok()) break;
+
+    std::istringstream in(*blob);
+    Result<CampaignSessionState> state = RestoreCampaignSession(in);
+    EXPECT_TRUE(state.ok()) << state.status().ToString();
+    if (!state.ok()) break;
+
+    session = std::make_unique<ServeSession>(
+        ServeSession::Config{.id = "i" + std::to_string(++generation),
+                             .design = state->design,
+                             .graph = state->graph,
+                             .dataset = DatasetFor(state->design),
+                             .options = state->options,
+                             .annotator = state->annotator,
+                             .replay_rounds = state->rounds_completed});
+    session->WaitParked();
+    EXPECT_EQ(session->Trace().rounds.size(),
+              design == "kgeval" ? 0u : state->rounds_completed);
+  }
+  return Finish(*session);
+}
+
+void ExpectBitIdentical(const Output& a, const Output& b,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.result.estimate.mean, b.result.estimate.mean);
+  EXPECT_EQ(a.result.estimate.variance_of_mean,
+            b.result.estimate.variance_of_mean);
+  EXPECT_EQ(a.result.estimate.num_units, b.result.estimate.num_units);
+  EXPECT_EQ(a.result.moe, b.result.moe);
+  EXPECT_EQ(a.result.converged, b.result.converged);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.ledger.entities_identified,
+            b.result.ledger.entities_identified);
+  EXPECT_EQ(a.result.ledger.triples_annotated,
+            b.result.ledger.triples_annotated);
+  EXPECT_EQ(a.result.annotation_seconds, b.result.annotation_seconds);
+  // machine_seconds is wall time: legitimately different, deliberately not
+  // compared (and absent from traces, so those byte-compare below).
+
+  EXPECT_EQ(a.trace.design, b.trace.design);
+  EXPECT_EQ(a.trace.converged, b.trace.converged);
+  ASSERT_EQ(a.trace.rounds.size(), b.trace.rounds.size());
+  for (size_t r = 0; r < a.trace.rounds.size(); ++r) {
+    // Byte-compare the serialized rounds — the same check CI applies to
+    // streamed traces.
+    EXPECT_EQ(RoundToJson(a.trace.rounds[r]), RoundToJson(b.trace.rounds[r]))
+        << "round " << r;
+  }
+}
+
+class SuspendResumeTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(SuspendResumeTest, ResumeIsBitIdenticalToUninterrupted) {
+  const std::string design = std::get<0>(GetParam());
+  const int threads = std::get<1>(GetParam());
+  const Output uninterrupted = RunUninterrupted(design, threads);
+  ASSERT_GT(uninterrupted.result.rounds, 4u)
+      << "campaign too short to suspend mid-flight";
+
+  // One suspension early on.
+  ExpectBitIdentical(uninterrupted, RunWithSuspensions(design, threads, {2}),
+                     design + "/suspend@2");
+  // Two suspensions at staggered, step-misaligned boundaries (round 1, then
+  // round 4 after a 3-round step).
+  ExpectBitIdentical(uninterrupted,
+                     RunWithSuspensions(design, threads, {1, 3}),
+                     design + "/suspend@1+3");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, SuspendResumeTest,
+    ::testing::Combine(::testing::Values("srs", "rcs", "wcs", "twcs",
+                                         "twcs+strat", "twcs+pilot", "rs",
+                                         "ss", "kgeval"),
+                       ::testing::Values(1, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name + "_threads" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ServeSessionTest, AnnotatorPoolResumesBitIdentically) {
+  // Majority-vote pools rebuild from the spec on resume too.
+  AnnotatorSpec spec = BaseSpec(4);
+  spec.annotators = 3;
+  EvaluationOptions options = BaseOptions();
+  ServeSession uninterrupted({.id = "u",
+                              .design = "twcs",
+                              .graph = "g",
+                              .dataset = DatasetFor("twcs"),
+                              .options = options,
+                              .annotator = spec});
+  const Output expected = Finish(uninterrupted);
+
+  ServeSession first({.id = "a",
+                      .design = "twcs",
+                      .graph = "g",
+                      .dataset = DatasetFor("twcs"),
+                      .options = options,
+                      .annotator = spec});
+  ASSERT_TRUE(first.Step(3).ok());
+  Result<std::string> blob = first.Suspend();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  std::istringstream in(*blob);
+  Result<CampaignSessionState> state = RestoreCampaignSession(in);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->annotator.annotators, 3u);
+  ServeSession resumed({.id = "b",
+                        .design = state->design,
+                        .graph = state->graph,
+                        .dataset = DatasetFor(state->design),
+                        .options = state->options,
+                        .annotator = state->annotator,
+                        .replay_rounds = state->rounds_completed});
+  ExpectBitIdentical(expected, Finish(resumed), "pool/suspend@3");
+}
+
+TEST(ServeSessionTest, StepAfterCompletionIsBenign) {
+  ServeSession session({.id = "s",
+                        .design = "srs",
+                        .graph = "g",
+                        .dataset = DatasetFor("srs"),
+                        .options = BaseOptions(),
+                        .annotator = BaseSpec(1)});
+  ASSERT_TRUE(session.Step(0).ok());
+  EXPECT_EQ(session.GetInfo().state, ServeSession::State::kCompleted);
+  EXPECT_TRUE(session.Step(5).ok());  // nothing left to run.
+  EXPECT_FALSE(session.Suspend().ok());
+}
+
+TEST(ServeSessionTest, StoppedSessionRejectsSteps) {
+  ServeSession session({.id = "s",
+                        .design = "twcs",
+                        .graph = "g",
+                        .dataset = DatasetFor("twcs"),
+                        .options = BaseOptions(),
+                        .annotator = BaseSpec(1)});
+  ASSERT_TRUE(session.Step(2).ok());
+  ASSERT_TRUE(session.Stop().ok());
+  EXPECT_EQ(session.GetInfo().state, ServeSession::State::kStopped);
+  EXPECT_FALSE(session.Step(1).ok());
+  EXPECT_FALSE(session.Suspend().ok());
+}
+
+TEST(ServeSessionTest, SuspendedSessionKeepsItsTraceReadable) {
+  ServeSession session({.id = "s",
+                        .design = "twcs",
+                        .graph = "g",
+                        .dataset = DatasetFor("twcs"),
+                        .options = BaseOptions(),
+                        .annotator = BaseSpec(1)});
+  ASSERT_TRUE(session.Step(3).ok());
+  ASSERT_TRUE(session.Suspend().ok());
+  EXPECT_EQ(session.Trace().rounds.size(), 3u);
+  EXPECT_EQ(session.RoundsAfter(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace kgacc::serve

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "datasets/datasets.h"
+#include "kg/generator.h"
+#include "labels/gold_labels.h"
+#include "labels/synthetic_oracle.h"
+#include "test_util.h"
+
+namespace kgacc::testing {
+
+/// A sizes-only dataset for the serve tests: big enough that moe-driven
+/// campaigns run tens of rounds (so there is room to suspend mid-campaign),
+/// small enough to keep the full design × thread sweep fast.
+inline std::shared_ptr<const Dataset> MakeServePopulationDataset(
+    uint64_t seed) {
+  const TestPopulation pop = MakeTestPopulation(2000, 12, 0.85, 0.2, seed);
+  auto dataset = std::make_shared<Dataset>();
+  dataset->name = "test-pop";
+  dataset->population = std::make_unique<ClusterPopulation>(pop.population);
+  dataset->oracle = std::make_unique<PerClusterBernoulliOracle>(pop.oracle);
+  return dataset;
+}
+
+/// A small materialized graph with frozen gold labels, for the designs that
+/// need real triples (kgeval) — same construction as kgeval_test.cc.
+inline std::shared_ptr<const Dataset> MakeServeGraphDataset(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> sizes = GenerateZipfSizes(120, 2.0, 10, rng);
+  GraphMaterializeOptions options;
+  options.num_predicates = 6;
+  options.object_pool = 60;
+  auto dataset = std::make_shared<Dataset>();
+  dataset->name = "test-graph";
+  dataset->graph =
+      std::make_unique<KnowledgeGraph>(MaterializeGraph(sizes, options, rng));
+  const PerClusterBernoulliOracle lazy =
+      MakeRandomErrorOracle(dataset->graph->NumClusters(), 0.85, seed);
+  dataset->oracle = std::make_unique<GoldLabelStore>(
+      MaterializeLabels(lazy, *dataset->graph));
+  return dataset;
+}
+
+}  // namespace kgacc::testing

@@ -1,0 +1,94 @@
+// StepGate: the round-granting CampaignControl behind serve sessions.
+
+#include "serve/step_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace kgacc::serve {
+namespace {
+
+using Action = CampaignControl::Action;
+
+TEST(StepGateTest, ReplayRoundsAutoProceedWithoutGrants) {
+  StepGate gate(/*replay_rounds=*/3);
+  // Rounds 1..3 pass straight through — no grants consumed, no parking.
+  EXPECT_EQ(gate.BeforeRound(1), Action::kProceed);
+  EXPECT_EQ(gate.BeforeRound(2), Action::kProceed);
+  EXPECT_EQ(gate.BeforeRound(3), Action::kProceed);
+}
+
+TEST(StepGateTest, ReplayPrecedesSuspend) {
+  // A suspend arriving during replay must not park the campaign below its
+  // persisted round count.
+  StepGate gate(/*replay_rounds=*/2);
+  gate.RequestSuspend();
+  EXPECT_EQ(gate.BeforeRound(1), Action::kProceed);
+  EXPECT_EQ(gate.BeforeRound(2), Action::kProceed);
+  EXPECT_EQ(gate.BeforeRound(3), Action::kSuspend);
+}
+
+TEST(StepGateTest, GrantsUnblockExactlyThatManyRounds) {
+  StepGate gate;
+  std::atomic<uint64_t> rounds{0};
+  std::atomic<bool> suspended{false};
+  std::thread worker([&] {
+    for (uint64_t next = 1;; ++next) {
+      if (gate.BeforeRound(next) == Action::kSuspend) {
+        suspended = true;
+        break;
+      }
+      ++rounds;
+    }
+    gate.MarkFinished();
+  });
+
+  gate.Grant(3);
+  gate.WaitIdle();
+  EXPECT_EQ(rounds.load(), 3u);
+  EXPECT_FALSE(gate.finished());
+
+  gate.Grant(2);
+  gate.WaitIdle();
+  EXPECT_EQ(rounds.load(), 5u);
+
+  gate.RequestSuspend();
+  worker.join();
+  EXPECT_TRUE(suspended.load());
+  EXPECT_TRUE(gate.finished());
+}
+
+TEST(StepGateTest, RunToCompletionRemovesTheGate) {
+  StepGate gate;
+  std::atomic<uint64_t> rounds{0};
+  std::thread worker([&] {
+    // A campaign with its own stopping decision at round 7.
+    for (uint64_t next = 1; next <= 7; ++next) {
+      if (gate.BeforeRound(next) == Action::kSuspend) break;
+      ++rounds;
+    }
+    gate.MarkFinished();
+  });
+  gate.RunToCompletion();
+  gate.WaitIdle();
+  worker.join();
+  EXPECT_EQ(rounds.load(), 7u);
+  EXPECT_TRUE(gate.finished());
+}
+
+TEST(StepGateTest, WaitIdleReturnsOnceFinished) {
+  StepGate gate;
+  std::thread worker([&] {
+    (void)gate.BeforeRound(1);
+    gate.MarkFinished();
+  });
+  gate.RequestSuspend();
+  gate.WaitIdle();
+  EXPECT_TRUE(gate.finished());
+  worker.join();
+}
+
+}  // namespace
+}  // namespace kgacc::serve

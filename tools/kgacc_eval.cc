@@ -37,8 +37,9 @@ Modes (choose one input):
 
 Evaluation:
   --design D          any registered design name        [twcs]
-                      (srs | rcs | wcs | twcs | twcs+strat | twcs+pilot |
-                       rs | ss | kgeval | ...; see --list-designs)
+                      (the registered set is printed below and by
+                       --list-designs; unknown names error with the same
+                       listing, sourced from the DesignRegistry)
   --strata H          stratum count for twcs+strat; passing H > 1
                       selects twcs+strat (conflicts with any other
                       explicit --design)                   [4]
@@ -357,6 +358,14 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("help", false)) {
     std::printf("%s", kUsage);
+    // The design listing comes from the registry so this text can never
+    // drift from what --design actually accepts.
+    std::printf("\nRegistered designs:\n");
+    const DesignRegistry& registry = DesignRegistry::Global();
+    for (const std::string& name : registry.Names()) {
+      std::printf("  %-12s %s\n", name.c_str(),
+                  registry.Description(name).c_str());
+    }
     return 0;
   }
   if (flags.GetBool("list-datasets", false)) {

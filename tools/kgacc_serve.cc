@@ -1,0 +1,136 @@
+// kgacc_serve — long-running KG accuracy evaluation daemon.
+//
+// Loads knowledge graphs once and multiplexes concurrent evaluation
+// campaigns over a line-delimited JSON-over-TCP protocol (kgacc-serve-v1):
+//
+//   kgacc_serve --port 7607 --preload nell,movie
+//
+// then, from any client (one JSON object per line):
+//
+//   {"op": "load-graph", "graph": "nell"}
+//   {"op": "start-campaign", "graph": "nell", "design": "twcs",
+//    "options": {"moe_target": 0.05}}
+//   {"op": "step", "session": "s1", "rounds": 5}
+//   {"op": "query-estimate", "session": "s1"}
+//   {"op": "suspend", "session": "s1"}     -> returns campaign_state blob
+//   {"op": "resume", "campaign_state": "..."}
+//   {"op": "stream-trace", "session": "s1"}
+//   {"op": "metrics"}
+//   {"op": "shutdown"}
+//
+// See the README "Serving" section for the full protocol reference.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/graph_store.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+constexpr const char* kUsage = R"(kgacc_serve — KG accuracy evaluation daemon
+
+Speaks the line-delimited JSON kgacc-serve-v1 protocol over TCP (loopback).
+Ops: load-graph, start-campaign, step, query-estimate, stream-trace,
+suspend, resume, stop, metrics, shutdown.
+
+Flags:
+  --port P          TCP port to listen on; 0 picks an ephemeral port [7607]
+  --preload A,B,..  graphs to load before accepting connections (built-in
+                    dataset names or paths ending in .tsv)
+  --seed S          dataset seed for built-in synthetic graphs       [42]
+  --help            this message
+
+The bound port is announced on stdout as: kgacc_serve listening on port N
+)";
+
+int Main(int argc, char** argv) {
+  Result<FlagParser> flags_or = FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags_or.status().message().c_str());
+    return 2;
+  }
+  const FlagParser& flags = std::move(flags_or).value();
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const Status valid = flags.Validate({"port", "preload", "seed", "help"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", valid.message().c_str(), kUsage);
+    return 2;
+  }
+  Result<uint64_t> port = flags.GetUint64("port", 7607);
+  Result<uint64_t> seed = flags.GetUint64("seed", 42);
+  if (!port.ok() || !seed.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!port.ok() ? port.status() : seed.status()).message().c_str());
+    return 2;
+  }
+
+  GraphStore graphs;
+  const std::string preload = flags.GetString("preload", "");
+  for (const std::string_view name : SplitString(preload, ',')) {
+    const std::string graph(StripWhitespace(name));
+    if (graph.empty()) continue;
+    Result<std::shared_ptr<const Dataset>> loaded =
+        graphs.Load(graph, seed.value());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: preload %s: %s\n", graph.c_str(),
+                   loaded.status().message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded graph %s (%llu triples)\n", graph.c_str(),
+                 static_cast<unsigned long long>(
+                     loaded.value()->View().TotalTriples()));
+  }
+
+  SessionManager manager(&graphs);
+  ServeServer server(&manager, static_cast<int>(port.value()));
+
+  // SIGINT/SIGTERM shut the daemon down cleanly. Signal handlers cannot
+  // touch the server's mutexes, so the signals are blocked on every thread
+  // and a dedicated thread sigwait()s and calls Shutdown() from normal
+  // context.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("kgacc_serve listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  std::thread signal_thread([&signals, &server] {
+    int received = 0;
+    if (sigwait(&signals, &received) == 0) {
+      std::fprintf(stderr, "received signal %d, shutting down\n", received);
+      server.Shutdown();
+    }
+  });
+
+  server.Wait();
+  // Unblock the signal thread if shutdown came from the protocol instead.
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+  std::fprintf(stderr, "kgacc_serve exiting\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgacc::serve
+
+int main(int argc, char** argv) { return kgacc::serve::Main(argc, argv); }

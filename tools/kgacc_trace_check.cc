@@ -39,6 +39,13 @@
 //    ascend, spent cost must be non-decreasing and achieved MoE
 //    non-increasing in the budget.
 //
+//  - kgacc-serve-bench-v1 (the bench_serve_latency load-generator artifact):
+//    every request type must have consistent percentiles (p50 <= p95 <=
+//    p99 <= max), the run must contain requests with zero protocol errors,
+//    and — with --max-serve-p99 MS and/or --min-serve-qps Q — the gated
+//    request types' p99 latency and the aggregate throughput must meet the
+//    given floors, so a serving-path regression fails CI.
+//
 //  - Chrome trace_event documents (kgacc_eval --chrome-trace), recognized by
 //    their "traceEvents" member: events must be well-formed complete/counter/
 //    metadata events with non-negative timestamps, and — with
@@ -369,6 +376,74 @@ bool CheckCostSweep(const std::string& path, const JsonValue& doc) {
   return true;
 }
 
+/// Validates a kgacc-serve-bench-v1 artifact (bench_serve_latency) and
+/// enforces the serving-latency/throughput gates when given.
+bool CheckServeBench(const std::string& path, const JsonValue& doc,
+                     double max_p99_ms, double min_qps) {
+  const Result<double> total = doc.GetNumber("total_requests");
+  const Result<double> errors = doc.GetNumber("errors");
+  const Result<double> qps = doc.GetNumber("qps");
+  const Result<std::string> mode = doc.GetString("mode");
+  const JsonValue* types = doc.Find("request_types");
+  if (!total.ok() || !errors.ok() || !qps.ok() || !mode.ok() ||
+      types == nullptr || !types->is_array() || types->AsArray().empty()) {
+    std::fprintf(stderr,
+                 "%s: missing total_requests/errors/qps/mode/request_types\n",
+                 path.c_str());
+    return false;
+  }
+  if (*total <= 0.0) {
+    std::fprintf(stderr, "%s: bench recorded no requests\n", path.c_str());
+    return false;
+  }
+  if (*errors > 0.0) {
+    std::fprintf(stderr, "%s: bench recorded %.0f protocol errors\n",
+                 path.c_str(), *errors);
+    return false;
+  }
+  bool ok = true;
+  for (const JsonValue& entry : types->AsArray()) {
+    const Result<std::string> op = entry.GetString("op");
+    const Result<double> count = entry.GetNumber("count");
+    const Result<double> p50 = entry.GetNumber("p50_ms");
+    const Result<double> p95 = entry.GetNumber("p95_ms");
+    const Result<double> p99 = entry.GetNumber("p99_ms");
+    const Result<double> max = entry.GetNumber("max_ms");
+    if (!op.ok() || !count.ok() || !p50.ok() || !p95.ok() || !p99.ok() ||
+        !max.ok()) {
+      std::fprintf(stderr, "%s: malformed request_types entry\n",
+                   path.c_str());
+      return false;
+    }
+    if (*count == 0.0) continue;  // stream-trace may not fire in tiny runs.
+    if (*p50 < 0.0 || *p50 > *p95 || *p95 > *p99 || *p99 > *max) {
+      std::fprintf(stderr,
+                   "%s: '%s' has inconsistent percentiles "
+                   "(p50 %.3f p95 %.3f p99 %.3f max %.3f)\n",
+                   path.c_str(), op->c_str(), *p50, *p95, *p99, *max);
+      ok = false;
+      continue;
+    }
+    std::printf("%s: %-16s %8.0f reqs  p50 %8.3fms  p99 %8.3fms\n",
+                path.c_str(), op->c_str(), *count, *p50, *p99);
+    if (max_p99_ms > 0.0 && *p99 > max_p99_ms) {
+      std::fprintf(stderr, "%s: '%s' p99 %.3fms exceeds budget %.3fms\n",
+                   path.c_str(), op->c_str(), *p99, max_p99_ms);
+      ok = false;
+    }
+  }
+  if (min_qps > 0.0 && *qps < min_qps) {
+    std::fprintf(stderr, "%s: throughput %.0f qps below required %.0f qps\n",
+                 path.c_str(), *qps, min_qps);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("%s: OK (%s loop, %.0f requests, %.0f qps)\n", path.c_str(),
+                mode->c_str(), *total, *qps);
+  }
+  return ok;
+}
+
 /// Validates a Chrome trace_event document (from kgacc_eval --chrome-trace).
 bool CheckChromeTrace(const std::string& path, const JsonValue& doc,
                       uint64_t min_trace_threads) {
@@ -430,6 +505,8 @@ int Run(const FlagParser& flags) {
       flags.GetDouble("max-metrics-overhead", 0.0).ValueOr(0.0);
   const uint64_t min_trace_threads =
       flags.GetUint64("min-trace-threads", 0).ValueOr(0);
+  const double max_serve_p99 = flags.GetDouble("max-serve-p99", 0.0).ValueOr(0.0);
+  const double min_serve_qps = flags.GetDouble("min-serve-qps", 0.0).ValueOr(0.0);
 
   int failures = 0;
   for (const std::string& path : flags.positional()) {
@@ -462,6 +539,12 @@ int Run(const FlagParser& flags) {
     }
     if (schema.ok() && *schema == "kgacc-cost-sweep-v1") {
       if (!CheckCostSweep(path, *doc)) ++failures;
+      continue;
+    }
+    if (schema.ok() && *schema == "kgacc-serve-bench-v1") {
+      if (!CheckServeBench(path, *doc, max_serve_p99, min_serve_qps)) {
+        ++failures;
+      }
       continue;
     }
     if (doc->Find("traceEvents") != nullptr) {
@@ -521,7 +604,8 @@ int main(int argc, char** argv) {
   const FlagParser& flags = *parsed;
   const Status valid = flags.Validate(
       {"baseline", "tolerance", "min-annotate-speedup",
-       "max-metrics-overhead", "min-trace-threads", "help"});
+       "max-metrics-overhead", "min-trace-threads", "max-serve-p99",
+       "min-serve-qps", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.message().c_str());
     return 1;
@@ -531,6 +615,7 @@ int main(int argc, char** argv) {
                  "usage: kgacc_trace_check [--baseline DIR] "
                  "[--tolerance 0.15] [--min-annotate-speedup X] "
                  "[--max-metrics-overhead F] [--min-trace-threads N] "
+                 "[--max-serve-p99 MS] [--min-serve-qps Q] "
                  "TRACE.json [...]\n");
     return flags.GetBool("help", false) ? 0 : 1;
   }

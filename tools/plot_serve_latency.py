@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Render kgacc-serve-bench-v1 JSON artifacts (bench_serve_latency) to SVG.
+
+Each input file becomes one SVG: a grouped horizontal bar chart of p50 /
+p95 / p99 latency per request type on a log-ms axis, with the run's
+aggregate throughput and mode in the title.
+
+Standard library only, so the CI serve-smoke job can render artifacts
+without installing anything:
+
+    tools/plot_serve_latency.py BENCH_serve_latency.json -o bench-artifacts/
+
+writes <name>.svg next to the JSON (or into -o DIR).
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+WIDTH = 640
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 120, 24, 44, 42
+GROUP_H = 58
+BAR_H = 14
+
+COLOR_P50 = "#16a34a"
+COLOR_P95 = "#d97706"
+COLOR_P99 = "#dc2626"
+COLOR_GRID = "#d4d4d8"
+COLOR_TEXT = "#3f3f46"
+
+
+def fmt_ms(value):
+    """Axis label for a millisecond value: 12µs, 3.4ms, 1.2s."""
+    if value <= 0:
+        return "0"
+    if value >= 1000:
+        return f"{value / 1000:.3g}s"
+    if value >= 1:
+        return f"{value:.3g}ms"
+    return f"{value * 1000:.3g}µs"
+
+
+def svg_text(x, y, text, size=11, anchor="start", color=COLOR_TEXT):
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+        f'text-anchor="{anchor}" fill="{color}" '
+        f'font-family="sans-serif">{text}</text>'
+    )
+
+
+def render(doc, name):
+    types = [t for t in doc.get("request_types", []) if t.get("count", 0) > 0]
+    if not types:
+        raise ValueError("no request types with requests recorded")
+
+    height = MARGIN_T + GROUP_H * len(types) + MARGIN_B
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+
+    # Log axis across every plotted latency; floor it well below the data so
+    # sub-millisecond bars keep visible length.
+    values = [t[k] for t in types for k in ("p50_ms", "p95_ms", "p99_ms")]
+    lo = max(min(v for v in values if v > 0) / 4, 1e-4)
+    hi = max(values) * 1.3
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+
+    def x_of(ms):
+        if ms <= lo:
+            return MARGIN_L
+        frac = (math.log10(ms) - log_lo) / (log_hi - log_lo)
+        return MARGIN_L + frac * plot_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}">',
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>',
+        svg_text(
+            MARGIN_L,
+            20,
+            f"{name} — {doc.get('mode', '?')} loop, "
+            f"{doc.get('clients', '?')} clients, "
+            f"{doc.get('qps', 0):.0f} req/s",
+            size=13,
+        ),
+    ]
+
+    # Decade grid lines.
+    decade = math.ceil(log_lo)
+    while decade <= log_hi:
+        x = x_of(10**decade)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{height - MARGIN_B}" stroke="{COLOR_GRID}"/>'
+        )
+        parts.append(
+            svg_text(x, height - MARGIN_B + 16, fmt_ms(10**decade),
+                     anchor="middle")
+        )
+        decade += 1
+
+    series = (
+        ("p50_ms", COLOR_P50, "p50"),
+        ("p95_ms", COLOR_P95, "p95"),
+        ("p99_ms", COLOR_P99, "p99"),
+    )
+    for i, entry in enumerate(types):
+        top = MARGIN_T + i * GROUP_H
+        parts.append(
+            svg_text(MARGIN_L - 8, top + GROUP_H / 2, entry["op"],
+                     anchor="end")
+        )
+        parts.append(
+            svg_text(
+                MARGIN_L - 8,
+                top + GROUP_H / 2 + 13,
+                f'{entry["count"]:d} reqs',
+                size=9,
+                anchor="end",
+            )
+        )
+        for j, (key, color, _) in enumerate(series):
+            y = top + 4 + j * (BAR_H + 2)
+            w = max(x_of(entry[key]) - MARGIN_L, 1.0)
+            parts.append(
+                f'<rect x="{MARGIN_L}" y="{y:.1f}" width="{w:.1f}" '
+                f'height="{BAR_H}" fill="{color}"/>'
+            )
+            parts.append(
+                svg_text(MARGIN_L + w + 4, y + BAR_H - 3,
+                         fmt_ms(entry[key]), size=9)
+            )
+
+    # Legend.
+    x = MARGIN_L
+    for _, color, label in series:
+        parts.append(
+            f'<rect x="{x}" y="{height - 14}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(svg_text(x + 14, height - 5, label, size=10))
+        x += 60
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render kgacc-serve-bench-v1 artifacts to SVG."
+    )
+    parser.add_argument("inputs", nargs="+", help="BENCH_serve_latency.json")
+    parser.add_argument("-o", "--outdir", help="output directory")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.inputs:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            if doc.get("schema") != "kgacc-serve-bench-v1":
+                raise ValueError(
+                    f"not a kgacc-serve-bench-v1 document: {doc.get('schema')}"
+                )
+            name = os.path.splitext(os.path.basename(path))[0]
+            svg = render(doc, name)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+            print(f"{path}: {err}", file=sys.stderr)
+            failed = True
+            continue
+        outdir = args.outdir or os.path.dirname(path) or "."
+        os.makedirs(outdir, exist_ok=True)
+        out = os.path.join(outdir, name + ".svg")
+        with open(out, "w") as f:
+            f.write(svg)
+        print(f"{path} -> {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Minimal kgacc-serve-v1 client (standard library only).
+
+Each positional argument is one request: either a full JSON object, or the
+shorthand `op key=value ...` (values parse as JSON when possible, else as
+strings). Responses print one JSON line each; `stream-trace` responses print
+the header, every round line, and the end marker.
+
+    tools/serve_client.py --port 7607 \
+        '{"op": "load-graph", "graph": "nell"}' \
+        'start-campaign graph=nell design=twcs' \
+        'step session=s1 rounds=5' \
+        'suspend session=s1'
+
+Used by the CI serve-smoke job to drive the daemon's suspend/resume
+byte-compare; --save-state FILE writes the campaign_state blob of the last
+suspend response so a later `resume` can read it back with
+--load-state FILE (the blob is passed as the "campaign_state" member).
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+class ServeConnection:
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port))
+        self.buffer = b""
+
+    def read_line(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode()
+
+    def call(self, request):
+        """Sends one request dict; returns the list of response lines (one,
+        or header + rounds + end marker for stream-trace)."""
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        lines = [self.read_line()]
+        header = json.loads(lines[0])
+        if request.get("op") == "stream-trace" and header.get("ok"):
+            for _ in range(int(header.get("rounds", 0)) + 1):
+                lines.append(self.read_line())
+        return lines
+
+
+def parse_request(text):
+    """Full JSON object, or `op key=value ...` shorthand."""
+    text = text.strip()
+    if text.startswith("{"):
+        return json.loads(text)
+    parts = text.split()
+    request = {"op": parts[0]}
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        try:
+            request[key] = json.loads(value)
+        except json.JSONDecodeError:
+            request[key] = value
+    return request
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Send kgacc-serve-v1 requests to a kgacc_serve daemon."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--save-state",
+        metavar="FILE",
+        help="write the campaign_state of the last suspend response",
+    )
+    parser.add_argument(
+        "--load-state",
+        metavar="FILE",
+        help="for `resume` requests: read campaign_state from FILE",
+    )
+    parser.add_argument("requests", nargs="+", help="JSON or `op k=v ...`")
+    args = parser.parse_args()
+
+    conn = ServeConnection(args.host, args.port)
+    saved_state = None
+    failed = False
+    for text in args.requests:
+        request = parse_request(text)
+        if request.get("op") == "resume" and args.load_state:
+            with open(args.load_state) as f:
+                request["campaign_state"] = f.read()
+        for line in conn.call(request):
+            print(line)
+            response = json.loads(line)
+            if response.get("ok") is False:
+                failed = True
+            if "campaign_state" in response:
+                saved_state = response["campaign_state"]
+    if args.save_state and saved_state is not None:
+        with open(args.save_state, "w") as f:
+            f.write(saved_state)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # output piped into head etc.
+        sys.exit(0)
