@@ -1,18 +1,42 @@
-// Reproduces Figure 7: scalability of TWCS.
+// Reproduces Figure 7: scalability of TWCS — and benchmarks the columnar
+// mmap graph store that carries those scales on disk.
 //   (1) evaluation time vs KG size: 26M -> 130M triples (MOVIE-FULL scale,
 //       REM labels at 90% accuracy) — cost should stay flat;
 //   (2) evaluation time vs overall accuracy (10%..90%) at full size — cost
-//       peaks at 50% where per-triple label variance is maximal.
+//       peaks at 50% where per-triple label variance is maximal;
+//   (3) kgacc-kgstore-v1 substrate: streamed build throughput, O(1) open
+//       latency (must NOT scale with triple count), zero-copy lookup and
+//       TWCS sampler latency over the mmap-backed graph, written as a
+//       kgacc-kgstore-bench-v1 artifact for kgacc_trace_check.
 //
 // The MOVIE-FULL substrate is a size-only ClusterPopulation with lazily
-// hashed labels (DESIGN.md), so 130M triples fit in a few hundred MB.
+// hashed labels (DESIGN.md), so 130M triples fit in a few hundred MB; the
+// store section streams the same profile to disk and samples it via mmap.
+//
+// Flags: --store-only              skip sections (1)/(2) (CI's bench-smoke)
+//        --store-sizes N,N,...     store section triple counts
+//                                  [10000000,100000000]
+//        --store-dir DIR           where .kgstore files are built [.]
+//        --keep-stores             leave the built files on disk (CI caches
+//                                  the largest as an artifact)
+//        --out FILE.json           artifact path
+//                                  [$KGACC_BENCH_JSON_DIR/BENCH_kgstore.json]
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/static_evaluator.h"
 #include "datasets/datasets.h"
+#include "kg/store/mapped_graph.h"
 #include "labels/annotator.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
 
 namespace kgacc {
 namespace {
@@ -35,42 +59,226 @@ RunningStats EvaluateTwcsHours(const KgView& view, const TruthOracle& oracle,
   return hours;
 }
 
+struct StoreRow {
+  uint64_t triples = 0;
+  uint64_t clusters = 0;
+  uint64_t file_bytes = 0;
+  double build_seconds = 0.0;
+  double build_mtriples_per_sec = 0.0;
+  double open_ms = 0.0;    ///< min of several cold re-opens.
+  double lookup_ns = 0.0;  ///< mean random TripleAt over the mapping.
+  double twcs_wall_ms = 0.0;
+};
+
+/// Builds, reopens and samples one store size point.
+int BenchStoreSize(uint64_t triples, const std::string& dir, uint64_t seed,
+                   bool keep, StoreRow* row) {
+  const std::string path =
+      dir + "/" + StrFormat("movie_full_%llu.kgstore",
+                            static_cast<unsigned long long>(triples));
+  WallTimer build_timer;
+  const Status built = BuildMovieFullStore(path, triples, /*accuracy=*/0.9,
+                                           seed);
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.ToString().c_str());
+    return 1;
+  }
+  row->triples = triples;
+  row->build_seconds = build_timer.ElapsedSeconds();
+  row->build_mtriples_per_sec =
+      static_cast<double>(triples) / row->build_seconds / 1e6;
+
+  // Open latency: the whole point of the format is that this is O(1) in
+  // `triples`. Minimum over several opens isolates the syscall path from
+  // scheduling noise.
+  double open_ms_min = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    WallTimer open_timer;
+    Result<MappedGraph> reopened = MappedGraph::Open(path);
+    const double ms = open_timer.ElapsedMillis();
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    if (i == 0 || ms < open_ms_min) open_ms_min = ms;
+  }
+  row->open_ms = open_ms_min;
+
+  Result<MappedGraph> opened = MappedGraph::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const MappedGraph& graph = *opened;
+  row->clusters = graph.NumClusters();
+  row->file_bytes = graph.FileBytes();
+
+  // Random zero-copy lookups (the sampler's per-draw access pattern).
+  constexpr uint64_t kLookups = 200000;
+  Rng rng(seed ^ triples);
+  uint64_t sink = 0;
+  WallTimer lookup_timer;
+  for (uint64_t i = 0; i < kLookups; ++i) {
+    const uint64_t c = rng.UniformIndex(graph.NumClusters());
+    const TripleRef ref{c, rng.UniformIndex(graph.ClusterSize(c))};
+    sink += graph.TripleAt(ref).object.id;
+  }
+  row->lookup_ns =
+      static_cast<double>(lookup_timer.ElapsedNanos()) / kLookups;
+  volatile uint64_t observe = sink;  // keep the lookup loop observable.
+  (void)observe;
+
+  // One full TWCS campaign over the mmap-backed graph with its embedded
+  // labels — the end-to-end sampler latency a serving campaign sees.
+  const MappedLabelOracle oracle(&graph);
+  WallTimer twcs_timer;
+  (void)EvaluateTwcsHours(graph, oracle, /*trials=*/1, seed + triples);
+  row->twcs_wall_ms = twcs_timer.ElapsedMillis();
+
+  if (!keep) std::remove(path.c_str());
+  return 0;
+}
+
+int RunStoreSection(const std::vector<uint64_t>& sizes,
+                    const std::string& dir, bool keep,
+                    const std::string& out_path, uint64_t seed) {
+  bench::Banner(StrFormat("Figure 7-3: kgacc-kgstore-v1 substrate "
+                          "(build / open / sample)"));
+  std::printf("%14s %12s %12s %10s %11s %10s %10s %12s\n", "triples",
+              "clusters", "file_mb", "build_s", "mtriples/s", "open_ms",
+              "lookup_ns", "twcs_ms");
+  bench::Rule();
+  std::vector<StoreRow> rows;
+  for (const uint64_t triples : sizes) {
+    StoreRow row;
+    if (BenchStoreSize(triples, dir, seed, keep, &row) != 0) return 1;
+    std::printf("%14llu %12llu %12.1f %10.2f %11.2f %10.3f %10.1f %12.1f\n",
+                static_cast<unsigned long long>(row.triples),
+                static_cast<unsigned long long>(row.clusters),
+                static_cast<double>(row.file_bytes) / 1e6, row.build_seconds,
+                row.build_mtriples_per_sec, row.open_ms, row.lookup_ns,
+                row.twcs_wall_ms);
+    rows.push_back(row);
+  }
+  std::printf("Expected shape: open_ms flat across sizes (O(1) mmap open); "
+              "build throughput flat (streaming writer).\n");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String("kgacc-kgstore-bench-v1");
+  json.Key("accuracy").Number(0.9);
+  json.Key("seed").Uint(seed);
+  json.Key("rows").BeginArray();
+  for (const StoreRow& row : rows) {
+    json.BeginObject();
+    json.Key("triples").Uint(row.triples);
+    json.Key("clusters").Uint(row.clusters);
+    json.Key("file_bytes").Uint(row.file_bytes);
+    json.Key("build_seconds").Number(row.build_seconds);
+    json.Key("build_mtriples_per_sec").Number(row.build_mtriples_per_sec);
+    json.Key("open_ms").Number(row.open_ms);
+    json.Key("lookup_ns").Number(row.lookup_ns);
+    json.Key("twcs_wall_ms").Number(row.twcs_wall_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.str().c_str(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("artifact: %s\n", out_path.c_str());
+  return 0;
+}
+
+int Run(const FlagParser& flags) {
+  const Status valid = flags.Validate({"store-only", "store_only",
+                                       "store-sizes", "store_sizes",
+                                       "store-dir", "store_dir",
+                                       "keep-stores", "keep_stores", "out",
+                                       "help"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.message().c_str());
+    return 1;
+  }
+  const uint64_t seed = bench::Seed();
+  const int trials = bench::Trials(5);
+  const bool store_only = flags.GetBool("store-only", false) ||
+                          flags.GetBool("store_only", false);
+
+  if (!store_only) {
+    bench::Banner(StrFormat("Figure 7-1: TWCS cost vs KG size (REM 90%%, "
+                            "%d trials)", trials));
+    std::printf("%14s %14s %14s\n", "triples", "entities", "time (h)");
+    bench::Rule();
+    for (uint64_t millions : {26ull, 52ull, 78ull, 104ull, 130ull}) {
+      const Dataset kg = MakeMovieFull(millions * 1000000ull, 0.9, seed);
+      const RunningStats hours =
+          EvaluateTwcsHours(kg.View(), *kg.oracle, trials, seed + millions);
+      std::printf("%13lluM %14llu %14s\n",
+                  static_cast<unsigned long long>(millions),
+                  static_cast<unsigned long long>(kg.View().NumClusters()),
+                  bench::MeanStd(hours).c_str());
+    }
+    std::printf("Paper shape: evaluation time stays flat as the KG grows.\n");
+
+    bench::Banner(StrFormat("Figure 7-2: TWCS cost vs overall accuracy "
+                            "(130M triples, %d trials)", trials));
+    std::printf("%10s %14s\n", "accuracy", "time (h)");
+    bench::Rule();
+    for (double accuracy : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const Dataset kg = MakeMovieFull(130591799ull, accuracy, seed);
+      const RunningStats hours = EvaluateTwcsHours(
+          kg.View(), *kg.oracle, trials,
+          seed + static_cast<uint64_t>(accuracy * 1000));
+      std::printf("%9.0f%% %14s\n", accuracy * 100.0,
+                  bench::MeanStd(hours).c_str());
+    }
+    std::printf("Paper shape: cost peaks at 50%% accuracy (max label "
+                "variance), symmetric toward the ends.\n");
+  }
+
+  std::vector<uint64_t> sizes;
+  const std::string sizes_arg = flags.Has("store-sizes")
+                                    ? flags.GetString("store-sizes", "")
+                                    : flags.GetString("store_sizes", "");
+  if (!sizes_arg.empty()) {
+    for (const std::string_view token : SplitString(sizes_arg, ',')) {
+      uint64_t parsed = 0;
+      if (!ParseUint64(token, &parsed) || parsed == 0) {
+        std::fprintf(stderr, "error: bad --store-sizes entry '%.*s'\n",
+                     static_cast<int>(token.size()), token.data());
+        return 1;
+      }
+      sizes.push_back(parsed);
+    }
+  } else {
+    sizes = {10000000ull, 100000000ull};
+  }
+  const std::string dir = flags.Has("store-dir")
+                              ? flags.GetString("store-dir", ".")
+                              : flags.GetString("store_dir", ".");
+  const bool keep = flags.GetBool("keep-stores", false) ||
+                    flags.GetBool("keep_stores", false);
+  const std::string out = flags.GetString(
+      "out", bench::ArtifactPath("BENCH_kgstore.json"));
+  return RunStoreSection(sizes, dir, keep, out, seed);
+}
+
 }  // namespace
 }  // namespace kgacc
 
-int main() {
-  using namespace kgacc;
-  const uint64_t seed = bench::Seed();
-  const int trials = bench::Trials(5);
-
-  bench::Banner(StrFormat("Figure 7-1: TWCS cost vs KG size (REM 90%%, "
-                          "%d trials)", trials));
-  std::printf("%14s %14s %14s\n", "triples", "entities", "time (h)");
-  bench::Rule();
-  for (uint64_t millions : {26ull, 52ull, 78ull, 104ull, 130ull}) {
-    const Dataset kg = MakeMovieFull(millions * 1000000ull, 0.9, seed);
-    const RunningStats hours =
-        EvaluateTwcsHours(kg.View(), *kg.oracle, trials, seed + millions);
-    std::printf("%13lluM %14llu %14s\n",
-                static_cast<unsigned long long>(millions),
-                static_cast<unsigned long long>(kg.View().NumClusters()),
-                bench::MeanStd(hours).c_str());
+int main(int argc, char** argv) {
+  kgacc::Result<kgacc::FlagParser> parsed =
+      kgacc::FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
   }
-  std::printf("Paper shape: evaluation time stays flat as the KG grows.\n");
-
-  bench::Banner(StrFormat("Figure 7-2: TWCS cost vs overall accuracy "
-                          "(130M triples, %d trials)", trials));
-  std::printf("%10s %14s\n", "accuracy", "time (h)");
-  bench::Rule();
-  for (double accuracy : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    const Dataset kg = MakeMovieFull(130591799ull, accuracy, seed);
-    const RunningStats hours = EvaluateTwcsHours(
-        kg.View(), *kg.oracle, trials,
-        seed + static_cast<uint64_t>(accuracy * 1000));
-    std::printf("%9.0f%% %14s\n", accuracy * 100.0,
-                bench::MeanStd(hours).c_str());
-  }
-  std::printf("Paper shape: cost peaks at 50%% accuracy (max label "
-              "variance), symmetric toward the ends.\n");
-  return 0;
+  return kgacc::Run(*parsed);
 }

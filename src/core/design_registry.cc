@@ -99,11 +99,12 @@ Result<EvaluationResult> RunTwcsWithPilot(const KgView& view,
 /// (Section 8 / Table 6 — the paper's point about this baseline).
 Result<EvaluationResult> RunKgEval(const KgView& view, Annotator* annotator,
                                    const EvaluationOptions& options) {
-  const auto* graph = dynamic_cast<const KnowledgeGraph*>(&view);
+  const auto* graph = dynamic_cast<const TripleView*>(&view);
   if (graph == nullptr) {
     return Status::FailedPrecondition(
-        "design 'kgeval' needs a materialized KnowledgeGraph "
-        "(nell/yago/movie or --input), not a sizes-only population");
+        "design 'kgeval' needs addressable triples (a materialized "
+        "KnowledgeGraph or a mmap-backed graph store), not a sizes-only "
+        "population");
   }
   KgEvalBaseline baseline(*graph, KgEvalBaseline::Options{});
   const KgEvalBaseline::Result run = baseline.Run(annotator, options.control);

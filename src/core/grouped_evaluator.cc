@@ -63,7 +63,7 @@ class VirtualTwcsSampler : public UnitSampler {
 
 }  // namespace
 
-GroupedEvaluator::GroupedEvaluator(const KnowledgeGraph& kg,
+GroupedEvaluator::GroupedEvaluator(const TripleView& kg,
                                    Annotator* annotator,
                                    EvaluationOptions options)
     : kg_(kg), annotator_(annotator), options_(options) {
@@ -153,9 +153,9 @@ std::vector<GroupedEvaluator::GroupResult> GroupedEvaluator::EvaluateAll(
   std::unordered_map<uint32_t, std::unordered_map<uint64_t, VirtualCluster>>
       buckets;
   for (uint64_t c = 0; c < kg_.NumClusters(); ++c) {
-    const EntityCluster& cluster = kg_.Cluster(c);
-    for (uint64_t offset = 0; offset < cluster.triples.size(); ++offset) {
-      const uint32_t group = group_of(cluster.triples[offset]);
+    const uint64_t size = kg_.ClusterSize(c);
+    for (uint64_t offset = 0; offset < size; ++offset) {
+      const uint32_t group = group_of(kg_.TripleAt(TripleRef{c, offset}));
       VirtualCluster& vc = buckets[group][c];
       vc.parent_cluster = c;
       vc.offsets.push_back(offset);

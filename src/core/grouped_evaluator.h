@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "core/evaluation.h"
-#include "kg/knowledge_graph.h"
+#include "kg/triple_view.h"
 #include "labels/annotator.h"
 
 namespace kgacc {
@@ -29,7 +29,7 @@ class GroupedEvaluator {
   /// accuracy, or an entity-type id for per-type accuracy).
   using GroupFn = std::function<uint32_t(const Triple&)>;
 
-  GroupedEvaluator(const KnowledgeGraph& kg, Annotator* annotator,
+  GroupedEvaluator(const TripleView& kg, Annotator* annotator,
                    EvaluationOptions options);
 
   /// One group's evaluation outcome.
@@ -59,7 +59,7 @@ class GroupedEvaluator {
   GroupResult EvaluateGroup(uint32_t group,
                             const std::vector<VirtualCluster>& clusters);
 
-  const KnowledgeGraph& kg_;
+  const TripleView& kg_;
   Annotator* annotator_;
   EvaluationOptions options_;
 };

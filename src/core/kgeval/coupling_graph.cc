@@ -19,7 +19,7 @@ uint64_t ObjectKey(const ObjectRef& object) {
 
 }  // namespace
 
-CouplingGraph::CouplingGraph(const KnowledgeGraph& kg, const Options& options) {
+CouplingGraph::CouplingGraph(const TripleView& kg, const Options& options) {
   // Enumerate nodes.
   for (uint64_t c = 0; c < kg.NumClusters(); ++c) {
     for (uint64_t o = 0; o < kg.ClusterSize(c); ++o) {
@@ -42,7 +42,7 @@ CouplingGraph::CouplingGraph(const KnowledgeGraph& kg, const Options& options) {
   std::unordered_map<uint64_t, std::vector<uint32_t>> by_predicate_object;
   std::unordered_map<uint32_t, std::vector<uint32_t>> by_subject;
   for (uint32_t node = 0; node < refs_.size(); ++node) {
-    const Triple& t = kg.At(refs_[node]);
+    const Triple t = kg.TripleAt(refs_[node]);
     if (options.same_subject_predicate) {
       by_subject_predicate[PairKey(t.subject, t.predicate)].push_back(node);
     }

@@ -3,8 +3,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "kg/knowledge_graph.h"
 #include "kg/triple.h"
+#include "kg/triple_view.h"
 
 namespace kgacc {
 
@@ -30,7 +30,7 @@ class CouplingGraph {
     uint32_t max_group_size = 64;
   };
 
-  CouplingGraph(const KnowledgeGraph& kg, const Options& options);
+  CouplingGraph(const TripleView& kg, const Options& options);
 
   uint32_t NumTriples() const { return static_cast<uint32_t>(refs_.size()); }
   const std::vector<uint32_t>& Neighbors(uint32_t node) const;

@@ -9,7 +9,7 @@
 
 namespace kgacc {
 
-KgEvalBaseline::KgEvalBaseline(const KnowledgeGraph& kg, const Options& options)
+KgEvalBaseline::KgEvalBaseline(const TripleView& kg, const Options& options)
     : kg_(kg), options_(options), graph_(kg, options.coupling) {
   KGACC_CHECK(options_.decay_per_hop > 0.0 && options_.decay_per_hop <= 1.0);
   KGACC_CHECK(options_.max_hops >= 1);

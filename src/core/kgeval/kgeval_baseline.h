@@ -5,7 +5,7 @@
 #include "core/campaign_control.h"
 #include "core/kgeval/coupling_graph.h"
 #include "cost/cost_model.h"
-#include "kg/knowledge_graph.h"
+#include "kg/triple_view.h"
 #include "labels/annotator.h"
 
 namespace kgacc {
@@ -52,7 +52,7 @@ class KgEvalBaseline {
     bool suspended = false;
   };
 
-  KgEvalBaseline(const KnowledgeGraph& kg, const Options& options);
+  KgEvalBaseline(const TripleView& kg, const Options& options);
 
   /// Runs the full control/inference loop until every triple carries a
   /// label, charging human effort to `annotator`. One "round" of KGEval is
@@ -61,7 +61,7 @@ class KgEvalBaseline {
   Result Run(Annotator* annotator, CampaignControl* control = nullptr);
 
  private:
-  const KnowledgeGraph& kg_;
+  const TripleView& kg_;
   Options options_;
   CouplingGraph graph_;
 };

@@ -6,6 +6,8 @@
 #include "kg/cluster_population.h"
 #include "kg/kg_view.h"
 #include "kg/knowledge_graph.h"
+#include "kg/store/mapped_graph.h"
+#include "kg/triple_view.h"
 #include "labels/synthetic_oracle.h"
 #include "labels/truth_oracle.h"
 
@@ -23,9 +25,13 @@ namespace kgacc {
 struct Dataset {
   std::string name;
 
-  /// Materialized graph (NELL, YAGO) or size-only population (MOVIE family);
-  /// exactly one is set.
+  /// Exactly one backing view is set: a materialized graph (NELL, YAGO,
+  /// loaded TSV), a zero-copy mmap-backed store file (.kgstore), or a
+  /// size-only population (MOVIE family). `mapped` is declared before
+  /// `oracle` on purpose — a MappedLabelOracle borrows the mapping and must
+  /// be destroyed first (members die in reverse declaration order).
   std::unique_ptr<KnowledgeGraph> graph;
+  std::unique_ptr<MappedGraph> mapped;
   std::unique_ptr<ClusterPopulation> population;
 
   std::unique_ptr<TruthOracle> oracle;
@@ -35,8 +41,18 @@ struct Dataset {
   const PerClusterBernoulliOracle* bernoulli = nullptr;
 
   const KgView& View() const {
-    return graph ? static_cast<const KgView&>(*graph)
-                 : static_cast<const KgView&>(*population);
+    if (graph) return *graph;
+    if (mapped) return *mapped;
+    return *population;
+  }
+
+  /// Addressable triples when the backing view has them (materialized or
+  /// mmap-backed), nullptr for size-only populations. Gate for the designs
+  /// and modes that touch triple content (kgeval, per-predicate).
+  const TripleView* Triples() const {
+    if (graph) return graph.get();
+    if (mapped) return mapped.get();
+    return nullptr;
   }
 };
 
@@ -63,5 +79,13 @@ Dataset MakeMovieRem(double accuracy, uint64_t seed);
 /// triples over 14,495,142 entities; pass a smaller target for the Fig 7
 /// size sweep). REM labels with the given accuracy.
 Dataset MakeMovieFull(uint64_t num_triples, double accuracy, uint64_t seed);
+
+/// Streams a MOVIE-FULL profile graph of `num_triples` triples directly into
+/// a `kgacc-kgstore-v1` file at `path` without materializing it — cluster
+/// structure and embedded gold labels match MakeMovieFull(num_triples,
+/// accuracy, seed) exactly, so a MappedGraph over the file is a drop-in
+/// replacement for the size-only population (same sizes, same labels).
+Status BuildMovieFullStore(const std::string& path, uint64_t num_triples,
+                           double accuracy, uint64_t seed);
 
 }  // namespace kgacc

@@ -85,7 +85,12 @@ Dataset MakeMovieRem(double accuracy, uint64_t seed) {
                                std::move(accuracies), seed);
 }
 
-Dataset MakeMovieFull(uint64_t num_triples, double accuracy, uint64_t seed) {
+namespace {
+
+/// Cluster sizes of the MOVIE-FULL profile at `num_triples` (shared between
+/// the in-memory population and the streamed store build so both views have
+/// identical structure for a given seed).
+std::vector<uint32_t> MovieFullSizes(uint64_t num_triples, uint64_t seed) {
   KGACC_CHECK(num_triples > 0 && num_triples <= kMovieFullTriples);
   // Keep the paper's average cluster size (~9.0) at every scale point.
   const uint64_t num_entities = std::max<uint64_t>(
@@ -98,9 +103,29 @@ Dataset MakeMovieFull(uint64_t num_triples, double accuracy, uint64_t seed) {
       GenerateLogNormalSizes(num_entities, /*mu_log=*/0.94, /*sigma_log=*/1.6,
                              /*max_size=*/5000, rng);
   ScaleSizesToTotal(&sizes, num_triples);
+  return sizes;
+}
+
+}  // namespace
+
+Dataset MakeMovieFull(uint64_t num_triples, double accuracy, uint64_t seed) {
+  std::vector<uint32_t> sizes = MovieFullSizes(num_triples, seed);
   std::vector<double> accuracies(sizes.size(), accuracy);
   return MakePopulationDataset("MOVIE-FULL", std::move(sizes),
                                std::move(accuracies), seed);
+}
+
+Status BuildMovieFullStore(const std::string& path, uint64_t num_triples,
+                           double accuracy, uint64_t seed) {
+  std::vector<uint32_t> sizes = MovieFullSizes(num_triples, seed);
+  // Same oracle seed as MakePopulationDataset: the embedded label bitset is
+  // bit-identical to what MakeMovieFull's lazy oracle would answer.
+  std::vector<double> accuracies(sizes.size(), accuracy);
+  const PerClusterBernoulliOracle oracle(std::move(accuracies),
+                                         HashCombine(seed, 0x6d6f7669ULL));
+  Rng triple_rng(HashCombine(seed, 0x74726970ULL));  // "trip"
+  return MaterializeGraphToStore(sizes, GraphMaterializeOptions{}, triple_rng,
+                                 path, &oracle);
 }
 
 }  // namespace kgacc

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "kg/store/store_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -28,6 +29,43 @@ uint32_t SampleFromCdf(const std::vector<double>& cdf, Rng& rng) {
   const double u = rng.UniformDouble();
   const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
   return static_cast<uint32_t>(it - cdf.begin()) + 1;
+}
+
+/// Zipfian-popularity CDF over the object entity pool.
+std::vector<double> ObjectCdf(const GraphMaterializeOptions& options) {
+  std::vector<double> cdf(options.object_pool);
+  double total = 0.0;
+  for (uint32_t k = 1; k <= options.object_pool; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), options.object_zipf_s);
+    cdf[k - 1] = total;
+  }
+  for (double& v : cdf) v /= total;
+  return cdf;
+}
+
+/// One triple's predicate/object draws. Both materialization paths go
+/// through here so their Rng sequences — and hence their outputs — are
+/// guaranteed identical for a given seed.
+Triple DrawTriple(EntityId subject, uint64_t num_subjects,
+                  const GraphMaterializeOptions& options,
+                  const std::vector<double>& object_cdf, Rng& rng) {
+  Triple t;
+  t.subject = subject;
+  t.predicate =
+      static_cast<PredicateId>(rng.UniformIndex(options.num_predicates));
+  if (rng.Bernoulli(options.literal_fraction)) {
+    t.object = ObjectRef::Literal(
+        static_cast<LiteralId>(rng.UniformIndex(options.num_literals)));
+  } else {
+    const double u = rng.UniformDouble();
+    const auto it = std::lower_bound(object_cdf.begin(), object_cdf.end(), u);
+    // Object entity ids live above the subject id range to keep the two
+    // spaces disjoint.
+    const auto popular = static_cast<uint32_t>(it - object_cdf.begin());
+    t.object =
+        ObjectRef::Entity(static_cast<EntityId>(num_subjects) + popular);
+  }
+  return t;
 }
 
 }  // namespace
@@ -99,40 +137,46 @@ KnowledgeGraph MaterializeGraph(const std::vector<uint32_t>& sizes,
           "kg.generator.materialize_seconds");
   obs::ScopedSpan span("kg.generator.materialize", materialize_seconds);
   KnowledgeGraph kg;
-  const std::vector<double> object_cdf =
-      [&] {
-        std::vector<double> cdf(options.object_pool);
-        double total = 0.0;
-        for (uint32_t k = 1; k <= options.object_pool; ++k) {
-          total += 1.0 / std::pow(static_cast<double>(k), options.object_zipf_s);
-          cdf[k - 1] = total;
-        }
-        for (double& v : cdf) v /= total;
-        return cdf;
-      }();
-
+  const std::vector<double> object_cdf = ObjectCdf(options);
   for (uint32_t subject = 0; subject < sizes.size(); ++subject) {
     for (uint32_t j = 0; j < sizes[subject]; ++j) {
-      Triple t;
-      t.subject = subject;
-      t.predicate = static_cast<PredicateId>(rng.UniformIndex(options.num_predicates));
-      if (rng.Bernoulli(options.literal_fraction)) {
-        t.object = ObjectRef::Literal(
-            static_cast<LiteralId>(rng.UniformIndex(options.num_literals)));
-      } else {
-        const double u = rng.UniformDouble();
-        const auto it =
-            std::lower_bound(object_cdf.begin(), object_cdf.end(), u);
-        // Object entity ids live above the subject id range to keep the two
-        // spaces disjoint.
-        const auto popular = static_cast<uint32_t>(it - object_cdf.begin());
-        t.object = ObjectRef::Entity(
-            static_cast<EntityId>(sizes.size()) + popular);
-      }
-      kg.Add(t);
+      kg.Add(DrawTriple(subject, sizes.size(), options, object_cdf, rng));
     }
   }
   return kg;
+}
+
+Status MaterializeGraphToStore(const std::vector<uint32_t>& sizes,
+                               const GraphMaterializeOptions& options,
+                               Rng& rng, const std::string& path,
+                               const TruthOracle* labels) {
+  KGACC_CHECK(options.num_predicates >= 1);
+  KGACC_CHECK(options.object_pool >= 1);
+  static obs::Histogram* const stream_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "kg.generator.stream_to_store_seconds");
+  obs::ScopedSpan span("kg.generator.stream_to_store", stream_seconds);
+
+  uint64_t total = 0;
+  for (const uint32_t s : sizes) total += s;
+  StoreWriter::Options writer_options;
+  writer_options.with_labels = labels != nullptr;
+  KGACC_ASSIGN_OR_RETURN(
+      StoreWriter writer,
+      StoreWriter::Create(path, sizes.size(), total, writer_options));
+
+  const std::vector<double> object_cdf = ObjectCdf(options);
+  for (uint32_t subject = 0; subject < sizes.size(); ++subject) {
+    KGACC_RETURN_IF_ERROR(writer.BeginCluster(subject));
+    for (uint32_t j = 0; j < sizes[subject]; ++j) {
+      const Triple t =
+          DrawTriple(subject, sizes.size(), options, object_cdf, rng);
+      const bool correct =
+          labels != nullptr && labels->IsCorrect(TripleRef{subject, j});
+      KGACC_RETURN_IF_ERROR(writer.AddTriple(t.predicate, t.object, correct));
+    }
+  }
+  return writer.Finish();
 }
 
 }  // namespace kgacc

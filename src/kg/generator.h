@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "kg/knowledge_graph.h"
+#include "labels/truth_oracle.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace kgacc {
 
@@ -47,5 +50,16 @@ struct GraphMaterializeOptions {
 /// are 0..N-1; objects/predicates are synthetic ids per `options`.
 KnowledgeGraph MaterializeGraph(const std::vector<uint32_t>& sizes,
                                 const GraphMaterializeOptions& options, Rng& rng);
+
+/// Streams the same synthetic graph MaterializeGraph would build directly
+/// into a `kgacc-kgstore-v1` file at `path`, never materializing it: memory
+/// stays O(write buffers) at any triple count. Draws from `rng` in exactly
+/// MaterializeGraph's order, so the store is byte-identical to
+/// WriteGraphStore(MaterializeGraph(...)) with the same seed. When `labels`
+/// is given the gold-label bitset is embedded (one IsCorrect per triple).
+Status MaterializeGraphToStore(const std::vector<uint32_t>& sizes,
+                               const GraphMaterializeOptions& options,
+                               Rng& rng, const std::string& path,
+                               const TruthOracle* labels = nullptr);
 
 }  // namespace kgacc

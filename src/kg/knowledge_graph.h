@@ -6,6 +6,7 @@
 
 #include "kg/kg_view.h"
 #include "kg/triple.h"
+#include "kg/triple_view.h"
 
 namespace kgacc {
 
@@ -23,7 +24,7 @@ struct EntityCluster {
 /// Fully materialized in-memory knowledge graph, stored as entity clusters
 /// with a subject -> cluster index. Supports append-only growth (the paper
 /// considers only triple insertions).
-class KnowledgeGraph : public KgView {
+class KnowledgeGraph : public TripleView {
  public:
   /// Appends a triple; creates the subject's cluster if needed.
   /// Returns the position the triple was stored at.
@@ -40,9 +41,16 @@ class KnowledgeGraph : public KgView {
   uint64_t ClusterSize(uint64_t cluster) const override;
   uint64_t TotalTriples() const override { return total_triples_; }
 
+  // TripleView:
+  Triple TripleAt(const TripleRef& ref) const override { return At(ref); }
+  EntityId ClusterSubject(uint64_t cluster) const override {
+    return Cluster(cluster).subject;
+  }
+
   const EntityCluster& Cluster(uint64_t index) const;
 
-  /// The triple at a sampled position.
+  /// The triple at a sampled position (by reference; TripleAt is the
+  /// backend-agnostic by-value accessor).
   const Triple& At(const TripleRef& ref) const;
 
   /// Index of the (first) cluster for `subject`, or kInvalidId-like sentinel

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace kgacc::store {
+
+/// On-disk layout of the `kgacc-kgstore-v1` binary columnar graph store.
+///
+/// The file is a fixed header followed by columnar sections laid out
+/// structure-of-arrays, each 64-byte aligned so a memory-mapped open can
+/// serve every lookup zero-copy:
+///
+///   [Header]
+///   cluster_offsets   uint64[num_clusters + 1]   triple prefix sums; cluster
+///                                                i spans [off[i], off[i+1])
+///   cluster_subjects  uint32[num_clusters]       subject id per cluster
+///   subjects          uint32[num_triples]        per-triple subject column
+///   predicates        uint32[num_triples]        per-triple predicate column
+///   objects           uint32[num_triples]        per-triple object id column
+///   object_kinds      uint64[ceil(M/64)]         bit i: object i is a literal
+///   labels            uint64[ceil(M/64)]         bit i: triple i is correct
+///                                                (present iff kHasLabels)
+///   symbol_offsets    uint64[num_symbols + 1]    byte offsets into the blob
+///                                                (present iff kHasSymbols)
+///   symbol_blob       bytes                      concatenated symbol names
+///
+/// Integers are host-endian (the store is a mmap substrate, not an exchange
+/// format; practically that means little-endian everywhere we build).
+/// Every section carries an FNV-1a 64 checksum in its descriptor; the header
+/// carries its own checksum so `MappedGraph::Open` validates the metadata in
+/// O(1) without touching the payload, and `Verify()` (or Open with
+/// `verify_checksums`) does the full O(bytes) pass.
+
+/// File magic: exactly these 16 bytes, no terminator.
+inline constexpr char kMagic[16] = {'k', 'g', 'a', 'c', 'c', '-', 'k', 'g',
+                                    's', 't', 'o', 'r', 'e', '-', 'v', '1'};
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Section start alignment (cache-line) inside the file.
+inline constexpr uint64_t kSectionAlign = 64;
+
+/// Header::flags bits.
+inline constexpr uint32_t kHasLabels = 1u << 0;
+inline constexpr uint32_t kHasSymbols = 1u << 1;
+
+enum Section : uint32_t {
+  kClusterOffsets = 0,
+  kClusterSubjects,
+  kSubjects,
+  kPredicates,
+  kObjects,
+  kObjectKinds,
+  kLabels,
+  kSymbolOffsets,
+  kSymbolBlob,
+  kNumSections,
+};
+
+struct SectionDesc {
+  uint64_t offset = 0;      ///< absolute byte offset of the section.
+  uint64_t size_bytes = 0;  ///< section length (0 when absent).
+  uint64_t checksum = 0;    ///< FNV-1a 64 over the section bytes.
+};
+
+struct Header {
+  char magic[16] = {};
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t num_clusters = 0;
+  uint64_t num_triples = 0;
+  uint64_t num_symbols = 0;
+  SectionDesc sections[kNumSections] = {};
+  /// FNV-1a 64 over the header bytes with this field zeroed.
+  uint64_t header_checksum = 0;
+};
+static_assert(sizeof(Header) == 16 + 4 + 4 + 3 * 8 + 9 * 24 + 8,
+              "Header must be packed (no padding): the checksum hashes raw "
+              "struct bytes");
+
+/// FNV-1a 64-bit, incremental: pass the previous digest as `state`.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t Fnv1a(const void* data, size_t size,
+                      uint64_t state = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// The checksum stored in / expected of `header`.
+inline uint64_t HeaderChecksum(Header header) {
+  header.header_checksum = 0;
+  return Fnv1a(&header, sizeof(Header));
+}
+
+inline bool MagicMatches(const Header& header) {
+  return std::memcmp(header.magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+/// Number of uint64 words in a 1-bit-per-triple section.
+inline uint64_t BitsetWords(uint64_t num_triples) {
+  return (num_triples + 63) / 64;
+}
+
+inline uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+}  // namespace kgacc::store

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "kg/kg_view.h"
+#include "kg/triple.h"
+
+namespace kgacc {
+
+/// A KgView whose triples are individually addressable — the contract the
+/// triple-consuming layers (the KGEval coupling graph, per-predicate grouped
+/// evaluation, store export) program against. Two implementations exist:
+///   - KnowledgeGraph: triples materialized in RAM as entity clusters;
+///   - MappedGraph (kg/store): triples memory-mapped from a columnar
+///     kgacc-kgstore-v1 file, served zero-copy for graphs larger than RAM.
+/// Sampling designs themselves stay on plain KgView (sizes only), so both
+/// backends — and size-only ClusterPopulation — feed them identically.
+class TripleView : public KgView {
+ public:
+  /// The triple at a sampled position. Returned by value: columnar backends
+  /// assemble the 12-byte struct from per-field columns, so there is no
+  /// single Triple object to reference.
+  virtual Triple TripleAt(const TripleRef& ref) const = 0;
+
+  /// Subject id of cluster `cluster` (< NumClusters()).
+  virtual EntityId ClusterSubject(uint64_t cluster) const = 0;
+};
+
+}  // namespace kgacc

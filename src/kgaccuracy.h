@@ -39,9 +39,12 @@
 #include "kg/kg_view.h"            // IWYU pragma: export
 #include "kg/knowledge_graph.h"    // IWYU pragma: export
 #include "kg/loader.h"             // IWYU pragma: export
+#include "kg/store/mapped_graph.h" // IWYU pragma: export
+#include "kg/store/store_writer.h" // IWYU pragma: export
 #include "kg/subset_view.h"        // IWYU pragma: export
 #include "kg/symbol_table.h"       // IWYU pragma: export
 #include "kg/triple.h"             // IWYU pragma: export
+#include "kg/triple_view.h"        // IWYU pragma: export
 
 // Labels and annotation.
 #include "labels/annotator.h"        // IWYU pragma: export

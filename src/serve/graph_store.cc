@@ -1,9 +1,13 @@
 #include "serve/graph_store.h"
 
+#include <limits.h>
+#include <stdlib.h>
+
 #include <utility>
 
 #include "datasets/registry.h"
 #include "kg/loader.h"
+#include "kg/store/mapped_graph.h"
 #include "kg/symbol_table.h"
 #include "labels/gold_labels.h"
 #include "util/string_util.h"
@@ -12,8 +16,49 @@ namespace kgacc::serve {
 
 namespace {
 
-bool IsTsvPath(const std::string& name) {
-  return name.size() > 4 && name.compare(name.size() - 4, 4, ".tsv") == 0;
+bool HasSuffix(const std::string& name, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return name.size() > n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
+bool IsTsvPath(const std::string& name) { return HasSuffix(name, ".tsv"); }
+
+bool IsKgstorePath(const std::string& name) {
+  return HasSuffix(name, ".kgstore");
+}
+
+bool IsPathName(const std::string& name) {
+  return IsTsvPath(name) || IsKgstorePath(name);
+}
+
+/// Catalog key for `name`: path-like names collapse to their canonical
+/// absolute path so load-graph of one file via different relative spellings
+/// shares a single mapping. Built-in dataset names pass through; so do paths
+/// realpath cannot resolve (the later open reports the real error).
+std::string CanonicalName(const std::string& name) {
+  if (!IsPathName(name)) return name;
+  char resolved[PATH_MAX];
+  if (::realpath(name.c_str(), resolved) == nullptr) return name;
+  return resolved;
+}
+
+/// Opens a `.kgstore` file as a zero-copy mmap dataset. O(1) in the graph
+/// size — this is what makes daemon restart near-instant. The file must
+/// embed gold labels (kgacc_store build writes them whenever the source has
+/// full label coverage); campaigns cannot annotate without a truth source.
+Result<Dataset> LoadKgstoreDataset(const std::string& path) {
+  KGACC_ASSIGN_OR_RETURN(MappedGraph mapped, MappedGraph::Open(path));
+  if (!mapped.has_labels()) {
+    return Status::FailedPrecondition(StrFormat(
+        "'%s' has no embedded gold labels; rebuild it from a labeled source "
+        "(kgacc_store build)",
+        path.c_str()));
+  }
+  Dataset dataset;
+  dataset.name = path;
+  dataset.mapped = std::make_unique<MappedGraph>(std::move(mapped));
+  dataset.oracle = std::make_unique<MappedLabelOracle>(dataset.mapped.get());
+  return dataset;
 }
 
 Result<Dataset> LoadTsvDataset(const std::string& path) {
@@ -42,27 +87,30 @@ Result<Dataset> LoadTsvDataset(const std::string& path) {
 Result<std::shared_ptr<const Dataset>> GraphStore::Load(
     const std::string& name, uint64_t seed) {
   if (name.empty()) return Status::InvalidArgument("empty graph name");
+  const std::string key = CanonicalName(name);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = graphs_.find(name);
+    const auto it = graphs_.find(key);
     if (it != graphs_.end()) return it->second;
   }
   // Build outside the lock: dataset construction is the expensive part and
   // concurrent loads of *different* graphs should not serialize. A racing
   // duplicate load of the same name is resolved below (first one wins).
-  Result<Dataset> made = IsTsvPath(name) ? LoadTsvDataset(name)
-                                         : MakeDatasetByName(name, seed);
+  Result<Dataset> made = IsKgstorePath(name) ? LoadKgstoreDataset(key)
+                         : IsTsvPath(name)   ? LoadTsvDataset(key)
+                                             : MakeDatasetByName(name, seed);
   if (!made.ok()) return made.status();
   auto built = std::make_shared<const Dataset>(std::move(made).value());
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = graphs_.emplace(name, std::move(built));
+  const auto [it, inserted] = graphs_.emplace(key, std::move(built));
   return it->second;
 }
 
 Result<std::shared_ptr<const Dataset>> GraphStore::Get(
     const std::string& name) const {
+  const std::string key = CanonicalName(name);
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = graphs_.find(name);
+  const auto it = graphs_.find(key);
   if (it == graphs_.end()) {
     std::string known;
     for (const auto& [key, dataset] : graphs_) {
@@ -78,8 +126,9 @@ Result<std::shared_ptr<const Dataset>> GraphStore::Get(
 
 void GraphStore::Put(const std::string& name,
                      std::shared_ptr<const Dataset> dataset) {
+  const std::string key = CanonicalName(name);
   std::lock_guard<std::mutex> lock(mutex_);
-  graphs_[name] = std::move(dataset);
+  graphs_[key] = std::move(dataset);
 }
 
 std::vector<std::string> GraphStore::Names() const {

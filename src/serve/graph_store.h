@@ -15,10 +15,13 @@ namespace kgacc::serve {
 /// every campaign session (sessions hold shared_ptrs, so a graph stays alive
 /// while any session uses it, even after the store drops it).
 ///
-/// Names resolve like kgacc_eval inputs: a path ending in ".tsv" loads a
-/// gold-labeled TSV graph; anything else is a built-in benchmark dataset
-/// (MakeDatasetByName). Loading an already-loaded name is a cheap no-op —
-/// the point of a serving daemon is paying graph construction once.
+/// Names resolve like kgacc_eval inputs: a path ending in ".kgstore" mmaps a
+/// columnar store file in O(1) (the near-instant-restart path), one ending
+/// in ".tsv" loads a gold-labeled TSV graph, and anything else is a built-in
+/// benchmark dataset (MakeDatasetByName). Path-like names are keyed by their
+/// canonical absolute path, so the same file loaded via different relative
+/// spellings shares one mapping. Loading an already-loaded name is a cheap
+/// no-op — the point of a serving daemon is paying graph construction once.
 class GraphStore {
  public:
   /// Loads (or returns the already-loaded) dataset under `name`. `seed`

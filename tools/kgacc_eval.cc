@@ -34,6 +34,10 @@ Modes (choose one input):
   --input FILE.tsv    your graph: subject<TAB>predicate<TAB>object<TAB>label
                       (label 0/1 required: it is the gold truth the simulated
                        annotator consults)
+  --graph-store FILE.kgstore
+                      memory-map a columnar store built by kgacc_store; opens
+                      in O(1) regardless of size and serves triples zero-copy
+                      (must embed gold labels; --graph_store also accepted)
 
 Evaluation:
   --design D          any registered design name        [twcs]
@@ -158,8 +162,29 @@ int RunEval(const FlagParser& flags) {
     dataset.name = flags.GetString("input", "");
     dataset.graph = std::move(graph);
     dataset.oracle = std::move(gold);
+  } else if (flags.Has("graph-store") || flags.Has("graph_store")) {
+    const std::string store_path =
+        flags.Has("graph-store") ? flags.GetString("graph-store", "")
+                                 : flags.GetString("graph_store", "");
+    Result<MappedGraph> mapped = MappedGraph::Open(store_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "error: %s\n", mapped.status().ToString().c_str());
+      return 1;
+    }
+    if (!mapped->has_labels()) {
+      std::fprintf(stderr,
+                   "error: '%s' has no embedded gold labels; rebuild it from "
+                   "a labeled source (kgacc_store build)\n",
+                   store_path.c_str());
+      return 1;
+    }
+    dataset.name = store_path;
+    dataset.mapped = std::make_unique<MappedGraph>(std::move(mapped).value());
+    dataset.oracle = std::make_unique<MappedLabelOracle>(dataset.mapped.get());
   } else {
-    std::fprintf(stderr, "error: pass --dataset or --input (see --help)\n");
+    std::fprintf(stderr,
+                 "error: pass --dataset, --input or --graph-store (see "
+                 "--help)\n");
     return 1;
   }
 
@@ -232,20 +257,23 @@ int RunEval(const FlagParser& flags) {
 
   // --- Per-predicate mode. ---------------------------------------------------
   if (flags.GetBool("per-predicate", false)) {
-    if (dataset.graph == nullptr) {
+    const TripleView* triples = dataset.Triples();
+    if (triples == nullptr) {
       std::fprintf(stderr,
-                   "error: --per-predicate needs a materialized graph "
-                   "(--input, or the nell/yago datasets)\n");
+                   "error: --per-predicate needs addressable triples "
+                   "(--input, --graph-store, or the nell/yago datasets)\n");
       return 1;
     }
-    GroupedEvaluator evaluator(*dataset.graph, annotator.get(), options);
+    GroupedEvaluator evaluator(*triples, annotator.get(), options);
     const auto results = evaluator.EvaluatePerPredicate();
     std::printf("%-28s %10s %12s %8s %10s\n", "predicate", "triples",
                 "accuracy", "MoE", "cost");
     for (const auto& result : results) {
       const std::string name =
           symbols != nullptr ? symbols->Name(result.group)
-                             : StrFormat("p%u", result.group);
+          : dataset.mapped != nullptr && dataset.mapped->has_symbols()
+              ? std::string(dataset.mapped->SymbolName(result.group))
+              : StrFormat("p%u", result.group);
       std::printf("%-28s %10llu %11.1f%% %7.1f%% %10s\n", name.c_str(),
                   static_cast<unsigned long long>(result.population_triples),
                   result.evaluation.estimate.mean * 100.0,
@@ -346,7 +374,8 @@ int main(int argc, char** argv) {
   }
   const FlagParser& flags = *parsed;
   const Status valid = flags.Validate(
-      {"dataset", "input", "design", "strata", "per-predicate", "moe",
+      {"dataset", "input", "graph-store", "graph_store", "design", "strata",
+       "per-predicate", "moe",
        "confidence", "m", "pilot-size", "pilot_size", "min-units", "wilson",
        "trace", "batch-units", "batch_units", "metrics", "chrome-trace",
        "chrome_trace", "annotators", "noise", "annotation-threads",

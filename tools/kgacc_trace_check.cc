@@ -46,6 +46,14 @@
 //    request types' p99 latency and the aggregate throughput must meet the
 //    given floors, so a serving-path regression fails CI.
 //
+//  - kgacc-kgstore-bench-v1 (the bench_fig7_scalability graph-store
+//    section): rows must ascend in triple count with positive build
+//    throughput, open latency and lookup cost, and open latency must be
+//    size-independent — the largest store may not take more than a small
+//    constant factor longer to open than the smallest (O(1) mmap open is
+//    the format's core contract). --max-open-ms MS and
+//    --min-build-mtriples-per-sec R add absolute floors on top.
+//
 //  - Chrome trace_event documents (kgacc_eval --chrome-trace), recognized by
 //    their "traceEvents" member: events must be well-formed complete/counter/
 //    metadata events with non-negative timestamps, and — with
@@ -444,6 +452,94 @@ bool CheckServeBench(const std::string& path, const JsonValue& doc,
   return ok;
 }
 
+/// Validates a kgacc-kgstore-bench-v1 artifact (the graph-store section of
+/// bench_fig7_scalability) and enforces the store-substrate gates.
+bool CheckKgstoreBench(const std::string& path, const JsonValue& doc,
+                       double max_open_ms, double min_build_rate) {
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->AsArray().empty()) {
+    std::fprintf(stderr, "%s: missing or empty rows array\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  double prev_triples = 0.0;
+  double open_ms_min = 0.0;
+  double open_ms_max = 0.0;
+  bool first = true;
+  for (const JsonValue& row : rows->AsArray()) {
+    const Result<double> triples = row.GetNumber("triples");
+    const Result<double> clusters = row.GetNumber("clusters");
+    const Result<double> file_bytes = row.GetNumber("file_bytes");
+    const Result<double> build_rate =
+        row.GetNumber("build_mtriples_per_sec");
+    const Result<double> open_ms = row.GetNumber("open_ms");
+    const Result<double> lookup_ns = row.GetNumber("lookup_ns");
+    if (!triples.ok() || !clusters.ok() || !file_bytes.ok() ||
+        !build_rate.ok() || !open_ms.ok() || !lookup_ns.ok()) {
+      std::fprintf(stderr, "%s: malformed kgstore bench row\n", path.c_str());
+      return false;
+    }
+    if (*triples <= prev_triples) {
+      std::fprintf(stderr, "%s: rows not ascending in triple count\n",
+                   path.c_str());
+      return false;
+    }
+    prev_triples = *triples;
+    if (*clusters <= 0.0 || *file_bytes <= 0.0 || *build_rate <= 0.0 ||
+        *open_ms <= 0.0 || *lookup_ns <= 0.0) {
+      std::fprintf(stderr,
+                   "%s: non-positive measurement at %.0f triples\n",
+                   path.c_str(), *triples);
+      return false;
+    }
+    std::printf("%s: %12.0f triples  build %7.2f Mt/s  open %7.3fms  "
+                "lookup %6.1fns\n",
+                path.c_str(), *triples, *build_rate, *open_ms, *lookup_ns);
+    if (max_open_ms > 0.0 && *open_ms > max_open_ms) {
+      std::fprintf(stderr,
+                   "%s: open latency %.3fms at %.0f triples exceeds budget "
+                   "%.3fms\n",
+                   path.c_str(), *open_ms, *triples, max_open_ms);
+      ok = false;
+    }
+    if (min_build_rate > 0.0 && *build_rate < min_build_rate) {
+      std::fprintf(stderr,
+                   "%s: build throughput %.2f Mtriples/s at %.0f triples "
+                   "below required %.2f\n",
+                   path.c_str(), *build_rate, *triples, min_build_rate);
+      ok = false;
+    }
+    if (first) {
+      open_ms_min = open_ms_max = *open_ms;
+      first = false;
+    } else {
+      open_ms_min = std::min(open_ms_min, *open_ms);
+      open_ms_max = std::max(open_ms_max, *open_ms);
+    }
+  }
+  // The O(1)-open contract, checked unconditionally: across a sweep whose
+  // triple counts span an order of magnitude or more, open latency may vary
+  // only by a constant factor (noise + page-table setup), never with size.
+  // 8x plus a 2ms absolute slack keeps tiny-store sweeps (where everything
+  // is sub-millisecond timer noise) from flaking while still catching any
+  // open path that reads the triple columns.
+  constexpr double kMaxOpenRatio = 8.0;
+  constexpr double kOpenSlackMs = 2.0;
+  if (rows->AsArray().size() > 1 &&
+      open_ms_max > open_ms_min * kMaxOpenRatio + kOpenSlackMs) {
+    std::fprintf(stderr,
+                 "%s: open latency scales with store size (%.3fms -> %.3fms "
+                 "across the sweep; O(1) open contract violated)\n",
+                 path.c_str(), open_ms_min, open_ms_max);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("%s: OK (%zu store sizes, open latency size-independent)\n",
+                path.c_str(), rows->AsArray().size());
+  }
+  return ok;
+}
+
 /// Validates a Chrome trace_event document (from kgacc_eval --chrome-trace).
 bool CheckChromeTrace(const std::string& path, const JsonValue& doc,
                       uint64_t min_trace_threads) {
@@ -507,6 +603,9 @@ int Run(const FlagParser& flags) {
       flags.GetUint64("min-trace-threads", 0).ValueOr(0);
   const double max_serve_p99 = flags.GetDouble("max-serve-p99", 0.0).ValueOr(0.0);
   const double min_serve_qps = flags.GetDouble("min-serve-qps", 0.0).ValueOr(0.0);
+  const double max_open_ms = flags.GetDouble("max-open-ms", 0.0).ValueOr(0.0);
+  const double min_build_rate =
+      flags.GetDouble("min-build-mtriples-per-sec", 0.0).ValueOr(0.0);
 
   int failures = 0;
   for (const std::string& path : flags.positional()) {
@@ -543,6 +642,12 @@ int Run(const FlagParser& flags) {
     }
     if (schema.ok() && *schema == "kgacc-serve-bench-v1") {
       if (!CheckServeBench(path, *doc, max_serve_p99, min_serve_qps)) {
+        ++failures;
+      }
+      continue;
+    }
+    if (schema.ok() && *schema == "kgacc-kgstore-bench-v1") {
+      if (!CheckKgstoreBench(path, *doc, max_open_ms, min_build_rate)) {
         ++failures;
       }
       continue;
@@ -605,7 +710,8 @@ int main(int argc, char** argv) {
   const Status valid = flags.Validate(
       {"baseline", "tolerance", "min-annotate-speedup",
        "max-metrics-overhead", "min-trace-threads", "max-serve-p99",
-       "min-serve-qps", "help"});
+       "min-serve-qps", "max-open-ms", "min-build-mtriples-per-sec",
+       "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.message().c_str());
     return 1;
@@ -616,6 +722,7 @@ int main(int argc, char** argv) {
                  "[--tolerance 0.15] [--min-annotate-speedup X] "
                  "[--max-metrics-overhead F] [--min-trace-threads N] "
                  "[--max-serve-p99 MS] [--min-serve-qps Q] "
+                 "[--max-open-ms MS] [--min-build-mtriples-per-sec R] "
                  "TRACE.json [...]\n");
     return flags.GetBool("help", false) ? 0 : 1;
   }
