@@ -19,6 +19,15 @@ struct AnnotatorSpec {
   int annotation_shards = 0;      ///< annotation cache shards (0 = default).
   double c1_seconds = 45.0;       ///< entity identification cost (Eq 4).
   double c2_seconds = 25.0;       ///< relationship validation cost (Eq 4).
+
+  /// Wraps the annotator in the latency-simulating async bridge
+  /// (labels/async_annotator.h). Latency never changes labels, ledger or
+  /// traces — only wall-clock time — so resuming with a different async
+  /// configuration would still replay bit-identically; it is nonetheless
+  /// persisted so a resumed session behaves like the original.
+  bool async = false;
+  double latency_ms = 0.0;        ///< mean simulated latency per triple.
+  uint64_t max_concurrent = 8;    ///< bounded in-flight annotation window.
 };
 
 /// The complete serializable identity of a (possibly suspended) campaign

@@ -158,8 +158,22 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
   Metrics().campaigns->Add(1);
   obs::ScopedSpan campaign_span("engine.campaign", Metrics().campaign);
 
+  // Pipelined rounds: with an asynchronous annotator and a prefetch-safe
+  // sampler, round k+1's units are drawn while round k's annotations are in
+  // flight. The rng consumes draws in exactly the sequential order (round 1,
+  // round 2, ...), so labels, estimates, traces and cost are bit-identical
+  // to the sequential schedule; the one discarded speculative draw after the
+  // stopping round is invisible (campaign-local rng and sampler, and a
+  // resumed campaign replays the same sequence). Speculation never extends
+  // to annotation itself — cost is observable — and never past a round the
+  // control has not granted.
+  const bool pipelined = options_.pipeline_rounds &&
+                         annotator_->AsyncCapable() &&
+                         config.sampler->PrefetchSafe();
+
   std::vector<TripleRef> refs;
   std::vector<uint8_t> labels;
+  std::optional<std::vector<SampleUnit>> prefetched;
   while (true) {
     // Round-boundary control: a serve session parks the campaign here
     // between `step` grants, and a suspend request unwinds the loop with the
@@ -174,7 +188,10 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
     Metrics().rounds->Add(1);
     WallTimer sample_timer;
     std::vector<SampleUnit> batch;
-    {
+    if (prefetched.has_value()) {
+      batch = *std::move(prefetched);
+      prefetched.reset();
+    } else {
       obs::ScopedSpan span("engine.round.sample", Metrics().sample);
       batch = config.sampler->NextBatch(options_.batch_units, rng);
     }
@@ -189,8 +206,25 @@ EvaluationResult EvaluationEngine::Run(const EngineConfig& config) {
         }
       }
       labels.resize(refs.size());
-      annotator_->AnnotateBatch(std::span<const TripleRef>(refs),
-                                labels.data());
+      if (pipelined) {
+        annotator_->BeginAnnotateBatch(std::span<const TripleRef>(refs),
+                                       labels.data());
+      } else {
+        annotator_->AnnotateBatch(std::span<const TripleRef>(refs),
+                                  labels.data());
+      }
+    }
+    if (pipelined) {
+      // The overlap: draw the next round's units while this round's labels
+      // are in flight, then collect them.
+      WallTimer prefetch_timer;
+      {
+        obs::ScopedSpan span("engine.round.sample", Metrics().sample);
+        prefetched = config.sampler->NextBatch(options_.batch_units, rng);
+      }
+      result.machine_seconds += prefetch_timer.ElapsedSeconds();
+      obs::ScopedSpan span("engine.round.annotate", Metrics().annotate);
+      annotator_->FinishAnnotateBatch();
     }
 
     Estimate estimate;

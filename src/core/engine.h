@@ -43,6 +43,14 @@ class UnitSampler {
   /// population is exhausted (a terminal condition for the stopping policy).
   /// With-replacement samplers never exhaust.
   virtual bool Exhaustible() const { return false; }
+
+  /// True when NextBatch may be called speculatively: the engine's pipelined
+  /// mode draws round k+1's units while round k's annotations are still in
+  /// flight, discarding the draw if the campaign stops first. Samplers whose
+  /// next draw depends on the previous round's labels — composite designs
+  /// routing estimator feedback into allocation, e.g. stratified TWCS —
+  /// return false and keep the strictly sequential round schedule.
+  virtual bool PrefetchSafe() const { return true; }
 };
 
 /// Consumes annotated units and exposes the running unbiased estimate.

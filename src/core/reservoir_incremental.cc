@@ -59,6 +59,47 @@ double ReservoirIncrementalEvaluator::AnnotatedClusterAccuracy(uint64_t cluster)
 
 void ReservoirIncrementalEvaluator::AnnotateReservoirEntrants(uint64_t count) {
   // Reservoir clusters are distinct, so entrants need no dedup.
+  if (annotator_->AsyncCapable() && options_.pipeline_rounds) {
+    // Streamed submission: each entrant's refs go in flight as soon as its
+    // second-stage offsets are derived, so deriving later entrants overlaps
+    // earlier entrants' annotation latency. The per-entrant label vectors
+    // are sized once and never resized, so the out-pointers handed to
+    // BeginAnnotateBatch stay valid until FinishAnnotateBatch (moving the
+    // outer vector relocates the Entrant objects, not their heap buffers).
+    struct Entrant {
+      uint64_t cluster = 0;
+      std::vector<TripleRef> refs;
+      std::vector<uint8_t> labels;
+    };
+    std::vector<Entrant> streamed;
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t cluster = entries_[i].cluster;
+      if (sampled_accuracy_.find(cluster) != sampled_accuracy_.end()) continue;
+      Entrant entrant;
+      entrant.cluster = cluster;
+      const std::vector<uint64_t> offsets = SecondStageOffsets(cluster);
+      entrant.refs.reserve(offsets.size());
+      for (uint64_t offset : offsets) {
+        entrant.refs.push_back(TripleRef{cluster, offset});
+      }
+      entrant.labels.assign(entrant.refs.size(), 0);
+      streamed.push_back(std::move(entrant));
+      Entrant& placed = streamed.back();
+      annotator_->BeginAnnotateBatch(std::span<const TripleRef>(placed.refs),
+                                     placed.labels.data());
+    }
+    if (streamed.empty()) return;
+    annotator_->FinishAnnotateBatch();
+    // Same fold, same entrant order, bit-identical labels as the
+    // synchronous branch below.
+    for (const Entrant& entrant : streamed) {
+      uint64_t correct = 0;
+      for (uint8_t label : entrant.labels) correct += label;
+      sampled_accuracy_.emplace(entrant.cluster,
+                                std::make_pair(correct, entrant.labels.size()));
+    }
+    return;
+  }
   std::vector<std::pair<uint64_t, std::vector<uint64_t>>> entrants;
   std::vector<TripleRef> refs;
   for (uint64_t i = 0; i < count; ++i) {

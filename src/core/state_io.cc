@@ -210,6 +210,12 @@ Status SaveCampaignSession(const CampaignSessionState& state,
   out << "annotation_shards " << annotator.annotation_shards << '\n';
   out << StrFormat("c1_seconds %.17g\n", annotator.c1_seconds);
   out << StrFormat("c2_seconds %.17g\n", annotator.c2_seconds);
+  // Async-annotation records ride as optional trailers (see Restore) so the
+  // v1 header still covers blobs saved before they existed.
+  out << "async " << (annotator.async ? 1 : 0) << '\n';
+  out << StrFormat("latency_ms %.17g\n", annotator.latency_ms);
+  out << "max_concurrent " << annotator.max_concurrent << '\n';
+  out << "pipeline_rounds " << (options.pipeline_rounds ? 1 : 0) << '\n';
   out << "end\n";
   if (!out.good()) return Status::IOError("stream error while saving state");
   return Status::OK();
@@ -255,8 +261,40 @@ Result<CampaignSessionState> RestoreCampaignSession(std::istream& in) {
       ReadInt(in, "annotation_shards", &annotator.annotation_shards));
   KGACC_RETURN_IF_ERROR(ReadDouble(in, "c1_seconds", &annotator.c1_seconds));
   KGACC_RETURN_IF_ERROR(ReadDouble(in, "c2_seconds", &annotator.c2_seconds));
+  // Optional trailing records (absent from blobs saved before the async
+  // bridge existed): peek each keyword, consume what we recognize, and stop
+  // at 'end'. Unknown keywords are still hard errors — a truncated or
+  // corrupted blob must not pass as an old one.
   std::string word;
-  if (!(in >> word) || word != "end") {
+  while (in >> word && word != "end") {
+    if (word == "async") {
+      int value = 0;
+      if (!(in >> value) || (value != 0 && value != 1)) {
+        return Status::InvalidArgument("bad 'async' record (want 0 or 1)");
+      }
+      annotator.async = value != 0;
+    } else if (word == "latency_ms") {
+      if (!(in >> annotator.latency_ms) || annotator.latency_ms < 0.0) {
+        return Status::InvalidArgument("bad 'latency_ms' record");
+      }
+    } else if (word == "max_concurrent") {
+      if (!(in >> annotator.max_concurrent) || annotator.max_concurrent == 0) {
+        return Status::InvalidArgument(
+            "bad 'max_concurrent' record (want >= 1)");
+      }
+    } else if (word == "pipeline_rounds") {
+      int value = 0;
+      if (!(in >> value) || (value != 0 && value != 1)) {
+        return Status::InvalidArgument(
+            "bad 'pipeline_rounds' record (want 0 or 1)");
+      }
+      options.pipeline_rounds = value != 0;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown session record '%s'", word.c_str()));
+    }
+  }
+  if (word != "end") {
     return Status::InvalidArgument("missing 'end' marker");
   }
   if (!(options.moe_target > 0.0) || !(options.confidence > 0.0) ||

@@ -99,6 +99,38 @@ Status StratifiedIncrementalEvaluator::Restore(
 void StratifiedIncrementalEvaluator::SampleStratum(size_t h, uint64_t units) {
   StratumState& state = strata_[h];
   const std::vector<ClusterDraw> batch = state.sampler->NextBatch(units, rng_);
+  if (annotator_->AsyncCapable() && options_.pipeline_rounds) {
+    // Chunked submission: each draw's refs go in flight as soon as they are
+    // translated to parent coordinates, and the bounded window overlaps
+    // every draw's latency until one Finish collects the whole batch. No
+    // cross-round speculation happens here — `rng_` persists across
+    // updates, so a discarded speculative draw would shift every later
+    // update's draws — the win is within-batch. Per-draw label vectors are
+    // sized once and never resized, keeping the out-pointers stable.
+    std::vector<std::vector<TripleRef>> draw_refs(batch.size());
+    std::vector<std::vector<uint8_t>> draw_labels(batch.size());
+    for (size_t d = 0; d < batch.size(); ++d) {
+      const ClusterDraw& draw = batch[d];
+      const uint64_t parent = state.view->ToParent(draw.cluster);
+      draw_refs[d].reserve(draw.offsets.size());
+      for (uint64_t offset : draw.offsets) {
+        draw_refs[d].push_back(TripleRef{parent, offset});
+      }
+      draw_labels[d].assign(draw_refs[d].size(), 0);
+      annotator_->BeginAnnotateBatch(std::span<const TripleRef>(draw_refs[d]),
+                                     draw_labels[d].data());
+    }
+    annotator_->FinishAnnotateBatch();
+    // Same fold, same draw order, bit-identical labels as the synchronous
+    // branch below.
+    for (size_t d = 0; d < batch.size(); ++d) {
+      uint64_t correct = 0;
+      for (uint8_t label : draw_labels[d]) correct += label;
+      state.stats.Add(static_cast<double>(correct) /
+                      static_cast<double>(batch[d].offsets.size()));
+    }
+    return;
+  }
   // One AnnotateBatch for the whole stratum batch (labels are
   // order-independent, so this matches per-triple annotation bit for bit)
   // lets the annotator's concurrent path amortize across draws.

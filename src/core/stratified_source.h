@@ -33,6 +33,11 @@ class StratifiedTwcsSource : public UnitSampler, public UnitEstimator {
   // UnitSampler.
   std::vector<SampleUnit> NextBatch(uint64_t n, Rng& rng) override;
 
+  /// Allocation routes the previous rounds' labels (per-stratum variances)
+  /// into the next draw, so a batch drawn before the in-flight round's
+  /// labels arrive would allocate differently than the sequential schedule.
+  bool PrefetchSafe() const override { return false; }
+
   // UnitEstimator.
   void AddUnit(const SampleUnit& unit, const uint8_t* labels) override;
   Estimate Current() const override { return combined_.Current(); }

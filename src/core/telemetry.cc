@@ -1,5 +1,6 @@
 #include "core/telemetry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -208,6 +209,21 @@ Result<std::vector<CampaignTrace>> ParseTraceJson(const JsonValue& document,
     traces.push_back(std::move(trace));
   }
   return traces;
+}
+
+Status CheckGateCoverage(const std::vector<GateRequirement>& active_gates,
+                         const std::vector<std::string>& kinds_seen) {
+  for (const GateRequirement& gate : active_gates) {
+    if (std::find(kinds_seen.begin(), kinds_seen.end(), gate.kind) ==
+        kinds_seen.end()) {
+      return Status::InvalidArgument(StrFormat(
+          "gate --%s inspects %s artifacts, but no input file has that "
+          "schema — the gate would pass vacuously; pass a matching artifact "
+          "or drop the flag",
+          gate.flag.c_str(), gate.kind.c_str()));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace kgacc

@@ -132,4 +132,20 @@ class JsonValue;  // util/json.h
 Result<std::vector<CampaignTrace>> ParseTraceJson(const JsonValue& document,
                                                   const std::string& context);
 
+/// One explicitly requested artifact gate: the flag that enabled it and the
+/// artifact kind (schema name) the gate inspects.
+struct GateRequirement {
+  std::string flag;  ///< e.g. "min-async-speedup".
+  std::string kind;  ///< e.g. "kgacc-async-bench-v1".
+};
+
+/// Gate/input coverage check for artifact gating tools (kgacc_trace_check):
+/// every active gate must have seen at least one artifact of the kind it
+/// inspects. A gate whose kind never appeared in the input would otherwise
+/// pass vacuously — the classic CI failure where a renamed artifact silently
+/// disarms the gate — so the first uncovered gate is returned as an
+/// InvalidArgument naming both the flag and the missing kind.
+Status CheckGateCoverage(const std::vector<GateRequirement>& active_gates,
+                         const std::vector<std::string>& kinds_seen);
+
 }  // namespace kgacc

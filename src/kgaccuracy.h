@@ -49,6 +49,7 @@
 // Labels and annotation.
 #include "labels/annotator.h"        // IWYU pragma: export
 #include "labels/annotator_pool.h"   // IWYU pragma: export
+#include "labels/async_annotator.h"  // IWYU pragma: export
 #include "labels/gold_labels.h"      // IWYU pragma: export
 #include "labels/synthetic_oracle.h" // IWYU pragma: export
 #include "labels/truth_oracle.h"     // IWYU pragma: export

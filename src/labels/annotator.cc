@@ -1,5 +1,7 @@
 #include "labels/annotator.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -147,18 +149,43 @@ void SimulatedAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
       }
     });
 
-    // Phase 2 (shard-partitioned): worker w handles exactly the shards with
-    // index ≡ w (mod workers), scanning the whole batch and claiming its own
-    // refs. Each shard — its label map, cluster set and accumulators — is
-    // touched by one worker, so the entire lookup/bookkeeping pass runs
-    // without locks or a serial merge; order within a shard doesn't matter
-    // because labels are order-independent (pure oracle + per-triple noise)
-    // and the books count set cardinalities.
-    pool->ParallelFor(static_cast<int>(workers), [&](int w) {
-      for (size_t i = 0; i < n; ++i) {
-        const uint32_t s = shard_ids_[i];
-        if (s % workers != static_cast<size_t>(w)) continue;
-        out[i] = AnnotateInShard(cache_.shard(s), refs[i]);
+    // Phase 2 (work-stealing, shard-granular): counting-sort the batch by
+    // shard, then hand each nonempty shard to the pool as one task, largest
+    // shard first (LPT). Workers pull shards dynamically off the pool's
+    // shared counter, so a skewed cluster-size distribution — one giant
+    // shard plus many tiny ones — no longer pins the whole tail on a single
+    // statically-assigned worker. Exactness is untouched: every shard (its
+    // label map, cluster set and accumulators) is still processed by exactly
+    // one worker, lock-free and merge-free, and labels/books stay
+    // order-independent. This also replaces the old whole-batch rescan per
+    // worker (O(n * workers)) with one O(n + shards) sort.
+    const size_t num_shards = cache_.num_shards();
+    shard_starts_.assign(num_shards + 1, 0);
+    for (size_t i = 0; i < n; ++i) ++shard_starts_[shard_ids_[i] + 1];
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_starts_[s + 1] += shard_starts_[s];
+    }
+    shard_cursors_.assign(shard_starts_.begin(), shard_starts_.end() - 1);
+    shard_slots_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      shard_slots_[shard_cursors_[shard_ids_[i]]++] = i;
+    }
+    active_shards_.clear();
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (shard_starts_[s + 1] > shard_starts_[s]) active_shards_.push_back(s);
+    }
+    std::sort(active_shards_.begin(), active_shards_.end(),
+              [&](uint32_t a, uint32_t b) {
+                const size_t size_a = shard_starts_[a + 1] - shard_starts_[a];
+                const size_t size_b = shard_starts_[b + 1] - shard_starts_[b];
+                return size_a != size_b ? size_a > size_b : a < b;
+              });
+    pool->ParallelFor(static_cast<int>(active_shards_.size()), [&](int k) {
+      const uint32_t s = active_shards_[static_cast<size_t>(k)];
+      ShardedAnnotationCache::Shard& shard = cache_.shard(s);
+      for (size_t j = shard_starts_[s]; j < shard_starts_[s + 1]; ++j) {
+        const size_t i = shard_slots_[j];
+        out[i] = AnnotateInShard(shard, refs[i]);
       }
     });
 

@@ -32,6 +32,31 @@ class Annotator {
   /// simply loops over Annotate.
   virtual void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out);
 
+  /// True when BeginAnnotateBatch genuinely overlaps annotation latency
+  /// with caller computation (labels/async_annotator.h). Callers use this
+  /// to choose pipelined round schedules; synchronous backends return
+  /// false and callers keep the one-big-AnnotateBatch path.
+  virtual bool AsyncCapable() const { return false; }
+
+  /// Issues a batch without waiting for the labels. May be called any
+  /// number of times (chunked submission) before one FinishAnnotateBatch;
+  /// every `out` buffer must stay valid — and unread — until that Finish
+  /// returns. The default degenerates to the synchronous AnnotateBatch, so
+  /// Begin/Finish is always safe to call on any annotator.
+  virtual void BeginAnnotateBatch(std::span<const TripleRef> refs,
+                                  uint8_t* out) {
+    AnnotateBatch(refs, out);
+  }
+
+  /// Blocks until every label issued via BeginAnnotateBatch since the last
+  /// Finish is resolved (and the ledger reflects it). Default no-op.
+  virtual void FinishAnnotateBatch() {}
+
+  /// Asks the annotator to make any simulated waits return promptly (a
+  /// campaign being stopped or suspended). Must never change labels or
+  /// ledger — cancellation skips the waiting, not the work. Default no-op.
+  virtual void CancelPending() {}
+
   /// Effort so far (distinct entities / triples — Eq 4 set semantics).
   virtual const AnnotationLedger& ledger() const = 0;
 
@@ -129,6 +154,12 @@ class SimulatedAnnotator : public Annotator {
   ShardedAnnotationCache cache_;
   AnnotationLedger ledger_;
   std::vector<uint32_t> shard_ids_;   // batch scratch, reused across batches.
+  /// Work-stealing scratch for the parallel batch path (counting sort of
+  /// the batch by shard), reused across batches.
+  std::vector<size_t> shard_starts_;
+  std::vector<size_t> shard_cursors_;
+  std::vector<size_t> shard_slots_;
+  std::vector<uint32_t> active_shards_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created.
   ThreadPool* external_pool_ = nullptr;
   /// Cache totals already published to the metrics registry (so per-batch

@@ -1,0 +1,186 @@
+#include "labels/async_annotator.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace kgacc {
+
+namespace {
+
+struct AsyncMetrics {
+  obs::Gauge* inflight =
+      obs::MetricsRegistry::Global().GetGauge("annotate.inflight");
+  obs::Histogram* wait =
+      obs::MetricsRegistry::Global().GetHistogram("annotate.wait_seconds");
+  obs::Histogram* begin = obs::MetricsRegistry::Global().GetHistogram(
+      "annotate.async.begin_seconds");
+  obs::Histogram* finish = obs::MetricsRegistry::Global().GetHistogram(
+      "annotate.async.finish_seconds");
+};
+
+AsyncMetrics& Metrics() {
+  static AsyncMetrics metrics;
+  return metrics;
+}
+
+/// Stream salt separating the latency hash from the noise stream and the
+/// synthetic oracles, which hash the same (cluster, offset) coordinates.
+constexpr uint64_t kLatencyStream = 0x6c6174656e6379ULL;  // "latency"
+
+}  // namespace
+
+LatencyModel::LatencyModel(double mean_seconds, uint64_t seed)
+    : mean_seconds_(mean_seconds > 0.0 ? mean_seconds : 0.0),
+      stream_seed_(Mix64(seed ^ kLatencyStream)) {}
+
+double LatencyModel::SecondsFor(const TripleRef& ref) const {
+  if (mean_seconds_ <= 0.0) return 0.0;
+  const double u =
+      ToUnitDouble(HashCombine(stream_seed_, ref.cluster, ref.offset));
+  return mean_seconds_ * (0.5 + u);
+}
+
+MockLatencyAnnotator::MockLatencyAnnotator(Annotator* backend, Options options)
+    : backend_(backend), latency_(options.latency_seconds, options.seed) {
+  KGACC_CHECK(backend_ != nullptr);
+}
+
+MockLatencyAnnotator::MockLatencyAnnotator(std::unique_ptr<Annotator> backend,
+                                           Options options)
+    : MockLatencyAnnotator(backend.get(), options) {
+  owned_backend_ = std::move(backend);
+}
+
+bool MockLatencyAnnotator::AcquireLatency(const TripleRef& ref,
+                                          double* seconds) {
+  if (!requested_.insert(ref).second) return false;
+  *seconds = latency_.SecondsFor(ref);
+  return true;
+}
+
+void MockLatencyAnnotator::SleepFor(double seconds) {
+  if (seconds <= 0.0) return;
+  std::unique_lock<std::mutex> lock(cancel_mutex_);
+  if (cancelled_) return;
+  cancel_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                      [this] { return cancelled_; });
+}
+
+bool MockLatencyAnnotator::Annotate(const TripleRef& ref) {
+  double seconds = 0.0;
+  if (AcquireLatency(ref, &seconds)) SleepFor(seconds);
+  return ResolveNow(ref);
+}
+
+void MockLatencyAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
+                                         uint8_t* out) {
+  // Deliberately sequential: one latency after another is exactly the
+  // synchronous baseline the async bridge is measured against.
+  for (size_t i = 0; i < refs.size(); ++i) {
+    out[i] = Annotate(refs[i]) ? 1 : 0;
+  }
+}
+
+void MockLatencyAnnotator::CancelPending() {
+  {
+    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    cancelled_ = true;
+  }
+  cancel_cv_.notify_all();
+  backend_->CancelPending();
+}
+
+AsyncAnnotator::AsyncAnnotator(MockLatencyAnnotator* mock, Options options)
+    : mock_(mock), queue_(options.max_concurrent) {
+  KGACC_CHECK(mock_ != nullptr);
+}
+
+AsyncAnnotator::AsyncAnnotator(std::unique_ptr<MockLatencyAnnotator> mock,
+                               Options options)
+    : AsyncAnnotator(mock.get(), options) {
+  owned_mock_ = std::move(mock);
+}
+
+void AsyncAnnotator::PublishInFlight() {
+  if (obs::MetricsEnabled()) {
+    Metrics().inflight->Set(static_cast<double>(queue_.InFlight()));
+  }
+}
+
+void AsyncAnnotator::ResolveCompletion(
+    const CompletionQueue::Completion& done) {
+  PendingLabel& entry =
+      pending_[static_cast<size_t>(done.ticket - ticket_base_)];
+  *entry.out = mock_->ResolveNow(entry.ref) ? 1 : 0;
+  --unresolved_;
+}
+
+void AsyncAnnotator::DrainDue() {
+  CompletionQueue::Completion done;
+  while (queue_.TryNext(&done)) ResolveCompletion(done);
+}
+
+void AsyncAnnotator::BeginAnnotateBatch(std::span<const TripleRef> refs,
+                                        uint8_t* out) {
+  obs::ScopedSpan span("annotation.async.begin", Metrics().begin);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    double seconds = 0.0;
+    if (!mock_->AcquireLatency(refs[i], &seconds) || seconds <= 0.0) {
+      // Repeats are cache hits and zero-latency requests need no slot —
+      // both resolve inline, leaving the window to requests that wait.
+      out[i] = mock_->ResolveNow(refs[i]) ? 1 : 0;
+      continue;
+    }
+    queue_.Submit(seconds);
+    pending_.push_back(PendingLabel{refs[i], &out[i]});
+    ++unresolved_;
+  }
+  // Opportunistically resolve whatever already completed while the caller
+  // was building the batch, keeping the window moving between waits.
+  DrainDue();
+  PublishInFlight();
+}
+
+void AsyncAnnotator::FinishAnnotateBatch() {
+  obs::ScopedSpan span("annotation.async.finish", Metrics().finish);
+  CompletionQueue::Completion done;
+  for (;;) {
+    WallTimer wait;
+    if (!queue_.WaitNext(&done)) break;
+    if (obs::MetricsEnabled()) {
+      Metrics().wait->RecordSeconds(wait.ElapsedSeconds());
+    }
+    ResolveCompletion(done);
+    PublishInFlight();
+  }
+  KGACC_CHECK(unresolved_ == 0);
+  ticket_base_ += pending_.size();
+  pending_.clear();
+  PublishInFlight();
+}
+
+void AsyncAnnotator::AnnotateBatch(std::span<const TripleRef> refs,
+                                   uint8_t* out) {
+  BeginAnnotateBatch(refs, out);
+  FinishAnnotateBatch();
+}
+
+bool AsyncAnnotator::Annotate(const TripleRef& ref) {
+  uint8_t label = 0;
+  const TripleRef refs[1] = {ref};
+  BeginAnnotateBatch(std::span<const TripleRef>(refs, 1), &label);
+  FinishAnnotateBatch();
+  return label != 0;
+}
+
+void AsyncAnnotator::CancelPending() {
+  queue_.CancelWaits();
+  mock_->CancelPending();
+}
+
+}  // namespace kgacc

@@ -1,0 +1,185 @@
+#pragma once
+
+// Latency-aware annotation: the bridge that overlaps annotation *latency*
+// with evaluation computation.
+//
+// The PR 5 subsystem made annotation compute-parallel but kept it
+// synchronous — AnnotateBatch returns only when every label exists. Real
+// crowd or LLM annotators instead have seconds of per-label latency and a
+// bounded concurrency window. This header models that world with two
+// annotators sharing one deterministic latency stream:
+//
+//  - MockLatencyAnnotator: the synchronous facade. Each first-seen triple
+//    sleeps its simulated latency on the caller thread before the wrapped
+//    backend resolves the label. This is the baseline an asynchronous path
+//    is measured against.
+//  - AsyncAnnotator: the completion-queue bridge. BeginAnnotateBatch submits
+//    each first-seen triple to a CompletionQueue (at most `max_concurrent`
+//    latencies elapse concurrently — the semaphore idiom) and returns
+//    immediately; the caller computes while annotations are "in flight" and
+//    collects labels in FinishAnnotateBatch. AnnotateBatch = Begin + Finish,
+//    so the bridge still honors the synchronous contract everywhere the
+//    engine isn't pipelined.
+//
+// Determinism contract: latency is a pure hash of (seed, cluster, offset) —
+// the PR 5 noise-stream trick — and labels always resolve through the
+// backend's per-triple path *on the caller thread*, in both facades. Labels,
+// ledger and cost are therefore bit-identical between the synchronous and
+// asynchronous paths, for every latency and every window size; only
+// wall-clock time differs. Cancellation (CancelPending) skips the waiting,
+// never the work, so a cancelled campaign still returns exact results.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/triple.h"
+#include "labels/annotator.h"
+#include "util/completion_queue.h"
+
+namespace kgacc {
+
+/// Deterministic per-triple annotation latency: uniform in
+/// [0.5, 1.5) x mean_seconds, a pure hash of (seed, cluster, offset). A
+/// triple's latency depends only on the triple and the seed — never on how
+/// many triples were requested before it — so synchronous and pipelined
+/// schedules draw identical latencies.
+class LatencyModel {
+ public:
+  LatencyModel(double mean_seconds, uint64_t seed);
+
+  double SecondsFor(const TripleRef& ref) const;
+
+  double mean_seconds() const { return mean_seconds_; }
+
+ private:
+  double mean_seconds_;
+  uint64_t stream_seed_;
+};
+
+/// Synchronous latency facade over a wrapped backend. The first request for
+/// a triple sleeps its simulated latency (interruptibly — CancelPending
+/// skips all remaining sleeps) and resolves through the backend; repeated
+/// requests return the backend's cached label latency-free, mirroring the
+/// paper's set semantics (a crowd records one answer per fact, not per
+/// visit).
+class MockLatencyAnnotator : public Annotator {
+ public:
+  struct Options {
+    /// Mean simulated latency per first-seen triple; <= 0 sleeps nothing.
+    double latency_seconds = 0.0;
+    /// Seed of the latency stream (independent of the backend's noise seed).
+    uint64_t seed = 0x5eed;
+  };
+
+  /// Borrows `backend`, which must outlive this annotator.
+  MockLatencyAnnotator(Annotator* backend, Options options);
+  /// Owns `backend`.
+  MockLatencyAnnotator(std::unique_ptr<Annotator> backend, Options options);
+
+  bool Annotate(const TripleRef& ref) override;
+  void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out) override;
+  const AnnotationLedger& ledger() const override { return backend_->ledger(); }
+  const CostModel& cost_model() const override {
+    return backend_->cost_model();
+  }
+
+  /// Makes every current and future simulated wait return immediately.
+  /// Labels are unaffected (latency never influences results).
+  void CancelPending() override;
+
+  /// True — returning the triple's simulated latency — the first time `ref`
+  /// is requested; false on repeats. Shared with AsyncAnnotator so both
+  /// facades charge latency for exactly the same set of requests.
+  bool AcquireLatency(const TripleRef& ref, double* seconds);
+
+  /// Resolves the label through the backend's per-triple path. Call from
+  /// one thread at a time (the bridge always uses the caller thread).
+  bool ResolveNow(const TripleRef& ref) { return backend_->Annotate(ref); }
+
+  const LatencyModel& latency_model() const { return latency_; }
+  Annotator* backend() const { return backend_; }
+
+ private:
+  /// Wall-clock sleep that CancelPending() interrupts.
+  void SleepFor(double seconds);
+
+  Annotator* backend_;
+  std::unique_ptr<Annotator> owned_backend_;
+  LatencyModel latency_;
+  std::unordered_set<TripleRef, TripleRefHash> requested_;
+  std::mutex cancel_mutex_;
+  std::condition_variable cancel_cv_;
+  bool cancelled_ = false;
+};
+
+/// The completion-queue bridge. Wraps a MockLatencyAnnotator (sharing its
+/// latency stream, request set and backend) and turns per-triple latency
+/// into bounded-window concurrency:
+///
+///   BeginAnnotateBatch(refs, out)  — submit; returns without waiting. May
+///                                    be called repeatedly (chunked
+///                                    submission) before one Finish; each
+///                                    `out` must stay valid until then.
+///   ... caller computes while latencies elapse in flight ...
+///   FinishAnnotateBatch()          — drain the queue, resolving every
+///                                    label on the caller thread.
+///
+/// Metrics (inert when disabled): `annotate.inflight` gauge,
+/// `annotate.wait_seconds` histogram of blocked time per completion, and
+/// annotation.async.* spans.
+class AsyncAnnotator : public Annotator {
+ public:
+  struct Options {
+    /// Bounded in-flight window (the annotator platform's concurrency).
+    size_t max_concurrent = 8;
+  };
+
+  /// Borrows `mock`, which must outlive this annotator.
+  AsyncAnnotator(MockLatencyAnnotator* mock, Options options);
+  /// Owns `mock`.
+  AsyncAnnotator(std::unique_ptr<MockLatencyAnnotator> mock, Options options);
+
+  bool Annotate(const TripleRef& ref) override;
+  void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out) override;
+  void BeginAnnotateBatch(std::span<const TripleRef> refs,
+                          uint8_t* out) override;
+  void FinishAnnotateBatch() override;
+  bool AsyncCapable() const override { return true; }
+  void CancelPending() override;
+  const AnnotationLedger& ledger() const override { return mock_->ledger(); }
+  const CostModel& cost_model() const override { return mock_->cost_model(); }
+
+  const CompletionQueue& queue() const { return queue_; }
+  MockLatencyAnnotator* mock() const { return mock_; }
+  size_t max_concurrent() const { return queue_.max_concurrent(); }
+
+ private:
+  struct PendingLabel {
+    TripleRef ref;
+    uint8_t* out = nullptr;
+  };
+
+  /// Resolves every completion that is already due, without blocking.
+  void DrainDue();
+
+  void ResolveCompletion(const CompletionQueue::Completion& done);
+  void PublishInFlight();
+
+  MockLatencyAnnotator* mock_;
+  std::unique_ptr<MockLatencyAnnotator> owned_mock_;
+  CompletionQueue queue_;
+  /// Outstanding labels, indexed by `ticket - ticket_base_` (exactly one
+  /// entry is pushed per Submit, so indices track tickets; Finish clears the
+  /// vector and advances the base). Entries point into caller-owned output
+  /// buffers, which the Begin/Finish contract keeps alive.
+  std::vector<PendingLabel> pending_;
+  uint64_t ticket_base_ = 0;
+  size_t unresolved_ = 0;
+};
+
+}  // namespace kgacc

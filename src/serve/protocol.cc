@@ -59,6 +59,11 @@ Status ParseEvaluationOptions(const JsonValue& json, EvaluationOptions* out) {
       KGACC_ASSIGN_OR_RETURN(out->num_strata, AsCount(value, key));
     } else if (key == "pilot_size") {
       KGACC_ASSIGN_OR_RETURN(out->pilot_size, AsCount(value, key));
+    } else if (key == "pipeline_rounds") {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("'pipeline_rounds' must be a bool");
+      }
+      out->pipeline_rounds = value.AsBool();
     } else if (key == "srs_ci") {
       if (!value.is_string()) {
         return Status::InvalidArgument("'srs_ci' must be a string");
@@ -108,6 +113,15 @@ Status ParseAnnotatorSpec(const JsonValue& json, AnnotatorSpec* out) {
       KGACC_ASSIGN_OR_RETURN(out->c1_seconds, AsDouble(value, key));
     } else if (key == "c2_seconds") {
       KGACC_ASSIGN_OR_RETURN(out->c2_seconds, AsDouble(value, key));
+    } else if (key == "async") {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("'async' must be a bool");
+      }
+      out->async = value.AsBool();
+    } else if (key == "latency_ms") {
+      KGACC_ASSIGN_OR_RETURN(out->latency_ms, AsDouble(value, key));
+    } else if (key == "max_concurrent") {
+      KGACC_ASSIGN_OR_RETURN(out->max_concurrent, AsCount(value, key));
     } else {
       return Status::InvalidArgument(
           StrFormat("unknown annotator field '%s'", key.c_str()));
@@ -118,6 +132,12 @@ Status ParseAnnotatorSpec(const JsonValue& json, AnnotatorSpec* out) {
   }
   if (!(out->noise_rate >= 0.0 && out->noise_rate <= 1.0)) {
     return Status::InvalidArgument("noise_rate outside [0, 1]");
+  }
+  if (out->latency_ms < 0.0) {
+    return Status::InvalidArgument("latency_ms must be >= 0");
+  }
+  if (out->max_concurrent == 0) {
+    return Status::InvalidArgument("max_concurrent must be >= 1");
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #include "core/design_registry.h"
 #include "core/state_io.h"
 #include "labels/annotator_pool.h"
+#include "labels/async_annotator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -71,20 +72,35 @@ std::unique_ptr<Annotator> ServeSession::MakeAnnotator(
   CostModel cost;
   cost.c1_seconds = spec.c1_seconds;
   cost.c2_seconds = spec.c2_seconds;
+  std::unique_ptr<Annotator> backend;
   if (spec.annotators > 1) {
-    return std::make_unique<AnnotatorPool>(
+    backend = std::make_unique<AnnotatorPool>(
         oracle, cost,
         AnnotatorPool::Options{.num_annotators = spec.annotators,
                                .noise_rate = spec.noise_rate,
                                .seed = spec.seed,
                                .annotation_threads = spec.annotation_threads});
+  } else {
+    backend = std::make_unique<SimulatedAnnotator>(
+        oracle, cost,
+        SimulatedAnnotator::Options{
+            .noise_rate = spec.noise_rate,
+            .seed = spec.seed,
+            .annotation_threads = spec.annotation_threads,
+            .annotation_shards = spec.annotation_shards});
   }
-  return std::make_unique<SimulatedAnnotator>(
-      oracle, cost,
-      SimulatedAnnotator::Options{.noise_rate = spec.noise_rate,
-                                  .seed = spec.seed,
-                                  .annotation_threads = spec.annotation_threads,
-                                  .annotation_shards = spec.annotation_shards});
+  if (!spec.async) return backend;
+  // Latency-simulating async bridge: the campaign worker overlaps
+  // annotation latency with sampling; results stay bit-identical to the
+  // synchronous annotator (latency never changes labels or cost).
+  auto mock = std::make_unique<MockLatencyAnnotator>(
+      std::move(backend),
+      MockLatencyAnnotator::Options{.latency_seconds = spec.latency_ms / 1e3,
+                                    .seed = spec.seed});
+  return std::make_unique<AsyncAnnotator>(
+      std::move(mock),
+      AsyncAnnotator::Options{
+          .max_concurrent = static_cast<size_t>(spec.max_concurrent)});
 }
 
 ServeSession::ServeSession(Config config) : config_(std::move(config)) {
@@ -124,6 +140,10 @@ void ServeSession::WorkerMain() {
 
 void ServeSession::ParkAndJoinLocked() {
   gate_->RequestSuspend();
+  // With the async bridge, the worker may be mid-round waiting out simulated
+  // latency; cancel the waits (never the work — labels still resolve, so the
+  // suspended state stays bit-identical) so the join is prompt.
+  annotator_->CancelPending();
   if (worker_.joinable()) worker_.join();
 }
 

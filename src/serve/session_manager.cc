@@ -214,6 +214,7 @@ SessionManager::Response SessionManager::StartCampaign(
         ParseEvaluationOptions(*options, &config.options);
     if (!parsed_options.ok()) return ErrorResponse(parsed_options);
   }
+  config.annotator = default_annotator_;
   if (const JsonValue* annotator = request.Find("annotator")) {
     const Status parsed_spec =
         ParseAnnotatorSpec(*annotator, &config.annotator);

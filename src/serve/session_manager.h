@@ -32,6 +32,14 @@ class SessionManager {
   /// `graphs` is borrowed and must outlive the manager.
   explicit SessionManager(GraphStore* graphs);
 
+  /// Daemon-wide annotator defaults (e.g. from kgacc_serve's
+  /// --async-annotator flags). A start-campaign request's "annotator"
+  /// object overrides them field by field. Call before serving begins —
+  /// not synchronized against in-flight HandleLine calls.
+  void SetDefaultAnnotator(const AnnotatorSpec& spec) {
+    default_annotator_ = spec;
+  }
+
   Response HandleLine(const std::string& line);
 
   /// Parks every running session (server shutdown).
@@ -54,6 +62,7 @@ class SessionManager {
   Response ShutdownOp();
 
   GraphStore* graphs_;
+  AnnotatorSpec default_annotator_;
   std::mutex mutex_;  ///< guards sessions_ / next_id_.
   uint64_t next_id_ = 1;
   std::map<std::string, std::shared_ptr<ServeSession>> sessions_;

@@ -1,0 +1,120 @@
+#include "util/completion_queue.h"
+
+#include <algorithm>
+
+namespace kgacc {
+
+namespace {
+
+CompletionQueue::Clock::duration DurationOf(double seconds) {
+  if (seconds <= 0.0) return CompletionQueue::Clock::duration::zero();
+  return std::chrono::duration_cast<CompletionQueue::Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+CompletionQueue::CompletionQueue(size_t max_concurrent)
+    : max_concurrent_(std::max<size_t>(1, max_concurrent)) {
+  in_flight_.reserve(max_concurrent_);
+}
+
+uint64_t CompletionQueue::Submit(double delay_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t ticket = next_ticket_++;
+  if (in_flight_.size() < max_concurrent_) {
+    in_flight_.push_back(InFlightEntry{ticket, delay_seconds,
+                                       Clock::now() + DurationOf(delay_seconds)});
+    max_in_flight_observed_ =
+        std::max(max_in_flight_observed_, in_flight_.size());
+    cv_.notify_all();
+  } else {
+    backlog_.push_back(Completion{ticket, delay_seconds});
+  }
+  return ticket;
+}
+
+size_t CompletionQueue::EarliestLocked() const {
+  size_t best = 0;
+  for (size_t i = 1; i < in_flight_.size(); ++i) {
+    const InFlightEntry& candidate = in_flight_[i];
+    const InFlightEntry& incumbent = in_flight_[best];
+    if (candidate.deadline < incumbent.deadline ||
+        (candidate.deadline == incumbent.deadline &&
+         candidate.ticket < incumbent.ticket)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+CompletionQueue::Completion CompletionQueue::PopLocked(size_t index) {
+  const Completion done{in_flight_[index].ticket,
+                        in_flight_[index].delay_seconds};
+  // The slot frees at the popped entry's completion time, regardless of when
+  // the caller got around to popping it.
+  const Clock::time_point freed_at = in_flight_[index].deadline;
+  in_flight_.erase(in_flight_.begin() + static_cast<ptrdiff_t>(index));
+  if (!backlog_.empty()) {
+    const Completion next = backlog_.front();
+    backlog_.pop_front();
+    in_flight_.push_back(InFlightEntry{next.ticket, next.delay_seconds,
+                                       freed_at +
+                                           DurationOf(next.delay_seconds)});
+  }
+  return done;
+}
+
+bool CompletionQueue::WaitNext(Completion* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (in_flight_.empty()) return false;  // backlog empty too (window fills
+                                           // before anything backlogs).
+    const size_t earliest = EarliestLocked();
+    const Clock::time_point deadline = in_flight_[earliest].deadline;
+    if (cancelled_ || deadline <= Clock::now()) {
+      *out = PopLocked(earliest);
+      return true;
+    }
+    cv_.wait_until(lock, deadline);
+  }
+}
+
+bool CompletionQueue::TryNext(Completion* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_.empty()) return false;
+  const size_t earliest = EarliestLocked();
+  if (!cancelled_ && in_flight_[earliest].deadline > Clock::now()) {
+    return false;
+  }
+  *out = PopLocked(earliest);
+  return true;
+}
+
+size_t CompletionQueue::Pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_.size() + backlog_.size();
+}
+
+size_t CompletionQueue::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_.size();
+}
+
+size_t CompletionQueue::MaxInFlightObserved() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_in_flight_observed_;
+}
+
+void CompletionQueue::CancelWaits() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_ = true;
+  cv_.notify_all();
+}
+
+bool CompletionQueue::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+}  // namespace kgacc

@@ -1,0 +1,114 @@
+#pragma once
+
+// Bounded-window completion queue for annotation requests with simulated
+// latency. The asynchronous annotation bridge (labels/async_annotator.h)
+// submits one entry per first-seen triple; each entry carries a
+// deterministic delay and completes when that much wall-clock time has
+// elapsed since the entry entered the in-flight window.
+//
+// The window is the semaphore idiom: at most `max_concurrent` entries are
+// in flight at once (a crowd platform or LLM endpoint with bounded
+// concurrency); further submissions queue in a backlog and are promoted as
+// slots free up. A promoted entry's clock starts at the *completion time of
+// the entry that freed its slot* — not at the moment the caller happens to
+// pop — so the simulated server timeline is independent of how busy the
+// caller thread is between waits.
+//
+// No timer thread exists: deadlines are absolute `steady_clock` timestamps
+// computed at submit/promotion time, and WaitNext() itself performs the
+// timed wait for the earliest one. CancelWaits() (callable from any thread)
+// makes every pending deadline due immediately — it cancels the *waiting*,
+// never the work, so a cancelled queue drains instantly and the caller still
+// resolves every label it issued. Latency therefore never influences
+// results, only wall-clock time.
+//
+// Thread model: one caller thread submits and waits; CancelWaits() may race
+// from other threads (a serve session being suspended or stopped). All state
+// is guarded by one mutex.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include <condition_variable>
+
+namespace kgacc {
+
+class CompletionQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Completion {
+    /// Submission sequence number (0-based), the caller's key back to
+    /// whatever context it parked for this entry.
+    uint64_t ticket = 0;
+    /// The simulated latency the entry was submitted with.
+    double delay_seconds = 0.0;
+  };
+
+  /// `max_concurrent` < 1 is treated as 1.
+  explicit CompletionQueue(size_t max_concurrent);
+
+  /// Enqueues an entry with the given simulated latency and returns its
+  /// ticket. Starts its clock immediately if an in-flight slot is free,
+  /// otherwise backlogs it.
+  uint64_t Submit(double delay_seconds);
+
+  /// Pops the earliest-deadline pending entry, blocking until it is due
+  /// (returns immediately after CancelWaits). Returns false if nothing is
+  /// pending. Completions surface in deadline order, ties by ticket.
+  bool WaitNext(Completion* out);
+
+  /// Like WaitNext but never blocks: pops only an entry that is already due.
+  bool TryNext(Completion* out);
+
+  /// Entries submitted but not yet popped (in flight + backlog).
+  size_t Pending() const;
+
+  /// Entries currently inside the concurrency window.
+  size_t InFlight() const;
+
+  /// High-water mark of InFlight() over the queue's lifetime — the bounded-
+  /// window invariant (`<= max_concurrent`) a test can assert after a
+  /// hostile latency stream.
+  size_t MaxInFlightObserved() const;
+
+  size_t max_concurrent() const { return max_concurrent_; }
+
+  /// Makes every pending (and future) deadline due immediately, waking a
+  /// blocked WaitNext. Irreversible for this queue; labels are unaffected
+  /// because waits only model latency.
+  void CancelWaits();
+
+  bool cancelled() const;
+
+ private:
+  struct InFlightEntry {
+    uint64_t ticket = 0;
+    double delay_seconds = 0.0;
+    Clock::time_point deadline;
+  };
+
+  /// Index of the in-flight entry with the earliest deadline (ties broken
+  /// toward the lowest ticket). Requires mutex_ held and a non-empty window.
+  size_t EarliestLocked() const;
+
+  /// Pops in-flight entry `index` and promotes the backlog head into the
+  /// freed slot, clocking it from the popped entry's completion time.
+  /// Requires mutex_ held.
+  Completion PopLocked(size_t index);
+
+  const size_t max_concurrent_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<InFlightEntry> in_flight_;
+  std::deque<Completion> backlog_;  // deadline unassigned until promotion.
+  uint64_t next_ticket_ = 0;
+  size_t max_in_flight_observed_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace kgacc

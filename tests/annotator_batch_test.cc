@@ -147,5 +147,41 @@ TEST(AnnotateBatchTest, AnnotateTaskRoutesThroughBatch) {
   EXPECT_EQ(a1.ledger().entities_identified, 1u);
 }
 
+TEST(AnnotateBatchTest, WorkStealingHandlesSkewedShardLoads) {
+  // The sharded path assigns shards to workers largest-first with dynamic
+  // dispatch (work stealing): a batch where nearly all refs hash to a
+  // handful of clusters — so one or two cache shards carry almost the whole
+  // load while the rest idle — must still match the sequential path exactly.
+  TestPopulation pop = MakeTestPopulation(2000, 8, 0.8, 0.2, 19);
+  Rng rng(7);
+  std::vector<TripleRef> refs;
+  refs.reserve(6000);
+  for (uint64_t i = 0; i < 6000; ++i) {
+    // 90% of the load on three hot clusters, the tail spread thin.
+    const uint64_t cluster = i % 10 < 9
+                                 ? 100 + i % 3
+                                 : rng.UniformIndex(pop.population.NumClusters());
+    refs.push_back(
+        TripleRef{cluster,
+                  rng.UniformIndex(pop.population.ClusterSize(cluster))});
+  }
+  ExpectSameAsSequential(
+      pop, {.noise_rate = 0.2, .seed = 0x5eed, .annotation_threads = 4}, refs);
+}
+
+TEST(AnnotateBatchTest, WorkStealingHandlesSingleShardBatches) {
+  // Degenerate skew: every ref in one cluster, so exactly one shard is
+  // nonempty and every other worker has nothing to steal.
+  TestPopulation pop = MakeTestPopulation(2000, 8, 0.8, 0.2, 20);
+  Rng rng(8);
+  std::vector<TripleRef> refs;
+  refs.reserve(4000);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    refs.push_back(
+        TripleRef{42, rng.UniformIndex(pop.population.ClusterSize(42))});
+  }
+  ExpectSameAsSequential(pop, {.annotation_threads = 8}, refs);
+}
+
 }  // namespace
 }  // namespace kgacc

@@ -36,6 +36,10 @@ CampaignSessionState FullState() {
   state.annotator.annotation_shards = 16;
   state.annotator.c1_seconds = 47.5;
   state.annotator.c2_seconds = 1.0 / 3.0;  // not representable in decimal.
+  state.annotator.async = true;
+  state.annotator.latency_ms = 12.25;
+  state.annotator.max_concurrent = 17;
+  state.options.pipeline_rounds = false;
   return state;
 }
 
@@ -74,6 +78,10 @@ TEST(CampaignSessionStateTest, RoundTripsEveryField) {
             state.annotator.annotation_shards);
   EXPECT_EQ(restored->annotator.c1_seconds, state.annotator.c1_seconds);
   EXPECT_EQ(restored->annotator.c2_seconds, state.annotator.c2_seconds);
+  EXPECT_EQ(restored->annotator.async, state.annotator.async);
+  EXPECT_EQ(restored->annotator.latency_ms, state.annotator.latency_ms);
+  EXPECT_EQ(restored->annotator.max_concurrent, state.annotator.max_concurrent);
+  EXPECT_EQ(restored->options.pipeline_rounds, state.options.pipeline_rounds);
 
   // The borrowed observer pointers never travel.
   EXPECT_EQ(restored->options.telemetry, nullptr);
@@ -112,6 +120,54 @@ TEST(CampaignSessionStateTest, RejectsOutOfRangeValues) {
   std::ostringstream out;
   ASSERT_TRUE(SaveCampaignSession(state, out).ok());
   std::istringstream in(out.str());
+  EXPECT_FALSE(RestoreCampaignSession(in).ok());
+}
+
+TEST(CampaignSessionStateTest, LegacyBlobWithoutAsyncRecordsRestoresDefaults) {
+  // Blobs saved before the async-annotator records existed end right after
+  // c2_seconds; they must restore with the struct defaults rather than fail.
+  const CampaignSessionState state = FullState();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+  std::string text = out.str();
+  const size_t start = text.find("async ");
+  const size_t stop = text.find("end");
+  ASSERT_NE(start, std::string::npos);
+  ASSERT_NE(stop, std::string::npos);
+  ASSERT_LT(start, stop);
+  text.erase(start, stop - start);  // strip the four trailing records.
+  std::istringstream in(text);
+  const Result<CampaignSessionState> restored = RestoreCampaignSession(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_FALSE(restored->annotator.async);
+  EXPECT_EQ(restored->annotator.latency_ms, 0.0);
+  EXPECT_EQ(restored->annotator.max_concurrent, 8u);
+  EXPECT_TRUE(restored->options.pipeline_rounds);
+  // Fields before the stripped tail still round-trip.
+  EXPECT_EQ(restored->annotator.c2_seconds, state.annotator.c2_seconds);
+}
+
+TEST(CampaignSessionStateTest, RejectsUnknownTrailingRecord) {
+  const CampaignSessionState state = FullState();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+  std::string text = out.str();
+  const size_t pos = text.find("pipeline_rounds");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "turbo_mode 1\n");
+  std::istringstream in(text);
+  EXPECT_FALSE(RestoreCampaignSession(in).ok());
+}
+
+TEST(CampaignSessionStateTest, RejectsOutOfRangeMaxConcurrent) {
+  const CampaignSessionState state = FullState();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveCampaignSession(state, out).ok());
+  std::string text = out.str();
+  const size_t pos = text.find("max_concurrent 17");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 17, "max_concurrent 0 ");
+  std::istringstream in(text);
   EXPECT_FALSE(RestoreCampaignSession(in).ok());
 }
 

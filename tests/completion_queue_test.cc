@@ -1,0 +1,173 @@
+// The CompletionQueue underpins the async annotation bridge: its bounded
+// in-flight window is the "annotator platform concurrency" semaphore, and
+// its deadline bookkeeping is what makes cancelled or hostile latency
+// streams terminate promptly. These tests pin the window invariant, the
+// backlog promotion clock, deadline-ordered delivery, and cancellation.
+
+#include "util/completion_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace kgacc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(CompletionQueueTest, DeliversEverySubmissionExactlyOnce) {
+  CompletionQueue queue(4);
+  std::vector<bool> seen(100, false);
+  for (int i = 0; i < 100; ++i) queue.Submit(0.0);
+  CompletionQueue::Completion done;
+  while (queue.WaitNext(&done)) {
+    ASSERT_LT(done.ticket, 100u);
+    EXPECT_FALSE(seen[done.ticket]) << "ticket delivered twice";
+    seen[done.ticket] = true;
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(seen[i]) << "ticket " << i;
+  EXPECT_EQ(queue.Pending(), 0u);
+}
+
+TEST(CompletionQueueTest, WindowNeverExceedsMaxConcurrent) {
+  // Hostile stream: alternating near-zero and "long" delays try to pile up
+  // in-flight entries; the high-water mark must stay within the window.
+  CompletionQueue queue(3);
+  for (int i = 0; i < 64; ++i) {
+    queue.Submit(i % 2 == 0 ? 0.0 : 0.002);
+    EXPECT_LE(queue.InFlight(), 3u);
+  }
+  CompletionQueue::Completion done;
+  int drained = 0;
+  while (queue.WaitNext(&done)) {
+    ++drained;
+    EXPECT_LE(queue.InFlight(), 3u);
+  }
+  EXPECT_EQ(drained, 64);
+  EXPECT_LE(queue.MaxInFlightObserved(), 3u);
+  EXPECT_GE(queue.MaxInFlightObserved(), 1u);
+}
+
+TEST(CompletionQueueTest, WideWindowRecordsTrueHighWater) {
+  CompletionQueue queue(64);
+  for (int i = 0; i < 10; ++i) queue.Submit(0.001);
+  EXPECT_EQ(queue.InFlight(), 10u);
+  EXPECT_EQ(queue.MaxInFlightObserved(), 10u);
+  CompletionQueue::Completion done;
+  while (queue.WaitNext(&done)) {
+  }
+  EXPECT_EQ(queue.MaxInFlightObserved(), 10u);
+}
+
+TEST(CompletionQueueTest, DeliversInDeadlineOrderWithinTheWindow) {
+  // All submissions fit in the window and carry distinct delays, so
+  // completions must arrive shortest-delay-first regardless of submit order.
+  CompletionQueue queue(8);
+  const double delays[] = {0.006, 0.001, 0.004, 0.002, 0.005, 0.003};
+  for (const double delay : delays) queue.Submit(delay);
+  std::vector<double> order;
+  CompletionQueue::Completion done;
+  while (queue.WaitNext(&done)) order.push_back(done.delay_seconds);
+  ASSERT_EQ(order.size(), 6u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1], order[i]);
+  }
+}
+
+TEST(CompletionQueueTest, BacklogPromotesInSubmitOrder) {
+  // Window of one: every entry waits its full delay serially, and equal
+  // delays must complete in ticket order (the promotion clock starts when
+  // the slot frees, not at submit).
+  CompletionQueue queue(1);
+  for (int i = 0; i < 5; ++i) queue.Submit(0.001);
+  EXPECT_EQ(queue.InFlight(), 1u);
+  EXPECT_EQ(queue.Pending(), 5u);
+  uint64_t expected = 0;
+  CompletionQueue::Completion done;
+  while (queue.WaitNext(&done)) {
+    EXPECT_EQ(done.ticket, expected++);
+  }
+  EXPECT_EQ(expected, 5u);
+  EXPECT_EQ(queue.MaxInFlightObserved(), 1u);
+}
+
+TEST(CompletionQueueTest, SerialWindowTakesTheSumOfDelays) {
+  // The semaphore semantics are real: one slot means delays cannot overlap.
+  CompletionQueue queue(1);
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < 4; ++i) queue.Submit(0.005);
+  CompletionQueue::Completion done;
+  while (queue.WaitNext(&done)) {
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  EXPECT_GE(elapsed, 0.018);  // ~4 x 5ms, minus scheduler slack.
+}
+
+TEST(CompletionQueueTest, TryNextDoesNotBlockOnUndueEntries) {
+  CompletionQueue queue(2);
+  queue.Submit(30.0);  // would hang a blocking wait for half a minute.
+  CompletionQueue::Completion done;
+  EXPECT_FALSE(queue.TryNext(&done));
+  EXPECT_EQ(queue.InFlight(), 1u);
+  queue.CancelWaits();
+  EXPECT_TRUE(queue.TryNext(&done));
+  EXPECT_EQ(done.ticket, 0u);
+}
+
+TEST(CompletionQueueTest, CancelWaitsDrainsEverythingImmediately) {
+  CompletionQueue queue(2);
+  for (int i = 0; i < 20; ++i) queue.Submit(60.0);  // far-future deadlines.
+  queue.CancelWaits();
+  EXPECT_TRUE(queue.cancelled());
+  const Clock::time_point start = Clock::now();
+  int drained = 0;
+  CompletionQueue::Completion done;
+  while (queue.WaitNext(&done)) ++drained;
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  EXPECT_EQ(drained, 20);
+  EXPECT_LT(elapsed, 5.0);  // no 60s waits survived the cancel.
+  // Cancellation is sticky: later submissions complete immediately too
+  // (suspend must win even if a round is mid-submission).
+  queue.Submit(60.0);
+  EXPECT_TRUE(queue.WaitNext(&done));
+}
+
+TEST(CompletionQueueTest, CancelUnblocksAConcurrentWaiter) {
+  CompletionQueue queue(1);
+  queue.Submit(60.0);
+  std::thread waiter([&queue] {
+    CompletionQueue::Completion done;
+    EXPECT_TRUE(queue.WaitNext(&done));
+    EXPECT_EQ(done.ticket, 0u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.CancelWaits();
+  waiter.join();
+}
+
+TEST(CompletionQueueTest, EmptyQueueReturnsFalseNotBlocks) {
+  CompletionQueue queue(4);
+  CompletionQueue::Completion done;
+  EXPECT_FALSE(queue.WaitNext(&done));
+  EXPECT_FALSE(queue.TryNext(&done));
+  EXPECT_EQ(queue.MaxInFlightObserved(), 0u);
+}
+
+TEST(CompletionQueueTest, ZeroWindowIsTreatedAsOne) {
+  CompletionQueue queue(0);
+  EXPECT_EQ(queue.max_concurrent(), 1u);
+  queue.Submit(0.0);
+  queue.Submit(0.0);
+  EXPECT_EQ(queue.InFlight(), 1u);
+  CompletionQueue::Completion done;
+  int drained = 0;
+  while (queue.WaitNext(&done)) ++drained;
+  EXPECT_EQ(drained, 2);
+}
+
+}  // namespace
+}  // namespace kgacc

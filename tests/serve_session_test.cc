@@ -256,5 +256,64 @@ TEST(ServeSessionTest, SuspendedSessionKeepsItsTraceReadable) {
   EXPECT_EQ(session.RoundsAfter(1).size(), 2u);
 }
 
+AnnotatorSpec AsyncSpec(int threads) {
+  AnnotatorSpec spec = BaseSpec(threads);
+  spec.async = true;
+  spec.latency_ms = 0.2;  // real (nonzero) in-flight latency, test-sized.
+  spec.max_concurrent = 8;
+  return spec;
+}
+
+TEST(ServeSessionTest, AsyncAnnotatorStepsAndSuspendsBitIdentically) {
+  // The async bridge under the serve lifecycle: a campaign stepped and
+  // suspended with annotations in flight each round must (a) persist its
+  // async spec into the state blob, and (b) resume to a result bit-identical
+  // to the plain synchronous annotator run uninterrupted — the bridge and
+  // the suspend machinery compose without touching results.
+  const Output expected = RunUninterrupted("twcs", 4);
+
+  ServeSession first({.id = "a",
+                      .design = "twcs",
+                      .graph = "g",
+                      .dataset = DatasetFor("twcs"),
+                      .options = BaseOptions(),
+                      .annotator = AsyncSpec(4)});
+  ASSERT_TRUE(first.Step(3).ok());
+  Result<std::string> blob = first.Suspend();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  std::istringstream in(*blob);
+  Result<CampaignSessionState> state = RestoreCampaignSession(in);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_TRUE(state->annotator.async);
+  EXPECT_EQ(state->annotator.latency_ms, 0.2);
+  EXPECT_EQ(state->annotator.max_concurrent, 8u);
+
+  ServeSession resumed({.id = "b",
+                        .design = state->design,
+                        .graph = state->graph,
+                        .dataset = DatasetFor(state->design),
+                        .options = state->options,
+                        .annotator = state->annotator,
+                        .replay_rounds = state->rounds_completed});
+  ExpectBitIdentical(expected, Finish(resumed), "async/suspend@3");
+}
+
+TEST(ServeSessionTest, AsyncAnnotatorStopIsPromptDespitePendingLatency) {
+  // Stop (and the destructor) cancels pending simulated waits; a stopped
+  // async session must not serve out the remaining latencies.
+  AnnotatorSpec spec = AsyncSpec(1);
+  spec.latency_ms = 5.0;
+  ServeSession session({.id = "s",
+                        .design = "twcs",
+                        .graph = "g",
+                        .dataset = DatasetFor("twcs"),
+                        .options = BaseOptions(),
+                        .annotator = spec});
+  ASSERT_TRUE(session.Step(2).ok());
+  ASSERT_TRUE(session.Stop().ok());
+  EXPECT_EQ(session.GetInfo().state, ServeSession::State::kStopped);
+  EXPECT_EQ(session.Trace().rounds.size(), 2u);  // completed rounds intact.
+}
+
 }  // namespace
 }  // namespace kgacc::serve

@@ -245,5 +245,36 @@ TEST(TelemetryTest, RecorderOpensAnonymousCampaignForBareRounds) {
   EXPECT_EQ(recorder.campaigns()[0].rounds.size(), 1u);
 }
 
+TEST(TelemetryTest, GateCoverageFailsWhenAGatedKindNeverAppears) {
+  // The kgacc_trace_check regression this pins: a gate flag whose artifact
+  // kind is absent from the input must fail loudly, never pass vacuously
+  // (a renamed bench artifact would otherwise silently disarm CI).
+  const std::vector<GateRequirement> gates = {
+      {"min-async-speedup", "kgacc-async-bench-v1"},
+      {"max-serve-p99", "kgacc-serve-bench-v1"}};
+
+  const Status uncovered =
+      CheckGateCoverage(gates, {"kgacc-serve-bench-v1", "kgacc-trace-v1"});
+  EXPECT_FALSE(uncovered.ok());
+  // The message must name both the flag and the missing kind — that is what
+  // makes the failure actionable from a CI log.
+  EXPECT_NE(uncovered.message().find("min-async-speedup"), std::string::npos)
+      << uncovered.message();
+  EXPECT_NE(uncovered.message().find("kgacc-async-bench-v1"),
+            std::string::npos)
+      << uncovered.message();
+
+  const Status covered = CheckGateCoverage(
+      gates, {"kgacc-async-bench-v1", "kgacc-serve-bench-v1"});
+  EXPECT_TRUE(covered.ok()) << covered.ToString();
+
+  // No active gates: any input (even none) is fine.
+  EXPECT_TRUE(CheckGateCoverage({}, {}).ok());
+  // Duplicate kinds are harmless; one sighting covers a gate.
+  EXPECT_TRUE(CheckGateCoverage({{"baseline", "kgacc-trace-v1"}},
+                                {"kgacc-trace-v1", "kgacc-trace-v1"})
+                  .ok());
+}
+
 }  // namespace
 }  // namespace kgacc

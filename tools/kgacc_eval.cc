@@ -79,6 +79,21 @@ Annotation:
   --c1 SECONDS            entity identification cost        [45]
   --c2 SECONDS            relationship validation cost      [25]
 
+Asynchronous annotation (simulated latency; results are bit-identical to
+the synchronous annotator — only wall-clock time changes):
+  --async-annotator         route annotation through the completion-queue
+                            bridge: the engine samples round k+1 while round
+                            k's labels are in flight
+  --annotator-latency-ms L  mean simulated latency per first-seen triple,
+                            drawn per triple from a deterministic hash
+                            stream (seeded by --seed)             [0]
+  --max-concurrent N        bounded in-flight annotation window   [8]
+  --no-pipeline             keep the strictly sequential round schedule
+                            (the async window still overlaps within a
+                            round's batch)
+                            (underscore spellings of all three value flags
+                             are also accepted)
+
 Misc: --seed S [42], --list-datasets, --list-designs, --help
 )";
 
@@ -247,6 +262,45 @@ int RunEval(const FlagParser& flags) {
             .seed = seed,
             .annotation_threads = static_cast<int>(annotation_threads)});
   }
+  // --annotator-latency-ms / --max-concurrent follow the hyphenated
+  // convention; underscore spellings are accepted as aliases.
+  const double latency_ms =
+      flags.Has("annotator-latency-ms")
+          ? flags.GetDouble("annotator-latency-ms", 0.0).ValueOr(0.0)
+          : flags.GetDouble("annotator_latency_ms", 0.0).ValueOr(0.0);
+  const uint64_t max_concurrent =
+      flags.Has("max-concurrent")
+          ? flags.GetUint64("max-concurrent", 8).ValueOr(8)
+          : flags.GetUint64("max_concurrent", 8).ValueOr(8);
+  if (latency_ms < 0.0) {
+    std::fprintf(stderr, "error: --annotator-latency-ms must be >= 0\n");
+    return 1;
+  }
+  if (max_concurrent == 0) {
+    std::fprintf(stderr, "error: --max-concurrent must be >= 1\n");
+    return 1;
+  }
+  const bool async_annotator = flags.GetBool("async-annotator", false) ||
+                               flags.GetBool("async_annotator", false);
+  options.pipeline_rounds = !(flags.GetBool("no-pipeline", false) ||
+                              flags.GetBool("no_pipeline", false));
+  if (async_annotator) {
+    auto mock = std::make_unique<MockLatencyAnnotator>(
+        std::move(annotator),
+        MockLatencyAnnotator::Options{.latency_seconds = latency_ms / 1e3,
+                                      .seed = seed});
+    annotator = std::make_unique<AsyncAnnotator>(
+        std::move(mock),
+        AsyncAnnotator::Options{
+            .max_concurrent = static_cast<size_t>(max_concurrent)});
+  } else if (latency_ms > 0.0) {
+    // Latency without the bridge: the synchronous facade, so the two paths
+    // are directly comparable from the command line.
+    annotator = std::make_unique<MockLatencyAnnotator>(
+        std::move(annotator),
+        MockLatencyAnnotator::Options{.latency_seconds = latency_ms / 1e3,
+                                      .seed = seed});
+  }
 
   const KgView& view = dataset.View();
   std::printf("graph: %s — %llu entities, %llu triples (avg cluster %.1f)\n",
@@ -379,8 +433,10 @@ int main(int argc, char** argv) {
        "confidence", "m", "pilot-size", "pilot_size", "min-units", "wilson",
        "trace", "batch-units", "batch_units", "metrics", "chrome-trace",
        "chrome_trace", "annotators", "noise", "annotation-threads",
-       "annotation_threads", "c1", "c2", "seed", "list-datasets",
-       "list-designs", "help"});
+       "annotation_threads", "c1", "c2", "seed", "async-annotator",
+       "async_annotator", "annotator-latency-ms", "annotator_latency_ms",
+       "max-concurrent", "max_concurrent", "no-pipeline", "no_pipeline",
+       "list-datasets", "list-designs", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s (see --help)\n", valid.message().c_str());
     return 1;

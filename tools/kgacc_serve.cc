@@ -49,6 +49,12 @@ Flags:
   --seed S          dataset seed for built-in synthetic graphs       [42]
   --help            this message
 
+Asynchronous annotation defaults (a campaign's "annotator" object
+overrides them field by field; underscore spellings accepted):
+  --async-annotator        route campaigns through the async bridge  [off]
+  --annotator-latency-ms L simulated mean per-triple latency (ms)    [0]
+  --max-concurrent N       bounded in-flight annotation window       [8]
+
 The bound port is announced on stdout as: kgacc_serve listening on port N
 )";
 
@@ -63,7 +69,10 @@ int Main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
-  const Status valid = flags.Validate({"port", "preload", "seed", "help"});
+  const Status valid = flags.Validate(
+      {"port", "preload", "seed", "async-annotator", "async_annotator",
+       "annotator-latency-ms", "annotator_latency_ms", "max-concurrent",
+       "max_concurrent", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n%s", valid.message().c_str(), kUsage);
     return 2;
@@ -73,6 +82,24 @@ int Main(int argc, char** argv) {
   if (!port.ok() || !seed.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  (!port.ok() ? port.status() : seed.status()).message().c_str());
+    return 2;
+  }
+  AnnotatorSpec default_annotator;
+  default_annotator.async = flags.GetBool("async-annotator", false) ||
+                            flags.GetBool("async_annotator", false);
+  default_annotator.latency_ms =
+      flags.Has("annotator-latency-ms")
+          ? flags.GetDouble("annotator-latency-ms", 0.0).ValueOr(0.0)
+          : flags.GetDouble("annotator_latency_ms", 0.0).ValueOr(0.0);
+  default_annotator.max_concurrent =
+      flags.Has("max-concurrent")
+          ? flags.GetUint64("max-concurrent", 8).ValueOr(8)
+          : flags.GetUint64("max_concurrent", 8).ValueOr(8);
+  if (default_annotator.latency_ms < 0.0 ||
+      default_annotator.max_concurrent == 0) {
+    std::fprintf(stderr,
+                 "error: --annotator-latency-ms must be >= 0 and "
+                 "--max-concurrent must be >= 1\n");
     return 2;
   }
 
@@ -94,6 +121,7 @@ int Main(int argc, char** argv) {
   }
 
   SessionManager manager(&graphs);
+  manager.SetDefaultAnnotator(default_annotator);
   ServeServer server(&manager, static_cast<int>(port.value()));
 
   // SIGINT/SIGTERM shut the daemon down cleanly. Signal handlers cannot

@@ -54,11 +54,22 @@
 //    the format's core contract). --max-open-ms MS and
 //    --min-build-mtriples-per-sec R add absolute floors on top.
 //
+//  - kgacc-async-bench-v1 (the bench_async_annotate speedup matrix): every
+//    row must be bit-identical to its synchronous baseline with positive
+//    timings, and — with --min-async-speedup X — the best speedup at the
+//    matrix's largest latency over windows of at least 8 must reach X, so a
+//    regression that serializes the completion-queue bridge fails CI.
+//
 //  - Chrome trace_event documents (kgacc_eval --chrome-trace), recognized by
 //    their "traceEvents" member: events must be well-formed complete/counter/
 //    metadata events with non-negative timestamps, and — with
 //    --min-trace-threads N — span events must cover at least N distinct
 //    threads (proof that the concurrent annotation path was exercised).
+//
+// Gate coverage: every explicitly requested gate flag must match at least
+// one input artifact of the kind it inspects; a gate whose artifact kind
+// never appears fails the run instead of passing vacuously (the failure
+// mode where a renamed artifact silently disarms CI).
 //
 // Exits non-zero with a diagnostic on stderr on any failure, so a
 // regression that silences telemetry, breaks cost accounting, or slows the
@@ -189,6 +200,79 @@ bool CheckAnnotateBench(const std::string& path, const JsonValue& doc,
   if (ok) {
     std::printf("%s: OK (%zu sweep configurations)\n", path.c_str(),
                 sweep->AsArray().size());
+  }
+  return ok;
+}
+
+/// Validates a kgacc-async-bench-v1 artifact (bench_async_annotate) and
+/// enforces the async-speedup gate when --min-async-speedup is given.
+bool CheckAsyncBench(const std::string& path, const JsonValue& doc,
+                     double min_speedup) {
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->AsArray().empty()) {
+    std::fprintf(stderr, "%s: missing or empty rows array\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  double max_latency = 0.0;
+  for (const JsonValue& row : rows->AsArray()) {
+    const Result<double> latency = row.GetNumber("latency_ms");
+    if (latency.ok()) max_latency = std::max(max_latency, *latency);
+  }
+  // The speedup floor applies where overlapping latency matters: the
+  // matrix's largest latency, with a window of at least 8 (the acceptance
+  // configuration). mc=1 rows are the no-overlap control and zero-latency
+  // rows measure pure bridge overhead; gating them would be meaningless.
+  double gated_best = -1.0;
+  for (const JsonValue& row : rows->AsArray()) {
+    const Result<double> latency = row.GetNumber("latency_ms");
+    const Result<double> window = row.GetNumber("max_concurrent");
+    const Result<double> sync_s = row.GetNumber("sync_seconds");
+    const Result<double> async_s = row.GetNumber("async_seconds");
+    const Result<double> speedup = row.GetNumber("speedup");
+    const Result<bool> identical = row.GetBool("identical");
+    if (!latency.ok() || !window.ok() || !sync_s.ok() || !async_s.ok() ||
+        !speedup.ok() || !identical.ok()) {
+      std::fprintf(stderr, "%s: malformed async bench row\n", path.c_str());
+      return false;
+    }
+    if (*latency < 0.0 || *window < 1.0 || *sync_s < 0.0 || *async_s < 0.0) {
+      std::fprintf(stderr,
+                   "%s: negative measurement (latency %.0fms, window %.0f)\n",
+                   path.c_str(), *latency, *window);
+      return false;
+    }
+    if (!*identical) {
+      std::fprintf(stderr,
+                   "%s: async run diverged from the synchronous baseline "
+                   "(latency %.0fms, max_concurrent %.0f) — determinism "
+                   "contract violated\n",
+                   path.c_str(), *latency, *window);
+      ok = false;
+    }
+    const bool gated =
+        *latency == max_latency && max_latency > 0.0 && *window >= 8.0;
+    if (gated) gated_best = std::max(gated_best, *speedup);
+    std::printf("%s: latency %3.0fms window %3.0f  %6.2fx%s\n", path.c_str(),
+                *latency, *window, *speedup, gated ? " (gated)" : "");
+  }
+  if (min_speedup > 0.0) {
+    if (gated_best < 0.0) {
+      std::fprintf(stderr,
+                   "%s: no row qualifies for the async-speedup gate (need "
+                   "latency > 0 and max_concurrent >= 8)\n",
+                   path.c_str());
+      ok = false;
+    } else if (gated_best < min_speedup) {
+      std::fprintf(stderr,
+                   "%s: best gated speedup %.2fx below required %.2fx\n",
+                   path.c_str(), gated_best, min_speedup);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("%s: OK (%zu matrix cells, all bit-identical)\n",
+                path.c_str(), rows->AsArray().size());
   }
   return ok;
 }
@@ -606,6 +690,42 @@ int Run(const FlagParser& flags) {
   const double max_open_ms = flags.GetDouble("max-open-ms", 0.0).ValueOr(0.0);
   const double min_build_rate =
       flags.GetDouble("min-build-mtriples-per-sec", 0.0).ValueOr(0.0);
+  const double min_async_speedup =
+      flags.GetDouble("min-async-speedup", 0.0).ValueOr(0.0);
+
+  // Each explicitly requested gate names the artifact kind it inspects;
+  // after the file loop, a gate whose kind never appeared fails the run
+  // (CheckGateCoverage) instead of passing vacuously.
+  std::vector<GateRequirement> active_gates;
+  if (min_speedup > 0.0) {
+    active_gates.push_back({"min-annotate-speedup", "kgacc-annotate-bench-v1"});
+  }
+  if (max_overhead > 0.0) {
+    active_gates.push_back({"max-metrics-overhead", "kgacc-metrics-bench-v1"});
+  }
+  if (min_trace_threads > 0) {
+    active_gates.push_back({"min-trace-threads", "chrome-trace"});
+  }
+  if (max_serve_p99 > 0.0) {
+    active_gates.push_back({"max-serve-p99", "kgacc-serve-bench-v1"});
+  }
+  if (min_serve_qps > 0.0) {
+    active_gates.push_back({"min-serve-qps", "kgacc-serve-bench-v1"});
+  }
+  if (max_open_ms > 0.0) {
+    active_gates.push_back({"max-open-ms", "kgacc-kgstore-bench-v1"});
+  }
+  if (min_build_rate > 0.0) {
+    active_gates.push_back(
+        {"min-build-mtriples-per-sec", "kgacc-kgstore-bench-v1"});
+  }
+  if (min_async_speedup > 0.0) {
+    active_gates.push_back({"min-async-speedup", "kgacc-async-bench-v1"});
+  }
+  if (!baseline_dir.empty()) {
+    active_gates.push_back({"baseline", "kgacc-trace-v1"});
+  }
+  std::vector<std::string> kinds_seen;
 
   int failures = 0;
   for (const std::string& path : flags.positional()) {
@@ -625,34 +745,46 @@ int Run(const FlagParser& flags) {
     }
     const Result<std::string> schema = doc->GetString("schema");
     if (schema.ok() && *schema == "kgacc-annotate-bench-v1") {
+      kinds_seen.push_back(*schema);
       if (!CheckAnnotateBench(path, *doc, min_speedup)) ++failures;
       continue;
     }
     if (schema.ok() && *schema == "kgacc-metrics-v1") {
+      kinds_seen.push_back(*schema);
       if (!CheckMetrics(path, *doc)) ++failures;
       continue;
     }
     if (schema.ok() && *schema == "kgacc-metrics-bench-v1") {
+      kinds_seen.push_back(*schema);
       if (!CheckMetricsBench(path, *doc, max_overhead)) ++failures;
       continue;
     }
     if (schema.ok() && *schema == "kgacc-cost-sweep-v1") {
+      kinds_seen.push_back(*schema);
       if (!CheckCostSweep(path, *doc)) ++failures;
       continue;
     }
     if (schema.ok() && *schema == "kgacc-serve-bench-v1") {
+      kinds_seen.push_back(*schema);
       if (!CheckServeBench(path, *doc, max_serve_p99, min_serve_qps)) {
         ++failures;
       }
       continue;
     }
     if (schema.ok() && *schema == "kgacc-kgstore-bench-v1") {
+      kinds_seen.push_back(*schema);
       if (!CheckKgstoreBench(path, *doc, max_open_ms, min_build_rate)) {
         ++failures;
       }
       continue;
     }
+    if (schema.ok() && *schema == "kgacc-async-bench-v1") {
+      kinds_seen.push_back(*schema);
+      if (!CheckAsyncBench(path, *doc, min_async_speedup)) ++failures;
+      continue;
+    }
     if (doc->Find("traceEvents") != nullptr) {
+      kinds_seen.push_back("chrome-trace");
       if (!CheckChromeTrace(path, *doc, min_trace_threads)) ++failures;
       continue;
     }
@@ -666,6 +798,7 @@ int Run(const FlagParser& flags) {
       ++failures;
       continue;
     }
+    kinds_seen.push_back("kgacc-trace-v1");
     if (traces->empty()) {
       std::fprintf(stderr, "%s: no campaigns in trace\n", path.c_str());
       ++failures;
@@ -693,6 +826,11 @@ int Run(const FlagParser& flags) {
                 static_cast<unsigned long long>(traces->size()),
                 static_cast<unsigned long long>(rounds));
   }
+  const Status coverage = CheckGateCoverage(active_gates, kinds_seen);
+  if (!coverage.ok()) {
+    std::fprintf(stderr, "%s\n", coverage.message().c_str());
+    ++failures;
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -711,7 +849,7 @@ int main(int argc, char** argv) {
       {"baseline", "tolerance", "min-annotate-speedup",
        "max-metrics-overhead", "min-trace-threads", "max-serve-p99",
        "min-serve-qps", "max-open-ms", "min-build-mtriples-per-sec",
-       "help"});
+       "min-async-speedup", "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.message().c_str());
     return 1;
@@ -723,7 +861,7 @@ int main(int argc, char** argv) {
                  "[--max-metrics-overhead F] [--min-trace-threads N] "
                  "[--max-serve-p99 MS] [--min-serve-qps Q] "
                  "[--max-open-ms MS] [--min-build-mtriples-per-sec R] "
-                 "TRACE.json [...]\n");
+                 "[--min-async-speedup X] TRACE.json [...]\n");
     return flags.GetBool("help", false) ? 0 : 1;
   }
   return Run(flags);

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Render kgacc-async-bench-v1 JSON artifacts (bench_async_annotate) to SVG.
+
+Each input file becomes one SVG: pipelined-over-serial speedup versus
+simulated annotator latency, one line per in-flight window size
+(max_concurrent), with a dashed reference line at 1x. Cells that were not
+bit-identical to their synchronous baseline are drawn as hollow red
+markers so a determinism break is visible at a glance.
+
+Standard library only, so the CI async-smoke job can render artifacts
+without installing anything:
+
+    tools/plot_async_speedup.py BENCH_async_annotate.json -o bench-artifacts/
+
+writes <name>.svg next to the JSON (or into -o DIR).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+WIDTH, HEIGHT = 640, 400
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 130, 44, 48
+
+# One color per window size, cycled in ascending max_concurrent order.
+SERIES_COLORS = ["#2563eb", "#16a34a", "#d97706", "#9333ea", "#0891b2"]
+COLOR_GRID = "#d4d4d8"
+COLOR_TEXT = "#3f3f46"
+COLOR_BAD = "#dc2626"
+
+
+def svg_text(x, y, text, size=11, anchor="start", color=COLOR_TEXT):
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+        f'text-anchor="{anchor}" fill="{color}" '
+        f'font-family="sans-serif">{text}</text>'
+    )
+
+
+def render(doc, name):
+    rows = doc.get("rows", [])
+    if not rows:
+        raise ValueError("no matrix rows recorded")
+
+    latencies = sorted({r["latency_ms"] for r in rows})
+    windows = sorted({r["max_concurrent"] for r in rows})
+    cell = {(r["latency_ms"], r["max_concurrent"]): r for r in rows}
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    # Latency is a categorical axis (the swept values), evenly spaced, so a
+    # 0 ms cell sits at a real position instead of collapsing a log axis.
+    def x_of(latency):
+        i = latencies.index(latency)
+        if len(latencies) == 1:
+            return MARGIN_L + plot_w / 2
+        return MARGIN_L + i * plot_w / (len(latencies) - 1)
+
+    top = max(max(r["speedup"] for r in rows) * 1.15, 1.5)
+
+    def y_of(speedup):
+        return MARGIN_T + plot_h * (1 - speedup / top)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        svg_text(
+            MARGIN_L,
+            20,
+            f"{name} — {doc.get('dataset', '?')}/{doc.get('design', '?')}, "
+            f"{doc.get('max_units', '?')} units, pipelined / serial wall clock",
+            size=13,
+        ),
+    ]
+
+    # Horizontal grid at integer speedups, plus a dashed 1x reference.
+    step = max(1, int(top / 6))
+    tick = step
+    while tick <= top:
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" x2="{WIDTH - MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="{COLOR_GRID}"/>'
+        )
+        parts.append(svg_text(MARGIN_L - 8, y + 4, f"{tick}x", anchor="end"))
+        tick += step
+    y1 = y_of(1.0)
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{y1:.1f}" x2="{WIDTH - MARGIN_R}" '
+        f'y2="{y1:.1f}" stroke="{COLOR_TEXT}" stroke-dasharray="4 3"/>'
+    )
+
+    for latency in latencies:
+        x = x_of(latency)
+        parts.append(
+            svg_text(x, HEIGHT - MARGIN_B + 18, f"{latency:g}ms",
+                     anchor="middle")
+        )
+    parts.append(
+        svg_text((MARGIN_L + WIDTH - MARGIN_R) / 2, HEIGHT - 10,
+                 "mean simulated annotator latency", anchor="middle")
+    )
+
+    for si, window in enumerate(windows):
+        color = SERIES_COLORS[si % len(SERIES_COLORS)]
+        points = [
+            (x_of(lat), y_of(cell[(lat, window)]["speedup"]),
+             cell[(lat, window)])
+            for lat in latencies
+            if (lat, window) in cell
+        ]
+        polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y, _ in points)
+        parts.append(
+            f'<polyline points="{polyline}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y, row in points:
+            if row.get("identical", True):
+                parts.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" '
+                    f'fill="{color}"/>'
+                )
+            else:
+                parts.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4.5" fill="white" '
+                    f'stroke="{COLOR_BAD}" stroke-width="2"/>'
+                )
+            parts.append(
+                svg_text(x + 6, y - 6, f'{row["speedup"]:.2f}x', size=9,
+                         color=color)
+            )
+
+    # Legend on the right margin.
+    lx = WIDTH - MARGIN_R + 12
+    for si, window in enumerate(windows):
+        color = SERIES_COLORS[si % len(SERIES_COLORS)]
+        ly = MARGIN_T + 8 + si * 18
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<circle cx="{lx + 9}" cy="{ly}" r="3" fill="{color}"/>'
+        )
+        parts.append(
+            svg_text(lx + 24, ly + 4, f"window {window}", size=10)
+        )
+    if any(not r.get("identical", True) for r in rows):
+        ly = MARGIN_T + 8 + len(windows) * 18
+        parts.append(
+            f'<circle cx="{lx + 9}" cy="{ly}" r="4.5" fill="white" '
+            f'stroke="{COLOR_BAD}" stroke-width="2"/>'
+        )
+        parts.append(
+            svg_text(lx + 24, ly + 4, "not identical", size=10,
+                     color=COLOR_BAD)
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render kgacc-async-bench-v1 artifacts to SVG."
+    )
+    parser.add_argument("inputs", nargs="+", help="BENCH_async_annotate.json")
+    parser.add_argument("-o", "--outdir", help="output directory")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.inputs:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            if doc.get("schema") != "kgacc-async-bench-v1":
+                raise ValueError(
+                    f"not a kgacc-async-bench-v1 document: {doc.get('schema')}"
+                )
+            name = os.path.splitext(os.path.basename(path))[0]
+            svg = render(doc, name)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+            print(f"{path}: {err}", file=sys.stderr)
+            failed = True
+            continue
+        outdir = args.outdir or os.path.dirname(path) or "."
+        os.makedirs(outdir, exist_ok=True)
+        out = os.path.join(outdir, name + ".svg")
+        with open(out, "w") as f:
+            f.write(svg)
+        print(f"{path} -> {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
