@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "labels/annotator.h"
+
+namespace kgacc {
+
+/// Receiver of the *identities* of annotated triples. The multi-tenant
+/// scheduler (serve/scheduler.h) listens here to maintain the fleet-level
+/// "already paid for" set: a tenant's round is charged against the shared
+/// annotation budget only for triples no co-tenant campaign on the same
+/// graph has bought yet.
+///
+/// Contract: observation is bookkeeping only — an observer must never
+/// influence labels, ledger, cost or ordering (the same inertness bar the
+/// telemetry and metrics layers meet), so an observed campaign stays
+/// bit-identical to an unobserved one. OnAnnotate runs on whatever thread
+/// drives the annotator (the serve session's worker); implementations
+/// synchronize internally.
+class AnnotationObserver {
+ public:
+  virtual ~AnnotationObserver() = default;
+
+  /// Called with every batch of refs the campaign asked labels for, before
+  /// the labels are necessarily resolved (for the async bridge the refs are
+  /// reported at submission — the work is committed at that point, so the
+  /// fleet charge is too). Repeats across calls are expected; receivers use
+  /// set semantics.
+  virtual void OnAnnotate(std::span<const TripleRef> refs) = 0;
+};
+
+/// Transparent Annotator decorator that reports every annotated ref to an
+/// AnnotationObserver and otherwise forwards verbatim. Sits *outside* any
+/// async bridge so chunked Begin/Finish submissions are observed exactly
+/// once, at submission.
+class ObservedAnnotator : public Annotator {
+ public:
+  ObservedAnnotator(std::unique_ptr<Annotator> inner,
+                    AnnotationObserver* observer)
+      : inner_(std::move(inner)), observer_(observer) {}
+
+  bool Annotate(const TripleRef& ref) override {
+    observer_->OnAnnotate(std::span<const TripleRef>(&ref, 1));
+    return inner_->Annotate(ref);
+  }
+
+  void AnnotateBatch(std::span<const TripleRef> refs, uint8_t* out) override {
+    observer_->OnAnnotate(refs);
+    inner_->AnnotateBatch(refs, out);
+  }
+
+  bool AsyncCapable() const override { return inner_->AsyncCapable(); }
+
+  void BeginAnnotateBatch(std::span<const TripleRef> refs,
+                          uint8_t* out) override {
+    observer_->OnAnnotate(refs);
+    inner_->BeginAnnotateBatch(refs, out);
+  }
+
+  void FinishAnnotateBatch() override { inner_->FinishAnnotateBatch(); }
+
+  void CancelPending() override { inner_->CancelPending(); }
+
+  const AnnotationLedger& ledger() const override { return inner_->ledger(); }
+
+  const CostModel& cost_model() const override {
+    return inner_->cost_model();
+  }
+
+ private:
+  std::unique_ptr<Annotator> inner_;
+  AnnotationObserver* observer_;  ///< borrowed; outlives the annotator.
+};
+
+}  // namespace kgacc

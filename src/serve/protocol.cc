@@ -203,4 +203,38 @@ std::string BuildMetrics() { return "{\"op\": \"metrics\"}"; }
 
 std::string BuildShutdown() { return "{\"op\": \"shutdown\"}"; }
 
+std::string BuildStartTenantCampaign(const std::string& graph,
+                                     const std::string& design,
+                                     const std::string& options_json,
+                                     const std::string& annotator_json,
+                                     double weight, double quota_seconds,
+                                     const std::string& id) {
+  std::string request =
+      StrFormat("{\"op\": \"start-campaign\", \"tenant\": true, "
+                "\"graph\": \"%s\", \"design\": \"%s\"",
+                JsonEscape(graph).c_str(), JsonEscape(design).c_str());
+  if (!options_json.empty()) request += ", \"options\": " + options_json;
+  if (!annotator_json.empty()) request += ", \"annotator\": " + annotator_json;
+  if (weight != 1.0) request += StrFormat(", \"weight\": %.17g", weight);
+  if (quota_seconds != 0.0) {
+    request += StrFormat(", \"quota_seconds\": %.17g", quota_seconds);
+  }
+  if (!id.empty()) {
+    request += StrFormat(", \"id\": \"%s\"", JsonEscape(id).c_str());
+  }
+  request += "}";
+  return request;
+}
+
+std::string BuildSetBudget(double budget_seconds) {
+  return StrFormat("{\"op\": \"set-budget\", \"budget_seconds\": %.17g}",
+                   budget_seconds);
+}
+
+std::string BuildTenantStatus(const std::string& tenant) {
+  if (tenant.empty()) return "{\"op\": \"tenant-status\"}";
+  return StrFormat("{\"op\": \"tenant-status\", \"tenant\": \"%s\"}",
+                   JsonEscape(tenant).c_str());
+}
+
 }  // namespace kgacc::serve

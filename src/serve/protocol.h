@@ -44,4 +44,19 @@ std::string BuildStop(const std::string& session);
 std::string BuildMetrics();
 std::string BuildShutdown();
 
+/// `start-campaign` with `"tenant": true` — admits the campaign to the
+/// fleet scheduler instead of the free-stepping session table. `weight`
+/// and `quota_seconds` feed the weighted-fair policy and the per-tenant
+/// spend cap (0 = none); `id` pins the tenant id (empty = auto).
+std::string BuildStartTenantCampaign(const std::string& graph,
+                                     const std::string& design,
+                                     const std::string& options_json = "",
+                                     const std::string& annotator_json = "",
+                                     double weight = 1.0,
+                                     double quota_seconds = 0.0,
+                                     const std::string& id = "");
+std::string BuildSetBudget(double budget_seconds);
+/// Empty id = status of every tenant plus fleet totals.
+std::string BuildTenantStatus(const std::string& tenant = "");
+
 }  // namespace kgacc::serve

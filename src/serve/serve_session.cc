@@ -7,6 +7,7 @@
 #include "core/state_io.h"
 #include "labels/annotator_pool.h"
 #include "labels/async_annotator.h"
+#include "labels/observed_annotator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -109,6 +110,10 @@ ServeSession::ServeSession(Config config) : config_(std::move(config)) {
               config_.options.control == nullptr)
       << "the session wires its own telemetry/control";
   annotator_ = MakeAnnotator(config_.annotator, config_.dataset->oracle.get());
+  if (config_.observer != nullptr) {
+    annotator_ = std::make_unique<ObservedAnnotator>(std::move(annotator_),
+                                                     config_.observer);
+  }
   gate_ = std::make_unique<StepGate>(config_.replay_rounds);
   worker_ = std::thread(&ServeSession::WorkerMain, this);
 }

@@ -14,6 +14,10 @@
 #include "serve/step_gate.h"
 #include "util/result.h"
 
+namespace kgacc {
+class AnnotationObserver;
+}  // namespace kgacc
+
 namespace kgacc::serve {
 
 /// TelemetrySink for suspendable sessions: merges the re-emitted telemetry
@@ -71,6 +75,11 @@ class ServeSession {
                                 ///< session wires its own.
     AnnotatorSpec annotator;
     uint64_t replay_rounds = 0;  ///< > 0 resumes a suspended campaign.
+    /// Optional fleet-accounting hook (borrowed; must outlive the session):
+    /// when set, the session's annotator is wrapped in an ObservedAnnotator
+    /// so every annotated ref is reported. Observation is inert — results
+    /// stay bit-identical with or without it.
+    AnnotationObserver* observer = nullptr;
   };
 
   struct Info {

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/protocol.h"
+#include "serve/scheduler.h"
 #include "util/string_util.h"
 
 namespace kgacc::serve {
@@ -35,6 +36,10 @@ struct ServeMetrics {
       "serve.request.resume_seconds");
   obs::Histogram* stop = obs::MetricsRegistry::Global().GetHistogram(
       "serve.request.stop_seconds");
+  obs::Histogram* set_budget = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.set_budget_seconds");
+  obs::Histogram* tenant_status = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.tenant_status_seconds");
   obs::Histogram* metrics = obs::MetricsRegistry::Global().GetHistogram(
       "serve.request.metrics_seconds");
   obs::Histogram* shutdown = obs::MetricsRegistry::Global().GetHistogram(
@@ -130,6 +135,19 @@ std::shared_ptr<ServeSession> SessionManager::FindSession(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<ServeSession> SessionManager::FindAnySession(
+    const std::string& id) {
+  std::shared_ptr<ServeSession> session = FindSession(id);
+  if (session == nullptr && scheduler_ != nullptr) {
+    session = scheduler_->SessionFor(id);
+  }
+  return session;
+}
+
+bool SessionManager::IsTenant(const std::string& id) const {
+  return scheduler_ != nullptr && scheduler_->StatusFor(id).ok();
+}
+
 SessionManager::Response SessionManager::HandleLine(const std::string& line) {
   Metrics().requests->Add(1);
   Result<JsonValue> parsed = JsonValue::Parse(line);
@@ -154,6 +172,9 @@ SessionManager::Response SessionManager::HandleLine(const std::string& line) {
       {"suspend", Metrics().suspend, &SessionManager::Suspend},
       {"resume", Metrics().resume, &SessionManager::Resume},
       {"stop", Metrics().stop, &SessionManager::Stop},
+      {"set-budget", Metrics().set_budget, &SessionManager::SetBudgetOp},
+      {"tenant-status", Metrics().tenant_status,
+       &SessionManager::TenantStatusOp},
   };
   for (const Dispatch& entry : kTable) {
     if (*op == entry.op) {
@@ -171,8 +192,8 @@ SessionManager::Response SessionManager::HandleLine(const std::string& line) {
   }
   return ErrorResponse(Status::InvalidArgument(StrFormat(
       "unknown op '%s' (known: load-graph, start-campaign, step, "
-      "query-estimate, stream-trace, suspend, resume, stop, metrics, "
-      "shutdown)",
+      "query-estimate, stream-trace, suspend, resume, stop, set-budget, "
+      "tenant-status, metrics, shutdown)",
       op->c_str())));
 }
 
@@ -221,6 +242,14 @@ SessionManager::Response SessionManager::StartCampaign(
     if (!parsed_spec.ok()) return ErrorResponse(parsed_spec);
   }
 
+  if (const JsonValue* tenant = request.Find("tenant")) {
+    if (!tenant->is_bool()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'tenant' must be a bool"));
+    }
+    if (tenant->AsBool()) return StartTenantCampaign(request, config);
+  }
+
   std::shared_ptr<ServeSession> session;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -232,11 +261,60 @@ SessionManager::Response SessionManager::StartCampaign(
   return OneLine(SessionStatusJson(*session, /*verbose=*/false));
 }
 
+SessionManager::Response SessionManager::StartTenantCampaign(
+    const JsonValue& request, ServeSession::Config config) {
+  if (scheduler_ == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "no scheduler attached; restart the daemon with --scheduler to "
+        "admit tenants"));
+  }
+  TenantConfig tenant;
+  tenant.graph = config.graph;
+  tenant.design = config.design;
+  tenant.options = config.options;
+  tenant.annotator = config.annotator;
+  if (const JsonValue* id = request.Find("id")) {
+    if (!id->is_string()) {
+      return ErrorResponse(Status::InvalidArgument("'id' must be a string"));
+    }
+    tenant.id = id->AsString();
+  }
+  if (request.Find("weight") != nullptr) {
+    Result<double> weight = request.GetNumber("weight");
+    if (!weight.ok()) return ErrorResponse(weight.status());
+    tenant.weight = *weight;
+  }
+  if (request.Find("quota_seconds") != nullptr) {
+    Result<double> quota = request.GetNumber("quota_seconds");
+    if (!quota.ok()) return ErrorResponse(quota.status());
+    if (*quota < 0.0) {
+      return ErrorResponse(
+          Status::InvalidArgument("'quota_seconds' must be >= 0"));
+    }
+    tenant.quota_seconds = *quota;
+  }
+  Result<std::string> admitted = scheduler_->AddTenant(std::move(tenant));
+  if (!admitted.ok()) return ErrorResponse(admitted.status());
+  return OneLine(StrFormat(
+      "{\"ok\": true, \"tenant\": \"%s\", \"session\": \"%s\", "
+      "\"graph\": \"%s\", \"design\": \"%s\", \"state\": \"resident\", "
+      "\"policy\": \"%s\"}",
+      JsonEscape(*admitted).c_str(), JsonEscape(*admitted).c_str(),
+      JsonEscape(config.graph).c_str(), JsonEscape(config.design).c_str(),
+      CampaignScheduler::PolicyName(scheduler_->policy())));
+}
+
 SessionManager::Response SessionManager::Step(const JsonValue& request) {
   Result<std::string> id = RequireString(request, "session");
   if (!id.ok()) return ErrorResponse(id.status());
   std::shared_ptr<ServeSession> session = FindSession(*id);
   if (session == nullptr) {
+    if (IsTenant(*id)) {
+      return ErrorResponse(Status::FailedPrecondition(StrFormat(
+          "session '%s' is a scheduler-managed tenant; the scheduler "
+          "issues its steps (use set-budget / tenant-status)",
+          id->c_str())));
+    }
     return ErrorResponse(
         Status::NotFound(StrFormat("no session '%s'", id->c_str())));
   }
@@ -253,7 +331,7 @@ SessionManager::Response SessionManager::QueryEstimate(
     const JsonValue& request) {
   Result<std::string> id = RequireString(request, "session");
   if (!id.ok()) return ErrorResponse(id.status());
-  std::shared_ptr<ServeSession> session = FindSession(*id);
+  std::shared_ptr<ServeSession> session = FindAnySession(*id);
   if (session == nullptr) {
     return ErrorResponse(
         Status::NotFound(StrFormat("no session '%s'", id->c_str())));
@@ -264,7 +342,7 @@ SessionManager::Response SessionManager::QueryEstimate(
 SessionManager::Response SessionManager::StreamTrace(const JsonValue& request) {
   Result<std::string> id = RequireString(request, "session");
   if (!id.ok()) return ErrorResponse(id.status());
-  std::shared_ptr<ServeSession> session = FindSession(*id);
+  std::shared_ptr<ServeSession> session = FindAnySession(*id);
   if (session == nullptr) {
     return ErrorResponse(
         Status::NotFound(StrFormat("no session '%s'", id->c_str())));
@@ -299,6 +377,12 @@ SessionManager::Response SessionManager::Suspend(const JsonValue& request) {
   if (!id.ok()) return ErrorResponse(id.status());
   std::shared_ptr<ServeSession> session = FindSession(*id);
   if (session == nullptr) {
+    if (IsTenant(*id)) {
+      return ErrorResponse(Status::FailedPrecondition(StrFormat(
+          "session '%s' is a scheduler-managed tenant; the scheduler owns "
+          "its residency (eviction suspends it automatically)",
+          id->c_str())));
+    }
     return ErrorResponse(
         Status::NotFound(StrFormat("no session '%s'", id->c_str())));
   }
@@ -381,6 +465,13 @@ SessionManager::Response SessionManager::Stop(const JsonValue& request) {
   if (!id.ok()) return ErrorResponse(id.status());
   std::shared_ptr<ServeSession> session = FindSession(*id);
   if (session == nullptr) {
+    if (IsTenant(*id)) {
+      const Status stopped = scheduler_->StopTenant(*id);
+      if (!stopped.ok()) return ErrorResponse(stopped);
+      return OneLine(StrFormat(
+          "{\"ok\": true, \"session\": \"%s\", \"state\": \"stopped\"}",
+          JsonEscape(*id).c_str()));
+    }
     return ErrorResponse(
         Status::NotFound(StrFormat("no session '%s'", id->c_str())));
   }
@@ -389,6 +480,96 @@ SessionManager::Response SessionManager::Stop(const JsonValue& request) {
   return OneLine(StrFormat(
       "{\"ok\": true, \"session\": \"%s\", \"state\": \"stopped\"}",
       JsonEscape(session->id()).c_str()));
+}
+
+namespace {
+
+void TenantStatusToJson(const TenantStatus& status, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("tenant").String(status.id);
+  json.Key("graph").String(status.graph);
+  json.Key("design").String(status.design);
+  json.Key("state").String(TenantStateName(status.state));
+  json.Key("rounds").Uint(status.rounds);
+  json.Key("grants").Uint(status.grants);
+  json.Key("wait_grants").Uint(status.wait_grants);
+  json.Key("spent_seconds").Number(status.spent_seconds);
+  json.Key("ci_width").Number(status.ci_width);
+  json.Key("converged").Bool(status.converged);
+  json.Key("weight").Number(status.weight);
+  json.Key("quota_seconds").Number(status.quota_seconds);
+  json.Key("evictions").Uint(status.evictions);
+  json.EndObject();
+}
+
+/// Budget gauges can be infinite (unlimited); JSON has no literal for that,
+/// so unlimited renders as null.
+void FiniteOrNull(JsonWriter& json, double value) {
+  if (std::isfinite(value)) {
+    json.Number(value);
+  } else {
+    json.Null();
+  }
+}
+
+}  // namespace
+
+SessionManager::Response SessionManager::SetBudgetOp(
+    const JsonValue& request) {
+  if (scheduler_ == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "no scheduler attached; restart the daemon with --scheduler"));
+  }
+  Result<double> budget = request.GetNumber("budget_seconds");
+  if (!budget.ok()) return ErrorResponse(budget.status());
+  if (*budget < 0.0) {
+    return ErrorResponse(
+        Status::InvalidArgument("'budget_seconds' must be >= 0"));
+  }
+  scheduler_->SetBudget(*budget);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  json.Key("budget_seconds");
+  FiniteOrNull(json, scheduler_->BudgetSeconds());
+  json.Key("spent_seconds").Number(scheduler_->SpentSeconds());
+  json.EndObject();
+  return OneLine(json.TakeString());
+}
+
+SessionManager::Response SessionManager::TenantStatusOp(
+    const JsonValue& request) {
+  if (scheduler_ == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "no scheduler attached; restart the daemon with --scheduler"));
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  json.Key("policy").String(CampaignScheduler::PolicyName(
+      scheduler_->policy()));
+  json.Key("budget_seconds");
+  FiniteOrNull(json, scheduler_->BudgetSeconds());
+  json.Key("spent_seconds").Number(scheduler_->SpentSeconds());
+  json.Key("resident_sessions").Uint(scheduler_->ResidentSessions());
+  json.Key("evictions").Uint(scheduler_->Evictions());
+  if (request.Find("tenant") != nullptr) {
+    Result<std::string> id = RequireString(request, "tenant");
+    if (!id.ok()) return ErrorResponse(id.status());
+    Result<TenantStatus> status = scheduler_->StatusFor(*id);
+    if (!status.ok()) return ErrorResponse(status.status());
+    json.Key("tenant");
+    TenantStatusToJson(*status, json);
+  } else {
+    json.Key("tenants");
+    json.BeginArray();
+    for (const TenantStatus& status : scheduler_->Statuses()) {
+      TenantStatusToJson(status, json);
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+  return OneLine(json.TakeString());
 }
 
 SessionManager::Response SessionManager::MetricsOp() {
@@ -407,6 +588,12 @@ SessionManager::Response SessionManager::ShutdownOp() {
 }
 
 void SessionManager::StopAll() {
+  if (scheduler_ != nullptr) {
+    scheduler_->StopLoop();
+    for (const TenantStatus& status : scheduler_->Statuses()) {
+      (void)scheduler_->StopTenant(status.id);
+    }
+  }
   std::vector<std::shared_ptr<ServeSession>> sessions;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -12,6 +12,8 @@
 
 namespace kgacc::serve {
 
+class CampaignScheduler;
+
 /// The daemon's brain: parses one `kgacc-serve-v1` request line, executes
 /// the op against the graph store / session table, and renders the response
 /// line(s). Transport-agnostic — the TCP server and the in-process tests
@@ -40,6 +42,16 @@ class SessionManager {
     default_annotator_ = spec;
   }
 
+  /// Attaches the fleet scheduler (borrowed; must outlive the manager).
+  /// Enables the multi-tenant surface: `start-campaign` with
+  /// `"tenant": true` admits the campaign to the scheduler instead of the
+  /// free-stepping session table, and `set-budget` / `tenant-status`
+  /// become available. Call before serving begins — not synchronized
+  /// against in-flight HandleLine calls.
+  void AttachScheduler(CampaignScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+
   Response HandleLine(const std::string& line);
 
   /// Parks every running session (server shutdown).
@@ -49,7 +61,15 @@ class SessionManager {
 
  private:
   std::shared_ptr<ServeSession> FindSession(const std::string& id);
+  /// FindSession, falling back to the scheduler's tenant sessions (resuming
+  /// an evicted tenant if needed) — the read path for query-estimate and
+  /// stream-trace. Step/suspend stay rejected for tenants: the scheduler
+  /// owns their stepping.
+  std::shared_ptr<ServeSession> FindAnySession(const std::string& id);
+  bool IsTenant(const std::string& id) const;
 
+  Response StartTenantCampaign(const JsonValue& request,
+                               ServeSession::Config config);
   Response LoadGraph(const JsonValue& request);
   Response StartCampaign(const JsonValue& request);
   Response Step(const JsonValue& request);
@@ -58,11 +78,14 @@ class SessionManager {
   Response Suspend(const JsonValue& request);
   Response Resume(const JsonValue& request);
   Response Stop(const JsonValue& request);
+  Response SetBudgetOp(const JsonValue& request);
+  Response TenantStatusOp(const JsonValue& request);
   Response MetricsOp();
   Response ShutdownOp();
 
   GraphStore* graphs_;
   AnnotatorSpec default_annotator_;
+  CampaignScheduler* scheduler_ = nullptr;
   std::mutex mutex_;  ///< guards sessions_ / next_id_.
   uint64_t next_id_ = 1;
   std::map<std::string, std::shared_ptr<ServeSession>> sessions_;

@@ -1,0 +1,117 @@
+// The scheduler's determinism bar: with a fixed policy, seed and tenant
+// arrival script, the grant sequence (GrantRecord::ToLine, %.17g doubles)
+// and every tenant's final status are bit-identical across repeat runs and
+// across evict/resume cycles (residency cap 1 vs unlimited). Eviction
+// decisions never enter the grant log, so residency pressure is invisible
+// to the determinism artifact.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/graph_store.h"
+#include "serve/scheduler.h"
+#include "serve_test_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+using kgacc::testing::MakeServePopulationDataset;
+
+struct FleetRun {
+  std::string grant_log;  ///< ToLine lines, newline-joined.
+  std::vector<TenantStatus> statuses;
+  double spent = 0.0;
+  uint64_t evictions = 0;
+};
+
+FleetRun RunFleet(CampaignScheduler::Policy policy, uint64_t max_resident) {
+  GraphStore graphs;
+  graphs.Put("pop-a", MakeServePopulationDataset(11));
+  graphs.Put("pop-b", MakeServePopulationDataset(23));
+
+  CampaignScheduler::Options options;
+  options.policy = policy;
+  options.budget_seconds = 25000.0;  // binds: no campaign set finishes.
+  options.max_resident_sessions = max_resident;
+  CampaignScheduler scheduler(&graphs, options);
+
+  // Mixed fleet: a reuse pair, different designs, a weighted tenant.
+  for (uint64_t i = 0; i < 6; ++i) {
+    TenantConfig config;
+    config.id = "t" + std::to_string(i);
+    config.graph = (i % 2 == 0) ? "pop-a" : "pop-b";
+    config.design = (i < 4) ? "twcs" : "srs";
+    config.options.moe_target = 0.03;
+    config.options.seed = (i == 0 || i == 2) ? 100 : 100 + i;
+    config.options.batch_units = (i == 1 || i == 5) ? 5 : 10;
+    config.annotator.seed = 0xfeed + i;
+    config.weight = 1.0 + static_cast<double>(i % 2);
+    EXPECT_TRUE(scheduler.AddTenant(config).ok());
+  }
+  scheduler.RunUntilIdle();
+
+  FleetRun run;
+  for (const GrantRecord& record : scheduler.GrantLog()) {
+    run.grant_log += record.ToLine();
+    run.grant_log += '\n';
+  }
+  run.statuses = scheduler.Statuses();
+  run.spent = scheduler.SpentSeconds();
+  run.evictions = scheduler.Evictions();
+  return run;
+}
+
+void ExpectIdentical(const FleetRun& a, const FleetRun& b) {
+  EXPECT_EQ(a.grant_log, b.grant_log);
+  EXPECT_EQ(a.spent, b.spent);
+  ASSERT_EQ(a.statuses.size(), b.statuses.size());
+  for (size_t i = 0; i < a.statuses.size(); ++i) {
+    const TenantStatus& want = a.statuses[i];
+    const TenantStatus& got = b.statuses[i];
+    EXPECT_EQ(want.id, got.id);
+    EXPECT_EQ(want.rounds, got.rounds) << want.id;
+    EXPECT_EQ(want.grants, got.grants) << want.id;
+    EXPECT_EQ(want.wait_grants, got.wait_grants) << want.id;
+    EXPECT_EQ(want.spent_seconds, got.spent_seconds) << want.id;
+    EXPECT_EQ(want.ci_width, got.ci_width) << want.id;
+    EXPECT_EQ(want.converged, got.converged) << want.id;
+  }
+}
+
+class SchedulerDeterminismTest
+    : public ::testing::TestWithParam<CampaignScheduler::Policy> {};
+
+TEST_P(SchedulerDeterminismTest, RepeatRunsAreBitIdentical) {
+  const FleetRun first = RunFleet(GetParam(), /*max_resident=*/0);
+  const FleetRun second = RunFleet(GetParam(), /*max_resident=*/0);
+  ASSERT_FALSE(first.grant_log.empty());
+  ExpectIdentical(first, second);
+}
+
+TEST_P(SchedulerDeterminismTest, EvictResumeCyclesAreInvisible) {
+  const FleetRun uncapped = RunFleet(GetParam(), /*max_resident=*/0);
+  const FleetRun capped = RunFleet(GetParam(), /*max_resident=*/1);
+  EXPECT_EQ(uncapped.evictions, 0u);
+  EXPECT_GT(capped.evictions, 0u)
+      << "a residency cap of 1 over 6 tenants must evict";
+  ExpectIdentical(uncapped, capped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedulerDeterminismTest,
+    ::testing::Values(CampaignScheduler::Policy::kGreedyCi,
+                      CampaignScheduler::Policy::kRoundRobin,
+                      CampaignScheduler::Policy::kWeightedFair),
+    [](const ::testing::TestParamInfo<CampaignScheduler::Policy>& info) {
+      switch (info.param) {
+        case CampaignScheduler::Policy::kGreedyCi: return "GreedyCi";
+        case CampaignScheduler::Policy::kRoundRobin: return "RoundRobin";
+        case CampaignScheduler::Policy::kWeightedFair: return "WeightedFair";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace kgacc::serve

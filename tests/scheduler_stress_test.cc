@@ -1,0 +1,179 @@
+// Scheduler concurrency stress: the background drive loop granting rounds
+// while client threads add tenants, stop tenants, move the budget, read
+// statuses and pull sessions (forcing resumes) — plus the tenant protocol
+// surface through a SessionManager. Run under TSan in CI (the `Scheduler`
+// and `Fleet` filters): the invariant is no data races, no deadlocks, and
+// a consistent tenant table afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/graph_store.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session_manager.h"
+#include "serve_test_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+using kgacc::testing::MakeServePopulationDataset;
+
+TenantConfig StressTenant(const std::string& id, const std::string& graph,
+                          uint64_t seed) {
+  TenantConfig config;
+  config.id = id;
+  config.graph = graph;
+  config.design = "twcs";
+  config.options.moe_target = 0.02;
+  config.options.seed = seed;
+  config.annotator.seed = 0xfeed + seed;
+  return config;
+}
+
+TEST(SchedulerStressTest, LoopVersusClientOps) {
+  GraphStore graphs;
+  graphs.Put("pop-a", MakeServePopulationDataset(11));
+  graphs.Put("pop-b", MakeServePopulationDataset(23));
+
+  CampaignScheduler::Options options;
+  options.budget_seconds = 0.0;  // opened by a racing SetBudget below.
+  options.max_resident_sessions = 2;  // eviction churn under the loop.
+  CampaignScheduler scheduler(&graphs, options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler
+                    .AddTenant(StressTenant("seed" + std::to_string(i),
+                                            i % 2 ? "pop-a" : "pop-b", i))
+                    .ok());
+  }
+  scheduler.StartLoop();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  // Budget mover: opens the fleet, then keeps nudging the budget.
+  threads.emplace_back([&scheduler, &done] {
+    double budget = 5000.0;
+    while (!done.load()) {
+      scheduler.SetBudget(budget);
+      budget += 5000.0;
+      std::this_thread::yield();
+    }
+  });
+  // Tenant churn: adds and stops tenants while the loop grants.
+  threads.emplace_back([&scheduler, &failures] {
+    for (int i = 0; i < 8; ++i) {
+      const std::string id = "churn" + std::to_string(i);
+      if (!scheduler.AddTenant(StressTenant(id, "pop-a", 100 + i)).ok()) {
+        ++failures;
+      }
+      if (i % 2 == 0 && !scheduler.StopTenant(id).ok()) ++failures;
+    }
+  });
+  // Readers: statuses, grant log, budget, sessions (forces resumes).
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&scheduler, &failures, &done, r] {
+      while (!done.load()) {
+        for (const TenantStatus& status : scheduler.Statuses()) {
+          if (status.id.empty()) ++failures;
+        }
+        scheduler.GrantLog();
+        scheduler.SpentSeconds();
+        scheduler.ResidentSessions();
+        if (scheduler.SessionFor("seed" + std::to_string(r)) == nullptr) {
+          ++failures;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Let the loop and the churn overlap for a few grant cycles.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  done.store(true);
+  for (size_t i = 2; i < threads.size(); ++i) threads[i].join();
+  threads[1].join();
+  threads[0].join();
+  scheduler.StopLoop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(scheduler.NumTenants(), 12u);
+  // Every tenant is in a coherent state and the books balance.
+  double tenant_spend = 0.0;
+  for (const TenantStatus& status : scheduler.Statuses()) {
+    tenant_spend += status.spent_seconds;
+  }
+  EXPECT_EQ(tenant_spend, scheduler.SpentSeconds());
+}
+
+TEST(SchedulerStressTest, StopInterruptsInFlightGrant) {
+  GraphStore graphs;
+  graphs.Put("pop-a", MakeServePopulationDataset(11));
+  CampaignScheduler scheduler(&graphs, {});
+  TenantConfig slow = StressTenant("slow", "pop-a", 1);
+  // The async bridge's simulated latency makes each round take real wall
+  // time, so StopTenant below reliably lands mid-grant.
+  slow.annotator.async = true;
+  slow.annotator.latency_ms = 5.0;
+  slow.annotator.max_concurrent = 2;
+  slow.options.moe_target = 0.01;
+  ASSERT_TRUE(scheduler.AddTenant(slow).ok());
+  scheduler.StartLoop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(scheduler.StopTenant("slow").ok());
+  scheduler.StopLoop();
+  const Result<TenantStatus> status = scheduler.StatusFor("slow");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->state == TenantState::kStopped ||
+              status->state == TenantState::kCompleted);
+}
+
+TEST(SchedulerStressTest, TenantProtocolOpsDuringLoop) {
+  GraphStore graphs;
+  graphs.Put("pop-a", MakeServePopulationDataset(11));
+  SessionManager manager(&graphs);
+  CampaignScheduler::Options options;
+  options.budget_seconds = 30000.0;
+  CampaignScheduler scheduler(&graphs, options);
+  manager.AttachScheduler(&scheduler);
+  scheduler.StartLoop();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&manager, &failures, t] {
+      const SessionManager::Response started = manager.HandleLine(
+          BuildStartTenantCampaign("pop-a", "twcs",
+                                   R"({"moe_target": 0.03, "seed": )" +
+                                       std::to_string(t) + "}"));
+      if (started.lines.empty() ||
+          started.lines[0].find("\"ok\": true") == std::string::npos) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 10; ++i) {
+        const SessionManager::Response all =
+            manager.HandleLine(BuildTenantStatus());
+        if (all.lines.empty() ||
+            all.lines[0].find("\"ok\": true") == std::string::npos) {
+          ++failures;
+        }
+        manager.HandleLine(BuildSetBudget(30000.0 + 1000.0 * i));
+        manager.HandleLine(BuildMetrics());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  scheduler.StopLoop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(scheduler.NumTenants(), 4u);
+}
+
+}  // namespace
+}  // namespace kgacc::serve

@@ -1,0 +1,294 @@
+// Fleet scheduler edge cases: budget gating from zero, scheduled-vs-
+// unscheduled bit-identity for a lone tenant, cross-campaign label reuse
+// (co-tenants never pay twice), weighted-fair spend ratios, per-tenant
+// quotas, stopping a tenant mid-campaign, and evict/resume under a
+// residency cap.
+
+#include "serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/graph_store.h"
+#include "serve/serve_session.h"
+#include "serve_test_util.h"
+
+namespace kgacc::serve {
+namespace {
+
+using kgacc::testing::MakeServePopulationDataset;
+
+constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+void FillFleetStore(GraphStore& graphs) {
+  graphs.Put("pop-a", MakeServePopulationDataset(11));
+  graphs.Put("pop-b", MakeServePopulationDataset(23));
+}
+
+TenantConfig BaseTenant(const std::string& id, const std::string& graph,
+                        uint64_t seed) {
+  TenantConfig config;
+  config.id = id;
+  config.graph = graph;
+  config.design = "twcs";
+  config.options.seed = seed;
+  config.options.moe_target = 0.04;
+  config.annotator.seed = 0xfeed;
+  return config;
+}
+
+TEST(SchedulerTest, ZeroBudgetGrantsNothingUntilSetBudget) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler::Options options;
+  options.budget_seconds = 0.0;
+  CampaignScheduler scheduler(&graphs, options);
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("a", "pop-a", 1)).ok());
+  EXPECT_EQ(scheduler.RunUntilIdle(), 0u);
+  EXPECT_EQ(scheduler.GrantLog().size(), 0u);
+  EXPECT_EQ(scheduler.SpentSeconds(), 0.0);
+
+  scheduler.SetBudget(kUnlimited);
+  EXPECT_GT(scheduler.RunUntilIdle(), 0u);
+  const Result<TenantStatus> status = scheduler.StatusFor("a");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, TenantState::kCompleted);
+  EXPECT_TRUE(status->converged);
+}
+
+TEST(SchedulerTest, RejectsBadTenants) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler scheduler(&graphs, {});
+  EXPECT_FALSE(scheduler.AddTenant(BaseTenant("a", "no-such-graph", 1)).ok());
+  TenantConfig bad_design = BaseTenant("a", "pop-a", 1);
+  bad_design.design = "no-such-design";
+  EXPECT_FALSE(scheduler.AddTenant(bad_design).ok());
+  TenantConfig bad_weight = BaseTenant("a", "pop-a", 1);
+  bad_weight.weight = 0.0;
+  EXPECT_FALSE(scheduler.AddTenant(bad_weight).ok());
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("a", "pop-a", 1)).ok());
+  EXPECT_FALSE(scheduler.AddTenant(BaseTenant("a", "pop-a", 1)).ok())
+      << "duplicate id must be rejected";
+}
+
+// A lone scheduled tenant must finish with exactly the result an
+// unscheduled ServeSession produces: the scheduler adds budget accounting
+// around the campaign, never inside it.
+TEST(SchedulerTest, SingleTenantMatchesUnscheduledRun) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  const TenantConfig tenant = BaseTenant("solo", "pop-a", 77);
+
+  ServeSession::Config config;
+  config.id = "bare";
+  config.design = tenant.design;
+  config.graph = tenant.graph;
+  config.dataset = graphs.Get(tenant.graph).value();
+  config.options = tenant.options;
+  config.annotator = tenant.annotator;
+  ServeSession bare(config);
+  ASSERT_TRUE(bare.Step(0).ok());
+  const ServeSession::Info bare_info = bare.GetInfo();
+  ASSERT_TRUE(bare_info.has_result);
+
+  CampaignScheduler scheduler(&graphs, {});
+  ASSERT_TRUE(scheduler.AddTenant(tenant).ok());
+  EXPECT_GT(scheduler.RunUntilIdle(), 0u);
+  std::shared_ptr<ServeSession> session = scheduler.SessionFor("solo");
+  ASSERT_NE(session, nullptr);
+  const ServeSession::Info info = session->GetInfo();
+  ASSERT_TRUE(info.has_result);
+
+  EXPECT_EQ(info.result.estimate.mean, bare_info.result.estimate.mean);
+  EXPECT_EQ(info.result.estimate.variance_of_mean,
+            bare_info.result.estimate.variance_of_mean);
+  EXPECT_EQ(info.result.moe, bare_info.result.moe);
+  EXPECT_EQ(info.result.rounds, bare_info.result.rounds);
+  EXPECT_EQ(info.result.converged, bare_info.result.converged);
+  EXPECT_EQ(info.result.annotation_seconds,
+            bare_info.result.annotation_seconds);
+}
+
+// Two identical campaigns on one graph: the follower replays exactly the
+// units the leader bought, so the fleet is charged once — the second
+// campaign's spend is zero.
+TEST(SchedulerTest, CoTenantLabelReuseChargesOnce) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+
+  CampaignScheduler solo(&graphs, {});
+  ASSERT_TRUE(solo.AddTenant(BaseTenant("a", "pop-a", 5)).ok());
+  solo.RunUntilIdle();
+  const double solo_spend = solo.SpentSeconds();
+  ASSERT_GT(solo_spend, 0.0);
+
+  CampaignScheduler both(&graphs, {});
+  ASSERT_TRUE(both.AddTenant(BaseTenant("a", "pop-a", 5)).ok());
+  ASSERT_TRUE(both.AddTenant(BaseTenant("b", "pop-a", 5)).ok());
+  both.RunUntilIdle();
+  EXPECT_EQ(both.SpentSeconds(), solo_spend)
+      << "the co-tenant must ride entirely on reused labels";
+  const Result<TenantStatus> a = both.StatusFor("a");
+  const Result<TenantStatus> b = both.StatusFor("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->spent_seconds + b->spent_seconds, solo_spend);
+  EXPECT_EQ(std::min(a->spent_seconds, b->spent_seconds), 0.0);
+  EXPECT_EQ(a->rounds, b->rounds);
+  EXPECT_EQ(a->ci_width, b->ci_width);
+  EXPECT_TRUE(a->converged && b->converged);
+}
+
+// Distinct campaigns (different sampling seeds) share no unit sequence, so
+// both pay full freight even on the same graph — reuse is exact, not
+// approximate.
+TEST(SchedulerTest, DistinctTenantsBothPay) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler scheduler(&graphs, {});
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("a", "pop-a", 5)).ok());
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("b", "pop-a", 6)).ok());
+  scheduler.RunUntilIdle();
+  const Result<TenantStatus> a = scheduler.StatusFor("a");
+  const Result<TenantStatus> b = scheduler.StatusFor("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a->spent_seconds, 0.0);
+  EXPECT_GT(b->spent_seconds, 0.0);
+}
+
+TEST(SchedulerTest, WeightedFairHonorsWeights) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler::Options options;
+  options.policy = CampaignScheduler::Policy::kWeightedFair;
+  // Bind the budget so neither campaign finishes: the spend ratio then
+  // reflects the policy, not the campaigns' natural costs.
+  options.budget_seconds = 30000.0;
+  CampaignScheduler scheduler(&graphs, options);
+  TenantConfig light = BaseTenant("light", "pop-a", 5);
+  light.weight = 1.0;
+  light.options.moe_target = 0.01;
+  TenantConfig heavy = BaseTenant("heavy", "pop-b", 6);
+  heavy.weight = 3.0;
+  heavy.options.moe_target = 0.01;
+  ASSERT_TRUE(scheduler.AddTenant(light).ok());
+  ASSERT_TRUE(scheduler.AddTenant(heavy).ok());
+  scheduler.RunUntilIdle();
+  const Result<TenantStatus> l = scheduler.StatusFor("light");
+  const Result<TenantStatus> h = scheduler.StatusFor("heavy");
+  ASSERT_TRUE(l.ok() && h.ok());
+  ASSERT_GT(l->spent_seconds, 0.0);
+  const double ratio = h->spent_seconds / l->spent_seconds;
+  // One round of slack either way: grants are charged after they run.
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(SchedulerTest, QuotaCapsATenant) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler scheduler(&graphs, {});
+  TenantConfig capped = BaseTenant("capped", "pop-a", 5);
+  capped.quota_seconds = 2000.0;
+  capped.options.moe_target = 0.01;
+  ASSERT_TRUE(scheduler.AddTenant(capped).ok());
+  scheduler.RunUntilIdle();
+  const Result<TenantStatus> status = scheduler.StatusFor("capped");
+  ASSERT_TRUE(status.ok());
+  EXPECT_GT(status->spent_seconds, 0.0);
+  EXPECT_NE(status->state, TenantState::kCompleted);
+  // May overshoot by at most the final granted round.
+  EXPECT_LT(status->spent_seconds, 2.0 * capped.quota_seconds + 4000.0);
+  // At quota the tenant is never granted again, so the fleet goes idle.
+  EXPECT_EQ(scheduler.RunUntilIdle(), 0u);
+}
+
+TEST(SchedulerTest, StopTenantBeforeAndAfterGrants) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler::Options options;
+  options.budget_seconds = 20000.0;
+  CampaignScheduler scheduler(&graphs, options);
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("a", "pop-a", 5)).ok());
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("b", "pop-b", 6)).ok());
+  ASSERT_TRUE(scheduler.StopTenant("a").ok());
+  EXPECT_FALSE(scheduler.StopTenant("no-such-tenant").ok());
+  scheduler.RunUntilIdle();
+  const Result<TenantStatus> a = scheduler.StatusFor("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->state, TenantState::kStopped);
+  EXPECT_EQ(a->grants, 0u);
+  EXPECT_EQ(a->spent_seconds, 0.0);
+  const Result<TenantStatus> b = scheduler.StatusFor("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->grants, 0u);
+  // Stopping a terminal tenant is a benign no-op.
+  EXPECT_TRUE(scheduler.StopTenant("a").ok());
+  EXPECT_TRUE(scheduler.StopTenant("b").ok());
+}
+
+// A residency cap forces evictions to suspend blobs; resumed tenants replay
+// deterministically and the whole fleet still converges to the same
+// per-tenant results as the uncapped run.
+TEST(SchedulerTest, EvictAndResumeUnderResidencyCap) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+
+  CampaignScheduler uncapped(&graphs, {});
+  ASSERT_TRUE(uncapped.AddTenant(BaseTenant("a", "pop-a", 5)).ok());
+  ASSERT_TRUE(uncapped.AddTenant(BaseTenant("b", "pop-b", 6)).ok());
+  ASSERT_TRUE(uncapped.AddTenant(BaseTenant("c", "pop-a", 7)).ok());
+  uncapped.RunUntilIdle();
+  EXPECT_EQ(uncapped.Evictions(), 0u);
+
+  CampaignScheduler::Options options;
+  options.max_resident_sessions = 1;
+  CampaignScheduler capped(&graphs, options);
+  ASSERT_TRUE(capped.AddTenant(BaseTenant("a", "pop-a", 5)).ok());
+  ASSERT_TRUE(capped.AddTenant(BaseTenant("b", "pop-b", 6)).ok());
+  ASSERT_TRUE(capped.AddTenant(BaseTenant("c", "pop-a", 7)).ok());
+  capped.RunUntilIdle();
+  EXPECT_GT(capped.Evictions(), 0u);
+
+  for (const std::string id : {"a", "b", "c"}) {
+    const Result<TenantStatus> want = uncapped.StatusFor(id);
+    const Result<TenantStatus> got = capped.StatusFor(id);
+    ASSERT_TRUE(want.ok() && got.ok());
+    EXPECT_EQ(got->state, TenantState::kCompleted) << id;
+    EXPECT_EQ(got->rounds, want->rounds) << id;
+    EXPECT_EQ(got->ci_width, want->ci_width) << id;
+    EXPECT_EQ(got->spent_seconds, want->spent_seconds) << id;
+  }
+  EXPECT_EQ(capped.SpentSeconds(), uncapped.SpentSeconds())
+      << "replayed rounds re-observe fleet-cached refs, so resume is free";
+}
+
+// Free rounds are still granted after the budget is exhausted: a cohort
+// follower replays labels the fleet already owns, charging exactly 0, so
+// the one-round-overshoot budget invariant holds while the follower
+// catches up to its leader.
+TEST(SchedulerTest, FollowerCatchesUpAfterBudgetExhaustion) {
+  GraphStore graphs;
+  FillFleetStore(graphs);
+  CampaignScheduler::Options options;
+  options.budget_seconds = 8000.0;  // a handful of rounds.
+  CampaignScheduler scheduler(&graphs, options);
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("lead", "pop-a", 5)).ok());
+  ASSERT_TRUE(scheduler.AddTenant(BaseTenant("tail", "pop-a", 5)).ok());
+  scheduler.RunUntilIdle();
+  const Result<TenantStatus> lead = scheduler.StatusFor("lead");
+  const Result<TenantStatus> tail = scheduler.StatusFor("tail");
+  ASSERT_TRUE(lead.ok() && tail.ok());
+  EXPECT_EQ(lead->rounds, tail->rounds)
+      << "the follower's free catch-up rounds must not be budget-gated";
+  EXPECT_EQ(tail->spent_seconds + lead->spent_seconds,
+            scheduler.SpentSeconds());
+}
+
+}  // namespace
+}  // namespace kgacc::serve

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "serve/graph_store.h"
+#include "serve/scheduler.h"
 #include "serve/server.h"
 #include "serve/session_manager.h"
 #include "util/flags.h"
@@ -40,7 +41,7 @@ constexpr const char* kUsage = R"(kgacc_serve — KG accuracy evaluation daemon
 
 Speaks the line-delimited JSON kgacc-serve-v1 protocol over TCP (loopback).
 Ops: load-graph, start-campaign, step, query-estimate, stream-trace,
-suspend, resume, stop, metrics, shutdown.
+suspend, resume, stop, set-budget, tenant-status, metrics, shutdown.
 
 Flags:
   --port P          TCP port to listen on; 0 picks an ephemeral port [7607]
@@ -48,6 +49,17 @@ Flags:
                     dataset names or paths ending in .tsv)
   --seed S          dataset seed for built-in synthetic graphs       [42]
   --help            this message
+
+Fleet scheduling (multi-tenant campaigns over a shared annotation budget;
+start-campaign with "tenant": true admits a campaign to the scheduler):
+  --scheduler POLICY        enable the fleet scheduler: greedy-ci,
+                            round-robin, or weighted-fair              [off]
+  --annotation-budget N     global annotation-seconds budget the fleet
+                            may spend (set-budget changes it live;
+                            0 = no grants until set-budget)      [unlimited]
+  --max-resident-sessions K evict least-recently-granted tenants to
+                            suspend blobs beyond K running sessions
+                            (0 = unlimited)                            [0]
 
 Asynchronous annotation defaults (a campaign's "annotator" object
 overrides them field by field; underscore spellings accepted):
@@ -72,7 +84,9 @@ int Main(int argc, char** argv) {
   const Status valid = flags.Validate(
       {"port", "preload", "seed", "async-annotator", "async_annotator",
        "annotator-latency-ms", "annotator_latency_ms", "max-concurrent",
-       "max_concurrent", "help"});
+       "max_concurrent", "scheduler", "annotation-budget",
+       "annotation_budget", "max-resident-sessions", "max_resident_sessions",
+       "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n%s", valid.message().c_str(), kUsage);
     return 2;
@@ -122,6 +136,55 @@ int Main(int argc, char** argv) {
 
   SessionManager manager(&graphs);
   manager.SetDefaultAnnotator(default_annotator);
+
+  // Fleet scheduler: constructed before the server so its drive loop is
+  // live once connections arrive; destroyed after (declaration order).
+  std::unique_ptr<CampaignScheduler> scheduler;
+  if (flags.Has("scheduler")) {
+    Result<CampaignScheduler::Policy> policy =
+        CampaignScheduler::ParsePolicy(flags.GetString("scheduler", ""));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "error: %s\n", policy.status().message().c_str());
+      return 2;
+    }
+    CampaignScheduler::Options scheduler_options;
+    scheduler_options.policy = *policy;
+    if (flags.Has("annotation-budget") || flags.Has("annotation_budget")) {
+      Result<double> budget =
+          flags.Has("annotation-budget")
+              ? flags.GetDouble("annotation-budget", 0.0)
+              : flags.GetDouble("annotation_budget", 0.0);
+      if (!budget.ok() || *budget < 0.0) {
+        std::fprintf(stderr, "error: --annotation-budget must be >= 0\n");
+        return 2;
+      }
+      scheduler_options.budget_seconds = *budget;
+    }
+    Result<uint64_t> residents =
+        flags.Has("max-resident-sessions")
+            ? flags.GetUint64("max-resident-sessions", 0)
+            : flags.GetUint64("max_resident_sessions", 0);
+    if (!residents.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   residents.status().message().c_str());
+      return 2;
+    }
+    scheduler_options.max_resident_sessions = residents.value();
+    scheduler = std::make_unique<CampaignScheduler>(&graphs,
+                                                    scheduler_options);
+    manager.AttachScheduler(scheduler.get());
+    scheduler->StartLoop();
+    std::fprintf(stderr, "fleet scheduler on: policy=%s\n",
+                 CampaignScheduler::PolicyName(*policy));
+  } else if (flags.Has("annotation-budget") || flags.Has("annotation_budget") ||
+             flags.Has("max-resident-sessions") ||
+             flags.Has("max_resident_sessions")) {
+    std::fprintf(stderr,
+                 "error: --annotation-budget/--max-resident-sessions "
+                 "require --scheduler\n");
+    return 2;
+  }
+
   ServeServer server(&manager, static_cast<int>(port.value()));
 
   // SIGINT/SIGTERM shut the daemon down cleanly. Signal handlers cannot

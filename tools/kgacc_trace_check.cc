@@ -60,6 +60,16 @@
 //    matrix's largest latency over windows of at least 8 must reach X, so a
 //    regression that serializes the completion-queue bridge fails CI.
 //
+//  - kgacc-fleet-bench-v1 (the bench_fleet_scheduler multi-tenant artifact):
+//    every policy row must carry a consistent tenant roster (cost shares
+//    summing to ~1 where budget was spent, CI widths in [0, 1], Jain
+//    fairness in (0, 1]), and whenever both a greedy-ci and a round-robin
+//    row are present, greedy-ci must beat round-robin on mean CI width at
+//    equal budget — the fleet-level efficiency claim, checked
+//    unconditionally. --max-fleet-ci-width W gates the greedy-ci row's
+//    mean CI width at budget exhaustion; --min-fleet-fairness J gates the
+//    weighted-fair row's Jain index.
+//
 //  - Chrome trace_event documents (kgacc_eval --chrome-trace), recognized by
 //    their "traceEvents" member: events must be well-formed complete/counter/
 //    metadata events with non-negative timestamps, and — with
@@ -273,6 +283,141 @@ bool CheckAsyncBench(const std::string& path, const JsonValue& doc,
   if (ok) {
     std::printf("%s: OK (%zu matrix cells, all bit-identical)\n",
                 path.c_str(), rows->AsArray().size());
+  }
+  return ok;
+}
+
+/// Validates a kgacc-fleet-bench-v1 artifact (bench_fleet_scheduler) and
+/// enforces the fleet CI-width / fairness gates. The greedy-vs-round-robin
+/// comparison runs unconditionally whenever both rows are present: the
+/// bench is deterministic, so "greedy-ci buys narrower CIs for the same
+/// budget" is an exact, repeatable claim.
+bool CheckFleetBench(const std::string& path, const JsonValue& doc,
+                     double max_ci_width, double min_fairness) {
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->AsArray().empty()) {
+    std::fprintf(stderr, "%s: missing or empty rows array\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  double greedy_mean = -1.0;
+  double greedy_avg = -1.0;
+  double rr_avg = -1.0;
+  double fair_jain = -1.0;
+  bool have_greedy = false;
+  for (const JsonValue& row : rows->AsArray()) {
+    const Result<std::string> policy = row.GetString("policy");
+    const Result<double> grants = row.GetNumber("grants");
+    const Result<double> spent = row.GetNumber("spent_seconds");
+    const Result<double> mean_ci = row.GetNumber("mean_ci_width");
+    const Result<double> max_ci = row.GetNumber("max_ci_width");
+    const Result<double> jain = row.GetNumber("jain_fairness");
+    const Result<double> avg_ci = row.GetNumber("budget_avg_ci_width");
+    if (!policy.ok() || !grants.ok() || !spent.ok() || !mean_ci.ok() ||
+        !max_ci.ok() || !jain.ok() || !avg_ci.ok()) {
+      std::fprintf(stderr, "%s: malformed fleet bench row\n", path.c_str());
+      return false;
+    }
+    if (*grants < 1.0 || *spent < 0.0) {
+      std::fprintf(stderr, "%s: %s: no grants or negative spend\n",
+                   path.c_str(), policy->c_str());
+      return false;
+    }
+    if (!(*mean_ci >= 0.0) || !(*max_ci >= *mean_ci) || *max_ci > 1.0) {
+      std::fprintf(stderr,
+                   "%s: %s: inconsistent CI widths (mean %.4f, max %.4f)\n",
+                   path.c_str(), policy->c_str(), *mean_ci, *max_ci);
+      return false;
+    }
+    if (!(*avg_ci > 0.0) || *avg_ci > 1.0) {
+      std::fprintf(stderr,
+                   "%s: %s: budget-averaged CI width %.4f outside (0, 1]\n",
+                   path.c_str(), policy->c_str(), *avg_ci);
+      return false;
+    }
+    if (!(*jain > 0.0) || *jain > 1.0 + 1e-12) {
+      std::fprintf(stderr, "%s: %s: Jain index %.4f outside (0, 1]\n",
+                   path.c_str(), policy->c_str(), *jain);
+      return false;
+    }
+    const JsonValue* tenants = row.Find("tenants");
+    if (tenants == nullptr || !tenants->is_array() ||
+        tenants->AsArray().empty()) {
+      std::fprintf(stderr, "%s: %s: missing tenant roster\n", path.c_str(),
+                   policy->c_str());
+      return false;
+    }
+    double share_sum = 0.0;
+    for (const JsonValue& tenant : tenants->AsArray()) {
+      const Result<double> share = tenant.GetNumber("cost_share");
+      const Result<double> width = tenant.GetNumber("ci_width");
+      if (!share.ok() || !width.ok() || *share < 0.0 || !(*width >= 0.0)) {
+        std::fprintf(stderr, "%s: %s: malformed tenant entry\n",
+                     path.c_str(), policy->c_str());
+        return false;
+      }
+      share_sum += *share;
+    }
+    if (*spent > 0.0 && std::abs(share_sum - 1.0) > 1e-6) {
+      std::fprintf(stderr,
+                   "%s: %s: tenant cost shares sum to %.6f, not 1\n",
+                   path.c_str(), policy->c_str(), share_sum);
+      return false;
+    }
+    std::printf(
+        "%s: %-13s grants %5.0f  spent %9.0fs  mean CI %.4f  max CI %.4f  "
+        "avg CI %.4f  Jain %.4f\n",
+        path.c_str(), policy->c_str(), *grants, *spent, *mean_ci, *max_ci,
+        *avg_ci, *jain);
+    if (*policy == "greedy-ci") {
+      greedy_mean = *mean_ci;
+      greedy_avg = *avg_ci;
+      have_greedy = true;
+    } else if (*policy == "round-robin") {
+      rr_avg = *avg_ci;
+    } else if (*policy == "weighted-fair") {
+      fair_jain = *jain;
+    }
+  }
+  // The efficiency claim: at equal budget the greedy-ci fleet converges
+  // faster — strictly lower fleet CI width averaged over the spend
+  // trajectory (the budget-weighted integral, not the noisy final snapshot).
+  if (have_greedy && rr_avg >= 0.0 && !(greedy_avg < rr_avg)) {
+    std::fprintf(stderr,
+                 "%s: greedy-ci budget-averaged CI width %.4f does not beat "
+                 "round-robin %.4f at equal budget\n",
+                 path.c_str(), greedy_avg, rr_avg);
+    ok = false;
+  }
+  if (max_ci_width > 0.0) {
+    if (!have_greedy) {
+      std::fprintf(stderr,
+                   "%s: --max-fleet-ci-width needs a greedy-ci row\n",
+                   path.c_str());
+      ok = false;
+    } else if (greedy_mean > max_ci_width) {
+      std::fprintf(stderr,
+                   "%s: greedy-ci mean CI width %.4f above allowed %.4f\n",
+                   path.c_str(), greedy_mean, max_ci_width);
+      ok = false;
+    }
+  }
+  if (min_fairness > 0.0) {
+    if (fair_jain < 0.0) {
+      std::fprintf(stderr,
+                   "%s: --min-fleet-fairness needs a weighted-fair row\n",
+                   path.c_str());
+      ok = false;
+    } else if (fair_jain < min_fairness) {
+      std::fprintf(stderr,
+                   "%s: weighted-fair Jain index %.4f below required %.4f\n",
+                   path.c_str(), fair_jain, min_fairness);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("%s: OK (%zu policy rows)\n", path.c_str(),
+                rows->AsArray().size());
   }
   return ok;
 }
@@ -692,6 +837,10 @@ int Run(const FlagParser& flags) {
       flags.GetDouble("min-build-mtriples-per-sec", 0.0).ValueOr(0.0);
   const double min_async_speedup =
       flags.GetDouble("min-async-speedup", 0.0).ValueOr(0.0);
+  const double max_fleet_ci_width =
+      flags.GetDouble("max-fleet-ci-width", 0.0).ValueOr(0.0);
+  const double min_fleet_fairness =
+      flags.GetDouble("min-fleet-fairness", 0.0).ValueOr(0.0);
 
   // Each explicitly requested gate names the artifact kind it inspects;
   // after the file loop, a gate whose kind never appeared fails the run
@@ -721,6 +870,12 @@ int Run(const FlagParser& flags) {
   }
   if (min_async_speedup > 0.0) {
     active_gates.push_back({"min-async-speedup", "kgacc-async-bench-v1"});
+  }
+  if (max_fleet_ci_width > 0.0) {
+    active_gates.push_back({"max-fleet-ci-width", "kgacc-fleet-bench-v1"});
+  }
+  if (min_fleet_fairness > 0.0) {
+    active_gates.push_back({"min-fleet-fairness", "kgacc-fleet-bench-v1"});
   }
   if (!baseline_dir.empty()) {
     active_gates.push_back({"baseline", "kgacc-trace-v1"});
@@ -781,6 +936,14 @@ int Run(const FlagParser& flags) {
     if (schema.ok() && *schema == "kgacc-async-bench-v1") {
       kinds_seen.push_back(*schema);
       if (!CheckAsyncBench(path, *doc, min_async_speedup)) ++failures;
+      continue;
+    }
+    if (schema.ok() && *schema == "kgacc-fleet-bench-v1") {
+      kinds_seen.push_back(*schema);
+      if (!CheckFleetBench(path, *doc, max_fleet_ci_width,
+                           min_fleet_fairness)) {
+        ++failures;
+      }
       continue;
     }
     if (doc->Find("traceEvents") != nullptr) {
@@ -849,7 +1012,8 @@ int main(int argc, char** argv) {
       {"baseline", "tolerance", "min-annotate-speedup",
        "max-metrics-overhead", "min-trace-threads", "max-serve-p99",
        "min-serve-qps", "max-open-ms", "min-build-mtriples-per-sec",
-       "min-async-speedup", "help"});
+       "min-async-speedup", "max-fleet-ci-width", "min-fleet-fairness",
+       "help"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.message().c_str());
     return 1;
@@ -861,7 +1025,8 @@ int main(int argc, char** argv) {
                  "[--max-metrics-overhead F] [--min-trace-threads N] "
                  "[--max-serve-p99 MS] [--min-serve-qps Q] "
                  "[--max-open-ms MS] [--min-build-mtriples-per-sec R] "
-                 "[--min-async-speedup X] TRACE.json [...]\n");
+                 "[--min-async-speedup X] [--max-fleet-ci-width W] "
+                 "[--min-fleet-fairness J] TRACE.json [...]\n");
     return flags.GetBool("help", false) ? 0 : 1;
   }
   return Run(flags);

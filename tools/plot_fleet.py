@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Render kgacc-fleet-bench-v1 JSON artifacts (bench_fleet_scheduler) to SVG.
+
+Each input file becomes one SVG with a row of panels per policy:
+
+ - convergence: every tenant's CI-width trajectory against its cumulative
+   charged spend, so label reuse shows up as tenants dropping without
+   moving right;
+ - cost share: one bar per tenant, its slice of the fleet's charged spend,
+   with Jain's fairness index and the budget-averaged CI width in the
+   panel title.
+
+Standard library only, so the CI fleet-smoke job can render artifacts
+without installing anything:
+
+    tools/plot_fleet.py BENCH_fleet_scheduler.json -o bench-artifacts/
+
+writes <name>.svg next to the JSON (or into -o DIR).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+PANEL_W, PANEL_H = 420, 260
+BAR_PANEL_W = 300
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 56, 16, 36, 40
+ROW_GAP, COL_GAP, HEADER = 18, 28, 30
+
+TENANT_COLORS = [
+    "#2563eb", "#16a34a", "#d97706", "#9333ea", "#0891b2",
+    "#dc2626", "#4d7c0f", "#db2777", "#7c3aed", "#b45309",
+]
+COLOR_GRID = "#d4d4d8"
+COLOR_TEXT = "#3f3f46"
+COLOR_CONVERGED = "#16a34a"
+
+
+def svg_text(x, y, text, size=11, anchor="start", color=COLOR_TEXT):
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+        f'text-anchor="{anchor}" fill="{color}" '
+        f'font-family="sans-serif">{text}</text>'
+    )
+
+
+def tenant_color(index):
+    return TENANT_COLORS[index % len(TENANT_COLORS)]
+
+
+def render_trajectories(parts, row, ox, oy):
+    """CI width vs cumulative charged spend, one polyline per tenant."""
+    plot_w = PANEL_W - MARGIN_L - MARGIN_R
+    plot_h = PANEL_H - MARGIN_T - MARGIN_B
+    tenants = row["tenants"]
+
+    max_spent = max(
+        [pt[0] for t in tenants for pt in t.get("trajectory", [])] + [1.0]
+    )
+    max_width = max(
+        [pt[1] for t in tenants for pt in t.get("trajectory", [])] + [0.1]
+    )
+
+    def x_of(spent):
+        return ox + MARGIN_L + plot_w * spent / max_spent
+
+    def y_of(width):
+        return oy + MARGIN_T + plot_h * (1 - width / (max_width * 1.08))
+
+    parts.append(
+        svg_text(
+            ox + MARGIN_L, oy + 20,
+            f'{row["policy"]} — {row["grants"]} grants, '
+            f'avg CI {row["budget_avg_ci_width"]:.3f}, '
+            f'final mean {row["mean_ci_width"]:.3f}',
+            size=12,
+        )
+    )
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = y_of(max_width * 1.08 * frac)
+        parts.append(
+            f'<line x1="{ox + MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{ox + PANEL_W - MARGIN_R}" y2="{y:.1f}" '
+            f'stroke="{COLOR_GRID}"/>'
+        )
+        parts.append(
+            svg_text(ox + MARGIN_L - 6, y + 4,
+                     f"{max_width * 1.08 * frac:.2f}", size=9, anchor="end")
+        )
+    for frac in (0.0, 0.5, 1.0):
+        x = ox + MARGIN_L + plot_w * frac
+        parts.append(
+            svg_text(x, oy + PANEL_H - MARGIN_B + 16,
+                     f"{max_spent * frac / 1000.0:.0f}k", size=9,
+                     anchor="middle")
+        )
+    parts.append(
+        svg_text(ox + MARGIN_L + plot_w / 2, oy + PANEL_H - 8,
+                 "cumulative charged annotation seconds", size=10,
+                 anchor="middle")
+    )
+
+    for ti, tenant in enumerate(tenants):
+        trajectory = tenant.get("trajectory", [])
+        if not trajectory:
+            continue
+        color = tenant_color(ti)
+        points = [(x_of(s), y_of(w)) for s, w in trajectory]
+        polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{polyline}" fill="none" stroke="{color}" '
+            f'stroke-width="1.6" opacity="0.85"/>'
+        )
+        x, y = points[-1]
+        if tenant.get("converged"):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="white" '
+                f'stroke="{COLOR_CONVERGED}" stroke-width="2"/>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>'
+            )
+
+
+def render_cost_shares(parts, row, ox, oy):
+    """Per-tenant slice of the fleet's charged spend, as horizontal bars."""
+    plot_w = BAR_PANEL_W - MARGIN_L - MARGIN_R
+    tenants = row["tenants"]
+    parts.append(
+        svg_text(
+            ox + MARGIN_L, oy + 20,
+            f'cost share — Jain {row["jain_fairness"]:.3f}',
+            size=12,
+        )
+    )
+    max_share = max([t["cost_share"] for t in tenants] + [1e-9])
+    bar_h = min(
+        16, (PANEL_H - MARGIN_T - MARGIN_B) / max(1, len(tenants)) - 3
+    )
+    for ti, tenant in enumerate(tenants):
+        color = tenant_color(ti)
+        y = oy + MARGIN_T + ti * (bar_h + 3)
+        w = plot_w * tenant["cost_share"] / max_share
+        parts.append(
+            f'<rect x="{ox + MARGIN_L}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{bar_h:.1f}" fill="{color}" opacity="0.85"/>'
+        )
+        parts.append(
+            svg_text(ox + MARGIN_L - 6, y + bar_h / 2 + 4,
+                     tenant["tenant"], size=9, anchor="end", color=color)
+        )
+        parts.append(
+            svg_text(ox + MARGIN_L + w + 4, y + bar_h / 2 + 4,
+                     f'{100.0 * tenant["cost_share"]:.1f}%', size=9)
+        )
+
+
+def render(doc, name):
+    rows = doc.get("rows", [])
+    if not rows:
+        raise ValueError("no policy rows recorded")
+
+    width = PANEL_W + COL_GAP + BAR_PANEL_W + 16
+    height = HEADER + len(rows) * (PANEL_H + ROW_GAP)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        svg_text(
+            16, 20,
+            f"{name} — {doc.get('num_tenants', '?')} tenants / "
+            f"{doc.get('num_graphs', '?')} graphs, budget "
+            f"{doc.get('budget_seconds', 0.0) / 1000.0:g}k annotation "
+            f"seconds, seed {doc.get('seed', '?')}",
+            size=13,
+        ),
+    ]
+    for ri, row in enumerate(rows):
+        oy = HEADER + ri * (PANEL_H + ROW_GAP)
+        render_trajectories(parts, row, 8, oy)
+        render_cost_shares(parts, row, 8 + PANEL_W + COL_GAP, oy)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render kgacc-fleet-bench-v1 artifacts to SVG."
+    )
+    parser.add_argument("inputs", nargs="+", help="BENCH_fleet_scheduler.json")
+    parser.add_argument("-o", "--outdir", help="output directory")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.inputs:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            if doc.get("schema") != "kgacc-fleet-bench-v1":
+                raise ValueError(
+                    f"not a kgacc-fleet-bench-v1 document: {doc.get('schema')}"
+                )
+            name = os.path.splitext(os.path.basename(path))[0]
+            svg = render(doc, name)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+            print(f"{path}: {err}", file=sys.stderr)
+            failed = True
+            continue
+        outdir = args.outdir or os.path.dirname(path) or "."
+        os.makedirs(outdir, exist_ok=True)
+        out = os.path.join(outdir, name + ".svg")
+        with open(out, "w") as f:
+            f.write(svg)
+        print(f"{path} -> {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
